@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func TestListSystems(t *testing.T) {
+	out, err := runCLI(t, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range []string{"Marconi", "Fugaku", "Polaris", "Frontier"} {
+		if !strings.Contains(out, sys) {
+			t.Errorf("-list missing %s", sys)
+		}
+	}
+}
+
+func TestAssessText(t *testing.T) {
+	out, err := runCLI(t, "-system", "Frontier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"annual IT energy", "direct water", "indirect water",
+		"water intensity", "embodied footprint", "lifetime",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestAssessJSON(t *testing.T) {
+	out, err := runCLI(t, "-system", "Polaris", "-json", "-years", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if rep.System != "Polaris" || rep.Years != 4 {
+		t.Errorf("metadata wrong: %+v", rep)
+	}
+	if rep.DirectL <= 0 || rep.IndirectL <= 0 || rep.EmbodiedL <= 0 {
+		t.Error("footprints missing")
+	}
+	if rep.LifetimeTotalL <= rep.EmbodiedL {
+		t.Error("lifetime should exceed embodied alone")
+	}
+	var shares float64
+	for _, v := range rep.EmbodiedShares {
+		shares += v
+	}
+	if shares < 0.99 || shares > 1.01 {
+		t.Errorf("embodied shares sum to %v", shares)
+	}
+}
+
+func TestScenarioAndWithdrawalSections(t *testing.T) {
+	out, err := runCLI(t, "-system", "Marconi", "-scenarios", "-withdrawal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "100% Nuclear Usage") {
+		t.Error("scenario section missing")
+	}
+	if !strings.Contains(out, "gross withdrawal") {
+		t.Error("withdrawal section missing")
+	}
+}
+
+func TestSeedChangesResult(t *testing.T) {
+	a, err := runCLI(t, "-system", "Fugaku", "-seed", "1", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runCLI(t, "-system", "Fugaku", "-seed", "2", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("different seeds should produce different assessments")
+	}
+	c, err := runCLI(t, "-system", "Fugaku", "-seed", "1", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != c {
+		t.Error("same seed should reproduce the assessment")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := runCLI(t); err == nil {
+		t.Error("no arguments should error")
+	}
+	if _, err := runCLI(t, "-system", "HAL9000"); err == nil {
+		t.Error("unknown system should error")
+	}
+	if _, err := runCLI(t, "-system", "Frontier", "-years", "-1"); err == nil {
+		t.Error("negative years should error")
+	}
+}
+
+func TestConfigFileAssessment(t *testing.T) {
+	out, err := runCLI(t, "-config", "../../testdata/custom-system.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "CampusCluster") {
+		t.Error("custom system name missing")
+	}
+	if !strings.Contains(out, "Lemont") {
+		t.Error("custom site missing")
+	}
+}
+
+func TestConfigAndSystemExclusive(t *testing.T) {
+	if _, err := runCLI(t, "-system", "Frontier", "-config", "x.json"); err == nil {
+		t.Error("mutually exclusive flags accepted")
+	}
+	if _, err := runCLI(t, "-config", "/does/not/exist.json"); err == nil {
+		t.Error("missing config file accepted")
+	}
+}

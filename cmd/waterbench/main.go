@@ -1,0 +1,81 @@
+// Command waterbench regenerates the tables and figures of the
+// ThirstyFLOPS paper from the synthetic substrates.
+//
+// Usage:
+//
+//	waterbench -list
+//	waterbench all
+//	waterbench fig7 fig8 table1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"thirstyflops/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "waterbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("waterbench", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list experiment IDs and exit")
+	outDir := fs.String("o", "", "also write each artifact to <dir>/<id>.txt")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Fprintln(out, id)
+		}
+		return nil
+	}
+	targets := fs.Args()
+	if len(targets) == 0 {
+		return fmt.Errorf("no experiments requested (try 'all' or -list)")
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	var selected []experiments.Output
+	if len(targets) == 1 && targets[0] == "all" {
+		outs, err := experiments.All()
+		if err != nil {
+			return err
+		}
+		selected = outs
+	} else {
+		for _, id := range targets {
+			o, err := experiments.ByID(id)
+			if err != nil {
+				return err
+			}
+			selected = append(selected, o)
+		}
+	}
+	for _, o := range selected {
+		printOutput(out, o)
+		if *outDir != "" {
+			path := filepath.Join(*outDir, o.ID+".txt")
+			if err := os.WriteFile(path, []byte(o.Text), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func printOutput(out io.Writer, o experiments.Output) {
+	fmt.Fprintf(out, "### %s — %s\n\n", o.ID, o.Title)
+	fmt.Fprintln(out, o.Text)
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func TestListIDs(t *testing.T) {
+	out, err := runCLI(t, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"table1", "fig7", "fig14", "water500", "watercap", "geoshift", "sensitivity", "greensched", "upgrade"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("-list missing %s", id)
+		}
+	}
+}
+
+func TestSingleExperiment(t *testing.T) {
+	out, err := runCLI(t, "fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "### fig7") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(out, "direct") {
+		t.Error("missing figure body")
+	}
+}
+
+func TestMultipleExperiments(t *testing.T) {
+	out, err := runCLI(t, "table1", "fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "### table1") || !strings.Contains(out, "### fig5") {
+		t.Error("missing one of the requested artifacts")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := runCLI(t); err == nil {
+		t.Error("no targets should error")
+	}
+	if _, err := runCLI(t, "fig99"); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestOutputDirectory(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := runCLI(t, "-o", dir, "fig5"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig5.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Energy Water Factor") {
+		t.Error("written artifact incomplete")
+	}
+}

@@ -1,0 +1,63 @@
+// Nuclear-powered HPC: carbon savior, water question mark.
+//
+// Sec. 5 of the paper: hyperscalers are commissioning small nuclear
+// reactors for carbon-free datacenter power, but nuclear plants condense
+// steam with large volumes of water. This example sweeps the five Fig. 14
+// energy-sourcing scenarios across all four systems and prints where
+// nuclear helps, where it hurts, and why the answer is location-dependent
+// (Takeaway 10).
+//
+// Run with: go run ./examples/nuclear
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"thirstyflops"
+)
+
+func main() {
+	cfgs, err := thirstyflops.AllSystemConfigs()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("savings vs current energy mix (positive = footprint reduced)")
+	fmt.Println()
+	fmt.Printf("%-10s %-38s %10s %10s\n", "system", "scenario", "water", "carbon")
+	fmt.Println("-----------------------------------------------------------------------")
+	type nuclearCase struct {
+		system string
+		water  float64
+	}
+	var nuclearCases []nuclearCase
+	for _, cfg := range cfgs {
+		results, err := cfg.ScenarioSweep()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Scenario == thirstyflops.CurrentMixScenario {
+				continue
+			}
+			fmt.Printf("%-10s %-38s %+9.0f%% %+9.0f%%\n",
+				r.System, r.Scenario, r.WaterSavingPct, r.CarbonSavingPct)
+			if r.Scenario == thirstyflops.Nuclear100Scenario {
+				nuclearCases = append(nuclearCases, nuclearCase{r.System, r.WaterSavingPct})
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("nuclear verdict by location:")
+	for _, c := range nuclearCases {
+		verdict := "water win — grid is thirstier than a nuclear fleet"
+		if c.water < 0 {
+			verdict = "water loss — local grid already beats nuclear on water"
+		}
+		fmt.Printf("  %-10s %+5.0f%%  %s\n", c.system, c.water, verdict)
+	}
+	fmt.Println("\nTakeaway 10: naively powering HPC with nuclear reactors to cut carbon can be")
+	fmt.Println("significantly sub-optimal for water, depending on the site's current energy mix.")
+}

@@ -1,0 +1,56 @@
+// Quickstart: assess the water footprint of one supercomputer.
+//
+// This is the minimal ThirstyFLOPS workflow: pick a bundled system,
+// simulate a year of operation, and read off the Eq. 1 decomposition —
+// embodied, direct (cooling), and indirect (energy generation) water.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"thirstyflops"
+)
+
+func main() {
+	cfg, err := thirstyflops.SystemConfig("Frontier")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One simulated year of operation: weather drives the cooling water,
+	// the regional grid drives the generation water and carbon.
+	annual, err := cfg.Assess()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s, one year of operation\n", annual.System)
+	fmt.Printf("  IT energy:       %v\n", annual.Energy)
+	fmt.Printf("  direct water:    %v (cooling towers)\n", annual.Direct)
+	fmt.Printf("  indirect water:  %v (electricity generation)\n", annual.Indirect)
+	fmt.Printf("  carbon:          %v\n", annual.Carbon)
+
+	// Water intensity (Eq. 8) and its scarcity adjustment (Eq. 9).
+	direct, indirect, total := annual.WaterIntensity()
+	fmt.Printf("  water intensity: %v = %v direct + %v indirect\n", total, direct, indirect)
+	fmt.Printf("  WSI-adjusted:    %v\n", annual.AdjustedWaterIntensity(cfg.Scarcity))
+
+	// The one-time embodied footprint (Eq. 2-5).
+	bd, err := cfg.EmbodiedBreakdown()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nembodied footprint: %v\n", bd.Total())
+	fmt.Printf("  storage-heavy: HDD alone carries %.0f%% (the 679 PB Orion filesystem)\n",
+		bd.Share(thirstyflops.CompHDD)*100)
+
+	// Full lifetime accounting (Eq. 1).
+	life, err := cfg.Lifetime(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n6-year lifetime total: %v (embodied %.1f%%)\n",
+		life.Total(), 100*float64(life.Embodied)/float64(life.Total()))
+}

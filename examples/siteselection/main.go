@@ -1,0 +1,131 @@
+// Site selection: where should a new 10 MW HPC center go?
+//
+// Takeaways 2 and 6 of the paper: the water footprint of a site depends
+// on its cooling climate (WUE), the water intensity of its grid (EWF),
+// and the scarcity of the basins involved — and these rank differently
+// than carbon does. This example sweeps candidate sites and prints the
+// conflicting rankings a facility planner would face.
+//
+// Run with: go run ./examples/siteselection
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"thirstyflops"
+)
+
+// candidate pairs a climate with a grid and a basin scarcity.
+type candidate struct {
+	name     string
+	site     thirstyflops.Site
+	region   thirstyflops.Region
+	scarcity thirstyflops.WSI
+}
+
+type verdict struct {
+	name     string
+	waterWI  float64 // L/kWh
+	adjWI    float64 // scarcity-weighted
+	carbonCI float64 // g/kWh
+	annualL  float64 // projected annual litres for the 10 MW build
+}
+
+func main() {
+	sites := thirstyflops.Sites()
+	regions := thirstyflops.Regions()
+	extra := thirstyflops.CandidateRegions()
+
+	candidates := []candidate{
+		{"Oak Ridge (TVA)", sites["Oak Ridge"], regions["Tennessee"], mustWSI("Oak Ridge")},
+		{"Lemont (nuclear belt)", sites["Lemont"], regions["Illinois"], mustWSI("Lemont")},
+		{"Bologna (hydro imports)", sites["Bologna"], regions["Italy"], mustWSI("Bologna")},
+		// Hypothetical new basins: reuse paper climatologies with the
+		// candidate grids a planner would actually compare.
+		{"Columbia basin (PNW hydro)", pnwSite(), extra[0], 0.18},
+		{"Texas plains (gas+wind)", texasSite(), extra[1], 0.45},
+		{"Arizona desert (solar+nuclear)", azSite(), extra[2], 0.92},
+	}
+
+	// Prototype machine: a Polaris-like 10 MW system relocated to each
+	// candidate site.
+	base, err := thirstyflops.SystemConfig("Polaris")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	verdicts := make([]verdict, 0, len(candidates))
+	for _, cand := range candidates {
+		cfg := base
+		cfg.System.Name = "NewCenter@" + cand.name
+		cfg.System.PeakPower = 10e6 // 10 MW
+		cfg.Site = cand.site
+		cfg.Region = cand.region
+		cfg.Scarcity = thirstyflops.ScarcityProfile{Direct: cand.scarcity}
+		a, err := cfg.Assess()
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, _, wi := a.WaterIntensity()
+		verdicts = append(verdicts, verdict{
+			name:     cand.name,
+			waterWI:  float64(wi),
+			adjWI:    float64(a.AdjustedWaterIntensity(cfg.Scarcity)),
+			carbonCI: float64(a.MeanCarbonIntensity()),
+			annualL:  float64(a.Operational()),
+		})
+	}
+
+	printRanking("raw water intensity (L/kWh)", verdicts, func(v verdict) float64 { return v.waterWI })
+	printRanking("scarcity-adjusted water intensity", verdicts, func(v verdict) float64 { return v.adjWI })
+	printRanking("carbon intensity (gCO2/kWh)", verdicts, func(v verdict) float64 { return v.carbonCI })
+
+	fmt.Println("planner's dilemma: the best-water, best-adjusted-water, and best-carbon sites differ —")
+	fmt.Println("water-scarcity-unaware site selection is suboptimal (paper Takeaways 2 and 6).")
+}
+
+func printRanking(title string, vs []verdict, metric func(verdict) float64) {
+	sorted := append([]verdict(nil), vs...)
+	sort.Slice(sorted, func(i, j int) bool { return metric(sorted[i]) < metric(sorted[j]) })
+	fmt.Printf("\n== ranked by %s (best first) ==\n", title)
+	for i, v := range sorted {
+		fmt.Printf("  %d. %-28s %8.2f   (annual water %.0f ML)\n",
+			i+1, v.name, metric(v), v.annualL/1e6)
+	}
+}
+
+func mustWSI(site string) thirstyflops.WSI {
+	w, err := thirstyflops.SiteScarcity(site)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return w
+}
+
+// Hypothetical site climatologies for the non-paper basins, built through
+// the public Site type.
+func pnwSite() thirstyflops.Site {
+	return thirstyflops.Site{
+		Name: "Columbia", Country: "US", Lat: 46.2, Lon: -119.1,
+		MeanTemp: 12, SeasonalAmp: 10, DiurnalAmp: 6,
+		MeanRH: 60, SeasonalRHAmp: 10, WarmestDay: 205, NoiseStd: 1.8,
+	}
+}
+
+func texasSite() thirstyflops.Site {
+	return thirstyflops.Site{
+		Name: "Abilene", Country: "US", Lat: 32.4, Lon: -99.7,
+		MeanTemp: 18.5, SeasonalAmp: 10.5, DiurnalAmp: 7,
+		MeanRH: 60, SeasonalRHAmp: 6, WarmestDay: 205, NoiseStd: 2.0,
+	}
+}
+
+func azSite() thirstyflops.Site {
+	return thirstyflops.Site{
+		Name: "Phoenix", Country: "US", Lat: 33.4, Lon: -112.1,
+		MeanTemp: 23.5, SeasonalAmp: 10.5, DiurnalAmp: 7,
+		MeanRH: 35, SeasonalRHAmp: 8, WarmestDay: 200, NoiseStd: 1.6,
+	}
+}

@@ -1,0 +1,354 @@
+// Package core is ThirstyFLOPS itself: the water-footprint estimator that
+// composes the substrates (weather, WUE curve, grid simulation, demand
+// model, embodied model) into the paper's accounting identity
+//
+//	W = W_embodied + W_direct + W_indirect              (Eq. 1)
+//	W_direct   = E · WUE                                (Eq. 6)
+//	W_indirect = E · PUE · EWF                          (Eq. 7)
+//	WI         = WUE + PUE · EWF                        (Eq. 8)
+//	WI_WSI     = WI · WSI                               (Eq. 9)
+//
+// along with the scenario engine (Fig. 14), the embodied-vs-operational
+// ratio analysis (Fig. 4), and the water-withdrawal extension (Table 3).
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"thirstyflops/internal/embodied"
+	"thirstyflops/internal/energy"
+	"thirstyflops/internal/hardware"
+	"thirstyflops/internal/jobs"
+	"thirstyflops/internal/stats"
+	"thirstyflops/internal/units"
+	"thirstyflops/internal/weather"
+	"thirstyflops/internal/wsi"
+	"thirstyflops/internal/wue"
+)
+
+// Config wires one HPC system to its site, grid, cooling curve, demand
+// model, and embodied parameters. Table 2 is the checklist of everything
+// gathered here.
+type Config struct {
+	System   hardware.System
+	Site     weather.Site
+	Region   energy.Region
+	Curve    wue.Curve
+	Demand   jobs.DemandModel
+	Embodied embodied.Params
+	Scarcity wsi.Profile
+	Seed     uint64
+	Year     int
+}
+
+// ConfigFor assembles the full configuration for a bundled system: one of
+// the four Table 1 systems or a Sec. 6(b) outlook system ("Aurora",
+// "El Capitan").
+func ConfigFor(systemName string) (Config, error) {
+	sys, err := hardware.AnySystemByName(systemName)
+	if err != nil {
+		return Config{}, err
+	}
+	site, ok := weather.AllSites()[sys.SiteName]
+	if !ok {
+		return Config{}, fmt.Errorf("core: no climatology for site %q", sys.SiteName)
+	}
+	region, ok := energy.AllRegions()[sys.Region]
+	if !ok {
+		return Config{}, fmt.Errorf("core: no grid region %q", sys.Region)
+	}
+	siteWSI, err := wsi.SiteWSI(sys.SiteName)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		System:   sys,
+		Site:     site,
+		Region:   region,
+		Curve:    wue.DefaultCurve(),
+		Demand:   jobs.DefaultDemand(),
+		Embodied: embodied.DefaultParams(),
+		Scarcity: wsi.Profile{Direct: siteWSI},
+		Seed:     42,
+		Year:     2023,
+	}, nil
+}
+
+// Validate checks the assembled configuration.
+func (c Config) Validate() error {
+	if err := c.System.Validate(); err != nil {
+		return err
+	}
+	if err := c.Site.Validate(); err != nil {
+		return err
+	}
+	if err := c.Region.Validate(); err != nil {
+		return err
+	}
+	if err := c.Curve.Validate(); err != nil {
+		return err
+	}
+	if err := c.Demand.Validate(); err != nil {
+		return err
+	}
+	if err := c.Embodied.Validate(); err != nil {
+		return err
+	}
+	return c.Scarcity.Validate()
+}
+
+// Annual is one assessed year of operation: hourly series plus aggregate
+// footprints. All downstream figures draw from this struct.
+type Annual struct {
+	System string
+	PUE    units.PUE
+
+	// Hourly series (stats.HoursPerYear long).
+	EnergySeries []units.KWh        // IT energy per hour
+	WUESeries    []units.LPerKWh    // direct water intensity
+	EWFSeries    []units.LPerKWh    // grid energy water factor
+	CarbonSeries []units.GCO2PerKWh // grid carbon intensity
+
+	// Aggregates.
+	Energy   units.KWh // IT energy over the year
+	Direct   units.Liters
+	Indirect units.Liters
+	Carbon   units.GramsCO2
+}
+
+// Assess simulates one year: site weather drives WUE, the regional grid
+// drives EWF and carbon intensity, the demand model drives energy, and
+// the paper's equations combine them hour by hour.
+func (c Config) Assess() (Annual, error) {
+	if err := c.Validate(); err != nil {
+		return Annual{}, err
+	}
+	wx := c.Site.HourlyYear(c.Seed)
+	grid := c.Region.HourlyYear(c.Seed)
+	util := c.Demand.UtilizationYear(c.Seed)
+	if len(wx) != len(grid) || len(grid) != len(util) {
+		return Annual{}, fmt.Errorf("core: substrate series lengths differ")
+	}
+
+	a := Annual{
+		System:       c.System.Name,
+		PUE:          c.System.PUE,
+		EnergySeries: make([]units.KWh, len(util)),
+		WUESeries:    make([]units.LPerKWh, len(util)),
+		EWFSeries:    make([]units.LPerKWh, len(util)),
+		CarbonSeries: make([]units.GCO2PerKWh, len(util)),
+	}
+	pue := float64(c.System.PUE)
+	var direct, indirect, carbon float64
+	for h := range util {
+		e := c.System.PowerAt(util[h]).EnergyOver(1)
+		w := c.Curve.At(wx[h].WetBulb)
+		a.EnergySeries[h] = e
+		a.WUESeries[h] = w
+		a.EWFSeries[h] = grid[h].EWF
+		a.CarbonSeries[h] = grid[h].Carbon
+
+		a.Energy += e
+		direct += float64(e) * float64(w)
+		indirect += float64(e) * pue * float64(grid[h].EWF)
+		carbon += float64(e) * pue * float64(grid[h].Carbon)
+	}
+	a.Direct = units.Liters(direct)
+	a.Indirect = units.Liters(indirect)
+	a.Carbon = units.GramsCO2(carbon)
+	return a, nil
+}
+
+// Operational is the total operational water footprint (Eq. 1's
+// W_direct + W_indirect).
+func (a Annual) Operational() units.Liters { return a.Direct + a.Indirect }
+
+// DirectShare is the direct fraction of the operational footprint — the
+// Fig. 7 pies.
+func (a Annual) DirectShare() float64 {
+	op := a.Operational()
+	if op == 0 {
+		return 0
+	}
+	return float64(a.Direct) / float64(op)
+}
+
+// WaterIntensity returns the annual-mean direct, indirect, and total water
+// intensity (Eq. 8), energy-unweighted as the paper plots them.
+func (a Annual) WaterIntensity() (direct, indirect, total units.LPerKWh) {
+	if len(a.WUESeries) == 0 {
+		return 0, 0, 0
+	}
+	var d, i float64
+	for h := range a.WUESeries {
+		d += float64(a.WUESeries[h])
+		i += float64(a.PUE) * float64(a.EWFSeries[h])
+	}
+	n := float64(len(a.WUESeries))
+	direct = units.LPerKWh(d / n)
+	indirect = units.LPerKWh(i / n)
+	return direct, indirect, direct + indirect
+}
+
+// MeanCarbonIntensity is the annual-mean grid carbon intensity.
+func (a Annual) MeanCarbonIntensity() units.GCO2PerKWh {
+	if len(a.CarbonSeries) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range a.CarbonSeries {
+		s += float64(v)
+	}
+	return units.GCO2PerKWh(s / float64(len(a.CarbonSeries)))
+}
+
+// AdjustedWaterIntensity applies the scarcity profile (Eq. 9, extended to
+// split direct/indirect WSIs as in Fig. 9).
+func (a Annual) AdjustedWaterIntensity(p wsi.Profile) units.LPerKWh {
+	d, i, _ := a.WaterIntensity()
+	return p.AdjustedIntensity(d, i)
+}
+
+// HourlyWaterIntensity returns the WI(t) series (Eq. 8 per hour), the
+// input to the Fig. 13 start-time ranking.
+func (a Annual) HourlyWaterIntensity() []units.LPerKWh {
+	out := make([]units.LPerKWh, len(a.WUESeries))
+	for h := range out {
+		out[h] = a.WUESeries[h] + units.LPerKWh(float64(a.PUE)*float64(a.EWFSeries[h]))
+	}
+	return out
+}
+
+// Monthly aggregates for the Fig. 11/12 time-series comparisons.
+type Monthly struct {
+	Energy          []float64 // monthly IT energy, kWh
+	Water           []float64 // monthly operational water, L
+	WaterIntensity  []float64 // monthly mean WI, L/kWh
+	DirectIntensity []float64
+	IndirectIntens  []float64
+	CarbonIntensity []float64 // monthly mean CI, g/kWh
+}
+
+// Monthly reduces the hourly series to per-month aggregates.
+func (a Annual) Monthly() Monthly {
+	n := len(a.EnergySeries)
+	e := make([]float64, n)
+	w := make([]float64, n)
+	wiD := make([]float64, n)
+	wiI := make([]float64, n)
+	ci := make([]float64, n)
+	pue := float64(a.PUE)
+	for h := 0; h < n; h++ {
+		eh := float64(a.EnergySeries[h])
+		d := float64(a.WUESeries[h])
+		i := pue * float64(a.EWFSeries[h])
+		e[h] = eh
+		w[h] = eh * (d + i)
+		wiD[h] = d
+		wiI[h] = i
+		ci[h] = float64(a.CarbonSeries[h])
+	}
+	m := Monthly{
+		Energy:          scaleMonths(stats.MonthlyMeans(e)),
+		Water:           scaleMonths(stats.MonthlyMeans(w)),
+		DirectIntensity: stats.MonthlyMeans(wiD),
+		IndirectIntens:  stats.MonthlyMeans(wiI),
+		CarbonIntensity: stats.MonthlyMeans(ci),
+	}
+	m.WaterIntensity = make([]float64, len(m.DirectIntensity))
+	for i := range m.WaterIntensity {
+		m.WaterIntensity[i] = m.DirectIntensity[i] + m.IndirectIntens[i]
+	}
+	return m
+}
+
+// scaleMonths converts per-month hourly means into per-month totals.
+func scaleMonths(means []float64) []float64 {
+	hours := []float64{744, 672, 744, 720, 744, 720, 744, 744, 720, 744, 720, 744}
+	out := make([]float64, len(means))
+	for i := range means {
+		out[i] = means[i] * hours[i%12]
+	}
+	return out
+}
+
+// EmbodiedBreakdown computes the system's Fig. 3 embodied footprint.
+func (c Config) EmbodiedBreakdown() (embodied.Breakdown, error) {
+	return embodied.SystemBreakdown(c.System, c.Embodied)
+}
+
+// WriteSeriesCSV exports the assessed hourly series as CSV
+// (hour, energy_kwh, wue, ewf, wi, carbon) for external plotting.
+func (a Annual) WriteSeriesCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# system=%s pue=%.3f\n", a.System, float64(a.PUE)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(bw, "hour,energy_kwh,wue_l_per_kwh,ewf_l_per_kwh,wi_l_per_kwh,carbon_g_per_kwh"); err != nil {
+		return err
+	}
+	pue := float64(a.PUE)
+	for h := range a.EnergySeries {
+		wi := float64(a.WUESeries[h]) + pue*float64(a.EWFSeries[h])
+		if _, err := fmt.Fprintf(bw, "%d,%.3f,%.4f,%.4f,%.4f,%.2f\n",
+			h, float64(a.EnergySeries[h]), float64(a.WUESeries[h]),
+			float64(a.EWFSeries[h]), wi, float64(a.CarbonSeries[h])); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Footprint is the complete Eq. 1 decomposition over a system lifetime.
+type Footprint struct {
+	System   string
+	Years    float64
+	Embodied units.Liters
+	Direct   units.Liters
+	Indirect units.Liters
+}
+
+// Total is Eq. 1.
+func (f Footprint) Total() units.Liters { return f.Embodied + f.Direct + f.Indirect }
+
+// Operational is the lifetime operational component.
+func (f Footprint) Operational() units.Liters { return f.Direct + f.Indirect }
+
+// Lifetime assesses a full system life: one simulated year of operation
+// scaled to the given lifetime plus the one-time embodied footprint.
+func (c Config) Lifetime(years float64) (Footprint, error) {
+	if years <= 0 {
+		return Footprint{}, fmt.Errorf("core: non-positive lifetime")
+	}
+	a, err := c.Assess()
+	if err != nil {
+		return Footprint{}, err
+	}
+	b, err := c.EmbodiedBreakdown()
+	if err != nil {
+		return Footprint{}, err
+	}
+	return Footprint{
+		System:   c.System.Name,
+		Years:    years,
+		Embodied: b.Total(),
+		Direct:   a.Direct * units.Liters(years),
+		Indirect: a.Indirect * units.Liters(years),
+	}, nil
+}
+
+// AllConfigs returns the ready-made configs for the four paper systems in
+// Table 1 order.
+func AllConfigs() ([]Config, error) {
+	out := make([]Config, 0, 4)
+	for _, s := range hardware.Systems() {
+		c, err := ConfigFor(s.Name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

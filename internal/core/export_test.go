@@ -1,0 +1,119 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"thirstyflops/internal/jobs"
+	"thirstyflops/internal/stats"
+	"thirstyflops/internal/units"
+	"thirstyflops/internal/weather"
+	"thirstyflops/internal/wue"
+)
+
+func TestWriteSeriesCSV(t *testing.T) {
+	a := mustAssess(t, "Polaris")
+	var buf bytes.Buffer
+	if err := a.WriteSeriesCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// metadata + header + 8760 rows.
+	if len(lines) != 2+stats.HoursPerYear {
+		t.Fatalf("line count = %d, want %d", len(lines), 2+stats.HoursPerYear)
+	}
+	if !strings.Contains(lines[0], "system=Polaris") {
+		t.Error("metadata missing")
+	}
+	if !strings.HasPrefix(lines[1], "hour,energy_kwh") {
+		t.Errorf("header wrong: %q", lines[1])
+	}
+	// Every data row has 6 comma-separated fields.
+	for _, line := range lines[2:5] {
+		if strings.Count(line, ",") != 5 {
+			t.Errorf("row has wrong arity: %q", line)
+		}
+	}
+}
+
+func TestTowerYearBalanceIntegration(t *testing.T) {
+	// Drive the tower mass balance with assessed energy and site weather:
+	// consumption and blowdown must be positive, and blowdown equals
+	// evaporation over (cycles-1).
+	cfg := mustConfig(t, "Frontier")
+	a, err := cfg.Assess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wx := cfg.Site.HourlyYear(cfg.Seed)
+	tower := wue.DefaultTower()
+	bal, err := tower.YearBalance(a.EnergySeries, cfg.System.PUE, weather.WetBulbSeries(wx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal.Consumption() <= 0 || bal.Blowdown <= 0 {
+		t.Fatal("degenerate annual balance")
+	}
+	ratio := float64(bal.Blowdown) / float64(bal.Evaporation)
+	want := 1.0 / (tower.CyclesOfConcentration - 1)
+	if ratio < want*0.999 || ratio > want*1.001 {
+		t.Errorf("blowdown/evaporation = %v, want %v", ratio, want)
+	}
+	// Feed the tower's own blowdown into the withdrawal model: gross
+	// withdrawal must exceed consumption by exactly the unreused blowdown.
+	p := DefaultWithdrawalParams(bal.Blowdown)
+	w, err := ComputeWithdrawal(bal.Consumption(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := float64(w.Gross) - float64(w.Consumption)
+	wantExtra := float64(bal.Blowdown) * (1 - p.ReuseRate)
+	if extra < wantExtra*0.999 || extra > wantExtra*1.001 {
+		t.Errorf("withdrawal extra = %v, want %v", extra, wantExtra)
+	}
+}
+
+func TestTowerYearBalanceErrors(t *testing.T) {
+	tower := wue.DefaultTower()
+	if _, err := tower.YearBalance(nil, 0.5, nil); err == nil {
+		t.Error("invalid PUE accepted")
+	}
+	if _, err := tower.YearBalance(make([]units.KWh, 2), 1.2, nil); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	bad := wue.Tower{CyclesOfConcentration: 1}
+	if _, err := bad.YearBalance(nil, 1.2, nil); err == nil {
+		t.Error("invalid tower accepted")
+	}
+}
+
+func TestEnergyEstimationPathsAgreeInShape(t *testing.T) {
+	// The TDP path bounds the measured-power path from above for
+	// TDP-overstated systems, and both respond identically to utilization.
+	cfg := mustConfig(t, "Frontier")
+	util := cfg.Demand.UtilizationYear(cfg.Seed)
+	measured := jobs.EnergyYear(cfg.System, util)
+	tdp := jobs.EnergyYearTDP(cfg.System, util)
+	if len(measured) != len(tdp) {
+		t.Fatal("length mismatch")
+	}
+	var mSum, tSum float64
+	for h := range measured {
+		mSum += float64(measured[h])
+		tSum += float64(tdp[h])
+	}
+	if tSum <= mSum {
+		t.Errorf("TDP estimate %v should exceed measured-peak estimate %v for Frontier", tSum, mSum)
+	}
+	// Correlated hour to hour (both linear in the same utilization).
+	mf := make([]float64, len(measured))
+	tf := make([]float64, len(tdp))
+	for h := range measured {
+		mf[h] = float64(measured[h])
+		tf[h] = float64(tdp[h])
+	}
+	if r := stats.Pearson(mf, tf); r < 0.999 {
+		t.Errorf("paths decorrelated: r=%v", r)
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"sort"
+
+	"thirstyflops/internal/hardware"
+	"thirstyflops/internal/stats"
+	"thirstyflops/internal/units"
+)
+
+// OutlookConfigs returns ready-made configurations for the Sec. 6(b)
+// outlook systems (Aurora, El Capitan) — the machines the paper names as
+// the natural next applications of ThirstyFLOPS.
+func OutlookConfigs() ([]Config, error) {
+	out := make([]Config, 0, 2)
+	for _, s := range hardware.OutlookSystems() {
+		c, err := ConfigFor(s.Name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Water500Extended ranks the Table 1 systems together with the outlook
+// systems — six machines, most water-efficient first.
+func Water500Extended() ([]Water500Entry, error) {
+	cfgs, err := AllConfigs()
+	if err != nil {
+		return nil, err
+	}
+	outlook, err := OutlookConfigs()
+	if err != nil {
+		return nil, err
+	}
+	cfgs = append(cfgs, outlook...)
+
+	entries := make([]Water500Entry, 0, len(cfgs))
+	for _, c := range cfgs {
+		a, err := c.Assess()
+		if err != nil {
+			return nil, err
+		}
+		water := a.Operational()
+		eflops := c.System.RmaxPFLOPS * secondsPerYear / 1000
+		entries = append(entries, Water500Entry{
+			System:         c.System.Name,
+			RmaxPFLOPS:     c.System.RmaxPFLOPS,
+			AnnualWater:    water,
+			AdjustedWater:  units.Liters(float64(water) * float64(c.Scarcity.Direct)),
+			WaterPerPF:     float64(water) / c.System.RmaxPFLOPS,
+			LitersPerEFLOP: float64(water) / eflops,
+		})
+	}
+	raw := make([]float64, len(entries))
+	adj := make([]float64, len(entries))
+	for i, e := range entries {
+		raw[i] = e.WaterPerPF
+		adj[i] = float64(e.AdjustedWater) / e.RmaxPFLOPS
+	}
+	for i, r := range stats.Ranks(raw) {
+		entries[i].Rank = r
+	}
+	for i, r := range stats.Ranks(adj) {
+		entries[i].AdjustedRank = r
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].Rank < entries[b].Rank })
+	return entries, nil
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestOutlookConfigs(t *testing.T) {
+	cfgs, err := OutlookConfigs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 2 {
+		t.Fatalf("outlook configs = %d, want 2", len(cfgs))
+	}
+	for _, c := range cfgs {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.System.Name, err)
+		}
+		a, err := c.Assess()
+		if err != nil {
+			t.Fatalf("%s: %v", c.System.Name, err)
+		}
+		if a.Operational() <= 0 {
+			t.Errorf("%s: degenerate assessment", c.System.Name)
+		}
+		bd, err := c.EmbodiedBreakdown()
+		if err != nil {
+			t.Fatalf("%s: %v", c.System.Name, err)
+		}
+		if bd.Total() <= 0 {
+			t.Errorf("%s: no embodied footprint", c.System.Name)
+		}
+	}
+}
+
+func TestElCapitanBreakdownAPUOnly(t *testing.T) {
+	cfg := mustConfig(t, "El Capitan")
+	bd, err := cfg.EmbodiedBreakdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Of(0) != 0 { // CompCPU
+		t.Error("APU-only system should carry zero discrete-CPU water")
+	}
+	if bd.Of(1) <= 0 { // CompGPU
+		t.Error("MI300A water missing")
+	}
+	if bd.Of(2) <= 0 { // CompDRAM: the on-package HBM
+		t.Error("HBM water should land under DRAM")
+	}
+}
+
+func TestWater500ExtendedRanking(t *testing.T) {
+	entries, err := Water500Extended()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 6 {
+		t.Fatalf("extended entries = %d, want 6", len(entries))
+	}
+	// The two newest machines top the raw ranking.
+	top2 := map[string]bool{entries[0].System: true, entries[1].System: true}
+	if !top2["El Capitan"] || !top2["Frontier"] {
+		t.Errorf("top-2 = %v, want El Capitan and Frontier", top2)
+	}
+	// Scarcity adjustment must reorder relative to the raw ranking for at
+	// least one system (Fig. 8's lesson at exascale).
+	changed := false
+	for _, e := range entries {
+		if e.Rank != e.AdjustedRank {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Error("scarcity adjustment changed no ranks")
+	}
+	// The paper four remain a subset.
+	names := map[string]bool{}
+	for _, e := range entries {
+		names[e.System] = true
+	}
+	for _, want := range []string{"Marconi", "Fugaku", "Polaris", "Frontier", "Aurora", "El Capitan"} {
+		if !names[want] {
+			t.Errorf("missing %s", want)
+		}
+	}
+}

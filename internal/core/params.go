@@ -1,0 +1,66 @@
+package core
+
+// Parameter describes one row of the paper's Table 2: an input the tool
+// needs, whether the user supplies it or the tool derives it, its expected
+// range, and where to obtain it. The checklist is what an HPC operator
+// works through before running an assessment.
+type Parameter struct {
+	Name        string
+	Description string
+	Derived     bool // false = user input, true = derived by the tool
+	Range       string
+	Source      string
+	Unit        string
+	Group       string // "embodied" or "operational"
+}
+
+// Table2 returns the full parameter checklist, mirroring the paper's
+// Table 2 row for row.
+func Table2() []Parameter {
+	return []Parameter{
+		// Embodied parameters.
+		{"N_IC", "Number of ICs (CPU/GPU/memory/storage)", false, "9-26 (vary across hardware)", "hardware design", "count", "embodied"},
+		{"W_IC", "Packaging water overhead per IC", true, "0.6", "manufacturer sustainability reports", "L", "embodied"},
+		{"A_die", "Die size of processors (CPU/GPU)", false, "vary across hardware", "CPU/GPU design docs, WikiChip", "mm^2", "embodied"},
+		{"Yield", "Fab yield rate of hardware manufacturing", false, "0-1 (0.875 default)", "manufacturer", "fraction", "embodied"},
+		{"Location", "Manufacturing location of hardware", false, "TSMC or GlobalFoundries", "manufacturer", "site", "embodied"},
+		{"Process Node", "Semiconductor manufacturing process", false, "3-28 (vary across hardware)", "CPU/GPU design docs", "nm", "embodied"},
+		{"UPW", "Ultrapure water usage during manufacturing", true, "5.9-14.2 (vary across node)", "manufacturer / PPACE", "L/cm^2", "embodied"},
+		{"PCW", "Process cooling water during manufacturing", true, "vary across locations and node", "manufacturer", "L/cm^2", "embodied"},
+		{"WPA", "Water for power generation during manufacturing", true, "vary across locations and node", "fab grid EWF x energy", "L/cm^2", "embodied"},
+		{"WPC", "Water per capacity of DRAM, HDD, SSD", true, "0.8 (DRAM), 0.033 (HDD), 0.022 (SSD)", "manufacturer sustainability reports", "L/GB", "embodied"},
+		{"Capacity", "Capacity of DRAM, HDD, SSD", false, "vary across hardware", "system documentation", "GB", "embodied"},
+		// Operational parameters.
+		{"E", "Energy consumption", false, "vary across applications/hardware", "hardware profiling / power logs", "kWh", "operational"},
+		{"Wet bulb temperature", "Site wet-bulb temperature", false, "vary across HPC locations", "weather reports", "degC", "operational"},
+		{"WUE", "Water usage effectiveness", true, ">0.05", "wet-bulb temperature model", "L/kWh", "operational"},
+		{"PUE", "Power usage effectiveness", false, ">=1 (Marconi 1.25, Fugaku 1.4, Polaris 1.65, Frontier 1.05)", "HPC facility reports", "ratio", "operational"},
+		{"mix%", "Percentage energy mix usage", false, "0-100", "power grid operator", "%", "operational"},
+		{"EWF_energy", "Energy water factor of energy sources", true, "1-17", "environment reports (NREL/WRI)", "L/kWh", "operational"},
+		{"EWF", "Energy water factor of the HPC system", true, "vary across locations", "mix% x EWF_energy", "L/kWh", "operational"},
+		{"WSI_direct", "Direct water scarcity index", false, "0.1-100", "AWARE / Aqueduct reports", "index", "operational"},
+		{"WSI_indirect", "Indirect water scarcity index", false, "0.1-100", "WSI reports + power plant locations", "index", "operational"},
+	}
+}
+
+// Table2Inputs returns only the rows the user must supply.
+func Table2Inputs() []Parameter {
+	var out []Parameter
+	for _, p := range Table2() {
+		if !p.Derived {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Table2Derived returns only the rows the tool derives.
+func Table2Derived() []Parameter {
+	var out []Parameter
+	for _, p := range Table2() {
+		if p.Derived {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"thirstyflops/internal/units"
+)
+
+// RatioScenario parameterizes one Fig. 4 panel: a fixed EWF/WUE operating
+// point under which the embodied-to-operational ratio is swept across
+// manufacturing and operational water-scarcity indices.
+type RatioScenario struct {
+	Name  string
+	WUE   units.LPerKWh // direct water intensity of the case
+	EWF   units.LPerKWh // grid water factor of the case
+	PUE   units.PUE
+	Years float64 // system lifetime amortizing the embodied footprint
+}
+
+// HighWaterCase is Fig. 4's case (a): water-intensive generation and
+// unfavorable cooling weather. The ratio compares embodied water against
+// one year of operations, the paper's framing.
+func HighWaterCase() RatioScenario {
+	return RatioScenario{Name: "high EWF, high WUE", WUE: 8, EWF: 8, PUE: 1.3, Years: 1}
+}
+
+// LowWaterCase is Fig. 4's case (b): water-light generation and favorable
+// weather.
+func LowWaterCase() RatioScenario {
+	return RatioScenario{Name: "low EWF, low WUE", WUE: 0.5, EWF: 0.5, PUE: 1.3, Years: 1}
+}
+
+// RatioMap sweeps the scarcity-weighted embodied/operational ratio
+//
+//	ratio = (W_emb · WSI_mfg) / (W_op · WSI_op)
+//
+// over grids of manufacturing and operational WSIs. embodiedWater is the
+// one-time footprint; annualEnergy the yearly IT energy. Cells above 1
+// mean the embodied component dominates — the region below the paper's
+// blue line.
+func RatioMap(embodiedWater units.Liters, annualEnergy units.KWh, sc RatioScenario,
+	mfgWSIs, opWSIs []float64) ([][]float64, error) {
+	if embodiedWater <= 0 || annualEnergy <= 0 {
+		return nil, fmt.Errorf("core: ratio map needs positive footprints")
+	}
+	if sc.Years <= 0 {
+		return nil, fmt.Errorf("core: ratio map needs a positive lifetime")
+	}
+	wi := float64(sc.WUE) + float64(sc.PUE)*float64(sc.EWF)
+	opWater := float64(annualEnergy) * wi * sc.Years
+	if opWater <= 0 {
+		return nil, fmt.Errorf("core: degenerate operational footprint")
+	}
+	grid := make([][]float64, len(mfgWSIs))
+	for i, mw := range mfgWSIs {
+		if mw < 0 {
+			return nil, fmt.Errorf("core: negative manufacturing WSI")
+		}
+		grid[i] = make([]float64, len(opWSIs))
+		for j, ow := range opWSIs {
+			if ow <= 0 {
+				return nil, fmt.Errorf("core: non-positive operational WSI")
+			}
+			grid[i][j] = (float64(embodiedWater) * mw) / (opWater * ow)
+		}
+	}
+	return grid, nil
+}
+
+// DominanceFraction is the fraction of cells where the embodied footprint
+// reaches or exceeds the operational one (ratio >= 1) — the area below the
+// paper's blue boundary line.
+func DominanceFraction(grid [][]float64) float64 {
+	total, above := 0, 0
+	for _, row := range grid {
+		for _, v := range row {
+			total++
+			if v >= 1 {
+				above++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(above) / float64(total)
+}
+
+// LogSpace builds a logarithmically spaced axis from lo to hi (inclusive),
+// matching the AWARE 0.1-100 scales of the paper's WSI sweeps.
+func LogSpace(lo, hi float64, n int) []float64 {
+	if n < 2 || lo <= 0 || hi <= lo {
+		return nil
+	}
+	out := make([]float64, n)
+	llo, lhi := math.Log10(lo), math.Log10(hi)
+	for i := range out {
+		out[i] = math.Pow(10, llo+(lhi-llo)*float64(i)/float64(n-1))
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"thirstyflops/internal/units"
+)
+
+func TestLogSpace(t *testing.T) {
+	axis := LogSpace(0.1, 100, 4)
+	want := []float64{0.1, 1, 10, 100}
+	if len(axis) != 4 {
+		t.Fatalf("len = %d", len(axis))
+	}
+	for i := range want {
+		if math.Abs(axis[i]-want[i]) > 1e-9 {
+			t.Errorf("axis[%d] = %v, want %v", i, axis[i], want[i])
+		}
+	}
+	if LogSpace(0, 1, 3) != nil || LogSpace(1, 1, 3) != nil || LogSpace(0.1, 1, 1) != nil {
+		t.Error("degenerate axes should be nil")
+	}
+}
+
+func TestRatioMapBasics(t *testing.T) {
+	axis := LogSpace(0.1, 100, 8)
+	grid, err := RatioMap(1e6, 1e7, HighWaterCase(), axis, axis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 8 || len(grid[0]) != 8 {
+		t.Fatal("grid shape wrong")
+	}
+	// Ratio grows with manufacturing WSI (down rows) and shrinks with
+	// operational WSI (across columns).
+	for i := 1; i < 8; i++ {
+		if grid[i][0] <= grid[i-1][0] {
+			t.Error("ratio should grow with manufacturing WSI")
+		}
+		if grid[0][i] >= grid[0][i-1] {
+			t.Error("ratio should shrink with operational WSI")
+		}
+	}
+}
+
+func TestFig4CaseComparison(t *testing.T) {
+	// The paper: under high EWF/WUE (case a) the embodied-dominant region
+	// shrinks; under low EWF/WUE (case b) it expands.
+	axis := LogSpace(0.1, 100, 16)
+	emb := units.Liters(5e7)
+	energy := units.KWh(5e7)
+	high, err := RatioMap(emb, energy, HighWaterCase(), axis, axis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := RatioMap(emb, energy, LowWaterCase(), axis, axis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fHigh := DominanceFraction(high)
+	fLow := DominanceFraction(low)
+	if fLow <= fHigh {
+		t.Errorf("embodied-dominant area: low case %.2f should exceed high case %.2f", fLow, fHigh)
+	}
+	// Both cases should show a non-trivial boundary (not all-0 or all-1).
+	for name, f := range map[string]float64{"high": fHigh, "low": fLow} {
+		if f <= 0 || f >= 1 {
+			t.Errorf("%s case dominance fraction %.2f degenerate", name, f)
+		}
+	}
+}
+
+func TestFig4ScarcityFlip(t *testing.T) {
+	// Takeaway 2: water-scarce manufacturing + water-secure operations can
+	// flip embodied above operational even when raw volumes say otherwise.
+	sc := LowWaterCase()
+	emb := units.Liters(1e6)
+	e := units.KWh(1e6) // raw operational = 1e6 * (0.5+1.3*0.5)*6 = 6.9e6 L > embodied
+	grid, err := RatioMap(emb, e, sc, []float64{50}, []float64{0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid[0][0] <= 1 {
+		t.Errorf("scarcity-weighted ratio = %.2f, want > 1 (embodied dominates)", grid[0][0])
+	}
+	// Same volumes, reversed scarcity: operations dominate again.
+	grid2, _ := RatioMap(emb, e, sc, []float64{0.2}, []float64{50})
+	if grid2[0][0] >= 1 {
+		t.Errorf("reversed scarcity ratio = %.4f, want < 1", grid2[0][0])
+	}
+}
+
+func TestRatioMapErrors(t *testing.T) {
+	axis := []float64{1}
+	if _, err := RatioMap(0, 1, HighWaterCase(), axis, axis); err == nil {
+		t.Error("zero embodied accepted")
+	}
+	if _, err := RatioMap(1, 0, HighWaterCase(), axis, axis); err == nil {
+		t.Error("zero energy accepted")
+	}
+	sc := HighWaterCase()
+	sc.Years = 0
+	if _, err := RatioMap(1, 1, sc, axis, axis); err == nil {
+		t.Error("zero lifetime accepted")
+	}
+	if _, err := RatioMap(1, 1, HighWaterCase(), []float64{-1}, axis); err == nil {
+		t.Error("negative mfg WSI accepted")
+	}
+	if _, err := RatioMap(1, 1, HighWaterCase(), axis, []float64{0}); err == nil {
+		t.Error("zero op WSI accepted")
+	}
+}
+
+func TestDominanceFraction(t *testing.T) {
+	grid := [][]float64{{0.5, 2}, {3, 0.1}}
+	if f := DominanceFraction(grid); f != 0.5 {
+		t.Errorf("fraction = %v, want 0.5", f)
+	}
+	if DominanceFraction(nil) != 0 {
+		t.Error("empty grid should be 0")
+	}
+}
+
+// Property: ratio map is linear in the embodied footprint.
+func TestRatioLinearProperty(t *testing.T) {
+	axis := []float64{0.5, 5}
+	f := func(scale uint8) bool {
+		k := 1 + float64(scale%50)
+		g1, err1 := RatioMap(1e5, 1e6, HighWaterCase(), axis, axis)
+		g2, err2 := RatioMap(units.Liters(1e5*k), 1e6, HighWaterCase(), axis, axis)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range g1 {
+			for j := range g1[i] {
+				if math.Abs(g2[i][j]-k*g1[i][j]) > 1e-9*math.Max(1, g2[i][j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

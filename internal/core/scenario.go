@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"thirstyflops/internal/energy"
+	"thirstyflops/internal/units"
+)
+
+// ScenarioResult compares one Fig. 14 energy-sourcing scenario against the
+// current regional mix for a system: positive savings mean the scenario
+// reduces the footprint.
+type ScenarioResult struct {
+	System   string
+	Scenario energy.Scenario
+
+	Water  units.Liters   // annual operational water under the scenario
+	Carbon units.GramsCO2 // annual operational carbon under the scenario
+
+	WaterSavingPct  float64 // vs. the current-mix baseline
+	CarbonSavingPct float64
+}
+
+// ScenarioSweep evaluates the five Fig. 14 scenarios for the configured
+// system. The direct (cooling) footprint is unchanged across scenarios;
+// the indirect footprint and the carbon footprint are recomputed with the
+// scenario mix priced at the median per-source factors (a hypothetical
+// fleet, so regional overrides do not apply).
+func (c Config) ScenarioSweep() ([]ScenarioResult, error) {
+	a, err := c.Assess()
+	if err != nil {
+		return nil, err
+	}
+	baseWater := a.Operational()
+	baseCarbon := a.Carbon
+	if baseWater <= 0 || baseCarbon <= 0 {
+		return nil, fmt.Errorf("core: degenerate baseline for %s", c.System.Name)
+	}
+	pue := float64(c.System.PUE)
+	facility := float64(a.Energy) * pue
+
+	out := make([]ScenarioResult, 0, 5)
+	for _, sc := range energy.AllScenarios() {
+		var water units.Liters
+		var carbon units.GramsCO2
+		if sc == energy.CurrentMixScenario {
+			water, carbon = baseWater, baseCarbon
+		} else {
+			mix := sc.MixFor(nil)
+			water = a.Direct + units.Liters(facility*float64(mix.EWF(nil)))
+			carbon = units.GramsCO2(facility * float64(mix.CarbonIntensity(nil)))
+		}
+		out = append(out, ScenarioResult{
+			System:          c.System.Name,
+			Scenario:        sc,
+			Water:           water,
+			Carbon:          carbon,
+			WaterSavingPct:  100 * (float64(baseWater) - float64(water)) / float64(baseWater),
+			CarbonSavingPct: 100 * (float64(baseCarbon) - float64(carbon)) / float64(baseCarbon),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"thirstyflops/internal/energy"
+)
+
+func sweepFor(t *testing.T, name string) map[energy.Scenario]ScenarioResult {
+	t.Helper()
+	c := mustConfig(t, name)
+	rs, err := c.ScenarioSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[energy.Scenario]ScenarioResult{}
+	for _, r := range rs {
+		out[r.Scenario] = r
+	}
+	return out
+}
+
+func TestScenarioBaselineIsNeutral(t *testing.T) {
+	rs := sweepFor(t, "Marconi")
+	base := rs[energy.CurrentMixScenario]
+	if base.WaterSavingPct != 0 || base.CarbonSavingPct != 0 {
+		t.Errorf("baseline savings should be zero: %+v", base)
+	}
+	if len(rs) != 5 {
+		t.Errorf("scenario count = %d, want 5", len(rs))
+	}
+}
+
+func TestFig14CarbonObservations(t *testing.T) {
+	for _, name := range []string{"Marconi", "Fugaku", "Polaris", "Frontier"} {
+		rs := sweepFor(t, name)
+		// Observation 1: nuclear yields consistently >80 % carbon savings.
+		if s := rs[energy.Nuclear100Scenario].CarbonSavingPct; s < 80 {
+			t.Errorf("%s: nuclear carbon saving %.0f%%, want > 80%%", name, s)
+		}
+		// Clean renewables land in the same league.
+		if s := rs[energy.CleanRenewableScenario].CarbonSavingPct; s < 80 {
+			t.Errorf("%s: renewable carbon saving %.0f%%, want > 80%%", name, s)
+		}
+		// Coal increases carbon by more than 90 % everywhere (paper: -94
+		// to -260).
+		if s := rs[energy.Coal100Scenario].CarbonSavingPct; s > -90 {
+			t.Errorf("%s: coal carbon 'saving' %.0f%%, want < -90%%", name, s)
+		}
+	}
+}
+
+func TestFig14WaterLocationDependence(t *testing.T) {
+	// Observation 2: nuclear's water impact is location-dependent —
+	// it saves water at Marconi and Frontier but costs water at Fugaku
+	// and Polaris.
+	for _, name := range []string{"Marconi", "Frontier"} {
+		rs := sweepFor(t, name)
+		if s := rs[energy.Nuclear100Scenario].WaterSavingPct; s <= 0 {
+			t.Errorf("%s: nuclear water saving %.0f%%, want positive", name, s)
+		}
+	}
+	for _, name := range []string{"Fugaku", "Polaris"} {
+		rs := sweepFor(t, name)
+		if s := rs[energy.Nuclear100Scenario].WaterSavingPct; s >= 0 {
+			t.Errorf("%s: nuclear water saving %.0f%%, want negative", name, s)
+		}
+	}
+}
+
+func TestFig14HydroWaterPenalty(t *testing.T) {
+	// Water-intensive renewables raise the water footprint by over 60 %
+	// at every site.
+	for _, name := range []string{"Marconi", "Fugaku", "Polaris", "Frontier"} {
+		rs := sweepFor(t, name)
+		if s := rs[energy.WaterIntensiveRenewableScenario].WaterSavingPct; s > -60 {
+			t.Errorf("%s: hydro-mix water 'saving' %.0f%%, want < -60%%", name, s)
+		}
+	}
+}
+
+func TestFig14CleanRenewableWaterWin(t *testing.T) {
+	// Solar/wind mixes save water everywhere (tiny EWFs).
+	for _, name := range []string{"Marconi", "Fugaku", "Polaris", "Frontier"} {
+		rs := sweepFor(t, name)
+		if s := rs[energy.CleanRenewableScenario].WaterSavingPct; s <= 0 {
+			t.Errorf("%s: clean renewable water saving %.0f%%, want positive", name, s)
+		}
+	}
+}
+
+func TestScenarioDirectUnchanged(t *testing.T) {
+	// Scenarios only change the generation mix, so the direct (cooling)
+	// footprint is identical across them; differences come from indirect.
+	c := mustConfig(t, "Frontier")
+	a, err := c.Assess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := sweepFor(t, "Frontier")
+	for sc, r := range rs {
+		if float64(r.Water) < float64(a.Direct) {
+			t.Errorf("%v: scenario water %.0f below the direct floor %.0f", sc, float64(r.Water), float64(a.Direct))
+		}
+	}
+}

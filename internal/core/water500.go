@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"thirstyflops/internal/stats"
+	"thirstyflops/internal/units"
+)
+
+// Water500Entry is one system's row in the water-efficiency ranking the
+// paper proposes in Sec. 6(b): a Water500 alongside the performance-based
+// TOP500. Systems are ranked by operational water consumed per unit of
+// delivered performance; a scarcity-adjusted ranking sits alongside it.
+type Water500Entry struct {
+	System     string
+	RmaxPFLOPS float64
+
+	AnnualWater   units.Liters // operational, one simulated year
+	AdjustedWater units.Liters // scaled by the site scarcity profile
+
+	// WaterPerPF is annual litres per PFLOP/s of Rmax — the ranking key.
+	WaterPerPF float64
+	// LitersPerEFLOP is litres per exaFLOP of work, assuming the machine
+	// sustained Rmax for the year.
+	LitersPerEFLOP float64
+
+	Rank         int // 1 = most water-efficient
+	AdjustedRank int // rank after scarcity weighting
+}
+
+const secondsPerYear = 365 * 24 * 3600.0
+
+// Water500 assesses every bundled system and returns the efficiency
+// ranking, most efficient first.
+func Water500() ([]Water500Entry, error) {
+	cfgs, err := AllConfigs()
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]Water500Entry, 0, len(cfgs))
+	for _, c := range cfgs {
+		if c.System.RmaxPFLOPS <= 0 {
+			return nil, fmt.Errorf("core: %s has no Rmax for Water500", c.System.Name)
+		}
+		a, err := c.Assess()
+		if err != nil {
+			return nil, err
+		}
+		water := a.Operational()
+		adj := units.Liters(float64(water) * float64(c.Scarcity.Direct))
+		// Work delivered at sustained Rmax over the year, in exaFLOPs:
+		// PF/s * s / 1000.
+		eflops := c.System.RmaxPFLOPS * secondsPerYear / 1000
+		entries = append(entries, Water500Entry{
+			System:         c.System.Name,
+			RmaxPFLOPS:     c.System.RmaxPFLOPS,
+			AnnualWater:    water,
+			AdjustedWater:  adj,
+			WaterPerPF:     float64(water) / c.System.RmaxPFLOPS,
+			LitersPerEFLOP: float64(water) / eflops,
+		})
+	}
+	raw := make([]float64, len(entries))
+	adj := make([]float64, len(entries))
+	for i, e := range entries {
+		raw[i] = e.WaterPerPF
+		adj[i] = float64(e.AdjustedWater) / e.RmaxPFLOPS
+	}
+	for i, r := range stats.Ranks(raw) {
+		entries[i].Rank = r
+	}
+	for i, r := range stats.Ranks(adj) {
+		entries[i].AdjustedRank = r
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].Rank < entries[b].Rank })
+	return entries, nil
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWater500Basics(t *testing.T) {
+	entries, err := Water500()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("entry count = %d, want 4", len(entries))
+	}
+	// Sorted by rank, ranks a permutation of 1..4.
+	seen := map[int]bool{}
+	for i, e := range entries {
+		if e.Rank != i+1 {
+			t.Errorf("entry %d has rank %d (not sorted)", i, e.Rank)
+		}
+		if seen[e.AdjustedRank] || e.AdjustedRank < 1 || e.AdjustedRank > 4 {
+			t.Errorf("adjusted rank %d invalid or duplicated", e.AdjustedRank)
+		}
+		seen[e.AdjustedRank] = true
+		if e.AnnualWater <= 0 || e.WaterPerPF <= 0 || e.LitersPerEFLOP <= 0 {
+			t.Errorf("%s: non-positive metrics", e.System)
+		}
+		if e.AdjustedWater >= e.AnnualWater {
+			t.Errorf("%s: sub-1 AWARE factors should shrink adjusted water", e.System)
+		}
+	}
+}
+
+func TestWater500FrontierMostEfficient(t *testing.T) {
+	// Frontier delivers ~1.2 EF on ~21 MW: by far the most compute per
+	// litre despite the largest absolute consumption.
+	entries, err := Water500()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries[0].System != "Frontier" {
+		t.Errorf("rank 1 = %s, want Frontier", entries[0].System)
+	}
+	if entries[len(entries)-1].System != "Marconi" {
+		t.Errorf("last rank = %s, want Marconi (oldest accelerators)", entries[len(entries)-1].System)
+	}
+}
+
+func TestWater500MetricConsistency(t *testing.T) {
+	entries, err := Water500()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		// WaterPerPF and LitersPerEFLOP measure the same thing on
+		// different scales: water/PF = L/EFLOP * (EFLOPs per PF-year).
+		eflopsPerPFYear := secondsPerYear / 1000
+		want := e.LitersPerEFLOP * eflopsPerPFYear
+		if math.Abs(e.WaterPerPF-want) > 1e-6*want {
+			t.Errorf("%s: metric inconsistency: %v vs %v", e.System, e.WaterPerPF, want)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"thirstyflops/internal/units"
+)
+
+func TestWithdrawalParamsValidate(t *testing.T) {
+	if err := DefaultWithdrawalParams(1000).Validate(); err != nil {
+		t.Errorf("default params invalid: %v", err)
+	}
+	bad := []WithdrawalParams{
+		{ActualDischarge: -1, OutfallFactor: 1, PollutantHazard: 1},
+		{ActualDischarge: 1, OutfallFactor: -1, PollutantHazard: 1},
+		{ActualDischarge: 1, OutfallFactor: 1, PollutantHazard: -1},
+		{ActualDischarge: 1, OutfallFactor: 1, PollutantHazard: 1, ReuseRate: 1.5},
+		{ActualDischarge: 1, OutfallFactor: 1, PollutantHazard: 1, PotableFraction: -0.1},
+		{ActualDischarge: 1, OutfallFactor: 1, PollutantHazard: 1, PotableScarcity: 2},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestComputeWithdrawalIdentities(t *testing.T) {
+	p := WithdrawalParams{
+		ActualDischarge: 1000,
+		OutfallFactor:   1.0,
+		PollutantHazard: 2.0,
+		ReuseRate:       0.25,
+		PotableFraction: 0.5,
+		PotableScarcity: 0.8, NonPotableScarcity: 0.2,
+	}
+	w, err := ComputeWithdrawal(500, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adjusted discharge: 1000 * 1.0 * 2.0.
+	if float64(w.AdjustedDischarge) != 2000 {
+		t.Errorf("adjusted discharge = %v, want 2000", w.AdjustedDischarge)
+	}
+	// Reuse: 25% of discharge.
+	if float64(w.Reuse) != 250 {
+		t.Errorf("reuse = %v, want 250", w.Reuse)
+	}
+	// Gross: consumption + discharge*(1-rho) = 500 + 750.
+	if float64(w.Gross) != 1250 {
+		t.Errorf("gross = %v, want 1250", w.Gross)
+	}
+	// Scarcity weight: 0.5*0.8 + 0.5*0.2 = 0.5 → 625.
+	if float64(w.ScarcityWeighted) != 625 {
+		t.Errorf("scarcity weighted = %v, want 625", w.ScarcityWeighted)
+	}
+	// Withdrawal exceeds consumption whenever something is discharged.
+	if w.Gross <= w.Consumption {
+		t.Error("withdrawal should exceed consumption")
+	}
+}
+
+func TestComputeWithdrawalRejects(t *testing.T) {
+	if _, err := ComputeWithdrawal(-1, DefaultWithdrawalParams(10)); err == nil {
+		t.Error("negative consumption accepted")
+	}
+	if _, err := ComputeWithdrawal(1, WithdrawalParams{ActualDischarge: -1}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestReuseReducesGrossProperty(t *testing.T) {
+	f := func(r1, r2 float64) bool {
+		a := math.Abs(math.Mod(r1, 1))
+		b := math.Abs(math.Mod(r2, 1))
+		if a > b {
+			a, b = b, a
+		}
+		pa := DefaultWithdrawalParams(1000)
+		pa.ReuseRate = a
+		pb := DefaultWithdrawalParams(1000)
+		pb.ReuseRate = b
+		wa, err1 := ComputeWithdrawal(500, pa)
+		wb, err2 := ComputeWithdrawal(500, pb)
+		return err1 == nil && err2 == nil && wa.Gross >= wb.Gross
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFullReuseCollapsesToConsumption(t *testing.T) {
+	p := DefaultWithdrawalParams(800)
+	p.ReuseRate = 1
+	w, err := ComputeWithdrawal(300, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(w.Gross) != 300 {
+		t.Errorf("full-reuse gross = %v, want consumption 300", w.Gross)
+	}
+}
+
+func TestWetlandOutfallReducesBurden(t *testing.T) {
+	base := DefaultWithdrawalParams(1000)
+	wetland := base
+	wetland.OutfallFactor = 0.6 // natural purification credit
+	wb, _ := ComputeWithdrawal(100, base)
+	ww, _ := ComputeWithdrawal(100, wetland)
+	if ww.AdjustedDischarge >= wb.AdjustedDischarge {
+		t.Error("wetland outfall should reduce the adjusted discharge")
+	}
+}
+
+func TestWithdrawalFromAssessment(t *testing.T) {
+	// End-to-end: feed an assessed annual consumption through the
+	// withdrawal model.
+	c := mustConfig(t, "Frontier")
+	a, err := c.Assess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	discharge := units.Liters(float64(a.Direct) * 0.33) // ~blowdown at 4 cycles
+	w, err := ComputeWithdrawal(a.Operational(), DefaultWithdrawalParams(discharge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Gross <= a.Operational() {
+		t.Error("gross withdrawal should exceed consumption")
+	}
+	if w.ScarcityWeighted <= 0 || w.ScarcityWeighted >= w.Gross {
+		t.Error("scarcity weighting out of range for sub-1 factors")
+	}
+}
+
+func TestTable2Checklist(t *testing.T) {
+	all := Table2()
+	if len(all) < 19 {
+		t.Fatalf("Table 2 rows = %d, want >= 19", len(all))
+	}
+	inputs, derived := Table2Inputs(), Table2Derived()
+	if len(inputs)+len(derived) != len(all) {
+		t.Error("input/derived partition broken")
+	}
+	seen := map[string]bool{}
+	for _, p := range all {
+		if p.Name == "" || p.Description == "" || p.Source == "" || p.Group == "" {
+			t.Errorf("incomplete row: %+v", p)
+		}
+		if p.Group != "embodied" && p.Group != "operational" {
+			t.Errorf("bad group %q", p.Group)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate parameter %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	// Spot-check signature rows.
+	for _, want := range []string{"E", "WUE", "PUE", "EWF", "WSI_direct", "N_IC", "UPW", "Capacity"} {
+		if !seen[want] {
+			t.Errorf("Table 2 missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,362 @@
+package energy
+
+import (
+	"fmt"
+	"math"
+
+	"thirstyflops/internal/stats"
+	"thirstyflops/internal/units"
+)
+
+// Region models the electricity grid serving an HPC site: its average
+// energy mix plus the availability dynamics that make the mix — and
+// therefore the EWF and carbon intensity — vary through the year
+// (Fig. 6a). Hydro availability follows a snowmelt-peaked seasonal cycle
+// with multi-week hydrology noise; solar follows day curves and seasonal
+// insolation; a dispatchable balancer (usually gas) absorbs the residual.
+type Region struct {
+	Name    string
+	Country string
+
+	// Base is the annual-average generation mix.
+	Base Mix
+
+	// HydroSeasonality is the relative amplitude of the hydro availability
+	// swing (0 = constant, 1 = ±100 %); HydroPeakDay is the day-of-year of
+	// maximum availability (snowmelt spring for alpine basins).
+	HydroSeasonality float64
+	HydroPeakDay     float64
+	// HydroNoise is the std-dev of the slow (multi-week) hydrology noise,
+	// relative to the base hydro share.
+	HydroNoise float64
+
+	// SolarSeasonality is the relative summer/winter insolation swing.
+	SolarSeasonality float64
+	// WindNoise is the std-dev of the wind availability noise, relative to
+	// the base wind share.
+	WindNoise float64
+
+	// Balancer is the dispatchable source that absorbs the residual demand
+	// after variable sources are dispatched. Gas for all modeled regions.
+	Balancer Source
+
+	// EWFOverrides substitutes region-specific water factors — e.g.
+	// once-through-cooled nuclear fleets on the Great Lakes consume far
+	// less water than the wet-tower median.
+	EWFOverrides map[Source]units.LPerKWh
+	// CarbonOverrides substitutes region-specific carbon factors.
+	CarbonOverrides map[Source]units.GCO2PerKWh
+
+	// HydroEvapSummerBoost raises the effective hydro EWF at the height of
+	// summer (reservoir evaporation peaks with insolation); 0.2 means +20 %
+	// at the peak and -20 % mid-winter.
+	HydroEvapSummerBoost float64
+}
+
+// Hour is one hour of simulated grid state.
+type Hour struct {
+	Index  int // hour of year
+	Mix    Mix
+	EWF    units.LPerKWh
+	Carbon units.GCO2PerKWh
+}
+
+// Validate checks the region parameters.
+func (r Region) Validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("energy: region has no name")
+	}
+	if err := r.Base.Validate(); err != nil {
+		return fmt.Errorf("energy: region %s: %w", r.Name, err)
+	}
+	if r.Base.Share(r.Balancer) <= 0 {
+		return fmt.Errorf("energy: region %s: balancer %v absent from base mix", r.Name, r.Balancer)
+	}
+	if r.HydroSeasonality < 0 || r.HydroSeasonality > 1.5 {
+		return fmt.Errorf("energy: region %s: hydro seasonality %v out of range", r.Name, r.HydroSeasonality)
+	}
+	return nil
+}
+
+// solarDailyMean is the day-average of max(0, cos(...)) daylight shaping,
+// used to keep the base solar share an annual average.
+const solarDailyMean = 1.0 / math.Pi
+
+// HourlyYear simulates one year of grid state at hourly resolution. The
+// same (region, seed) pair always produces the identical series.
+func (r Region) HourlyYear(seed uint64) []Hour {
+	rng := stats.NewRNG(seed ^ hashName(r.Name))
+	out := make([]Hour, stats.HoursPerYear)
+
+	// Slow AR(1) noise for hydrology (correlation time ~3 weeks) and a
+	// faster one for wind (~ half a day).
+	const hydroAR = 0.998
+	const windAR = 0.95
+	hydroNoise, windNoise := 0.0, 0.0
+	hydroInnov := r.HydroNoise * math.Sqrt(1-hydroAR*hydroAR)
+	windInnov := r.WindNoise * math.Sqrt(1-windAR*windAR)
+
+	for h := 0; h < stats.HoursPerYear; h++ {
+		day := float64(h) / 24.0
+		hourOfDay := float64(h % 24)
+
+		hydroNoise = hydroAR*hydroNoise + rng.NormMeanStd(0, hydroInnov)
+		windNoise = windAR*windNoise + rng.NormMeanStd(0, windInnov)
+
+		m := make(Mix, len(r.Base))
+		var variable float64
+		for _, s := range AllSources() {
+			base, ok := r.Base[s]
+			if !ok || s == r.Balancer {
+				continue
+			}
+			share := base
+			switch s {
+			case Hydro:
+				// Availability is floored at 25 % of base: reservoirs keep
+				// minimum environmental flows even in dry winters.
+				avail := 1 + r.HydroSeasonality*math.Cos(2*math.Pi*(day-r.HydroPeakDay)/365) + hydroNoise
+				share = base * stats.Clamp(avail, 0.25, 2.2)
+			case Solar:
+				daylight := math.Max(0, math.Cos(2*math.Pi*(hourOfDay-13)/24))
+				season := 1 + r.SolarSeasonality*math.Cos(2*math.Pi*(day-172)/365)
+				share = base * daylight / solarDailyMean * stats.Clamp(season, 0, 2)
+			case Wind:
+				share = base * stats.Clamp(1+windNoise, 0.05, 2.5)
+			}
+			m[s] = share
+			variable += share
+		}
+		// The balancer absorbs whatever the others left uncovered. If the
+		// variable sources over-produce, everything is renormalized, which
+		// models exports/curtailment pro rata.
+		m[r.Balancer] = math.Max(0, 1-variable)
+		m = m.Normalized()
+
+		out[h] = Hour{
+			Index:  h,
+			Mix:    m,
+			EWF:    r.ewfAt(m, day),
+			Carbon: m.CarbonIntensity(r.CarbonOverrides),
+		}
+	}
+	return out
+}
+
+// ewfAt computes the mix EWF with the seasonal hydro-evaporation boost
+// applied on top of any static overrides.
+func (r Region) ewfAt(m Mix, day float64) units.LPerKWh {
+	base := m.EWF(r.EWFOverrides)
+	if r.HydroEvapSummerBoost == 0 || m.Share(Hydro) == 0 {
+		return base
+	}
+	hydroF := float64(Hydro.EWF())
+	if o, ok := r.EWFOverrides[Hydro]; ok {
+		hydroF = float64(o)
+	}
+	boost := r.HydroEvapSummerBoost * math.Cos(2*math.Pi*(day-200)/365)
+	return base + units.LPerKWh(m.Share(Hydro)*hydroF*boost)
+}
+
+// AnnualEWF returns the hourly EWF values of a simulated year.
+func AnnualEWF(hours []Hour) []float64 {
+	out := make([]float64, len(hours))
+	for i, h := range hours {
+		out[i] = float64(h.EWF)
+	}
+	return out
+}
+
+// AnnualCarbon returns the hourly carbon-intensity values of a year.
+func AnnualCarbon(hours []Hour) []float64 {
+	out := make([]float64, len(hours))
+	for i, h := range hours {
+		out[i] = float64(h.Carbon)
+	}
+	return out
+}
+
+// MeanMix averages the hourly mixes of a simulated year.
+func MeanMix(hours []Hour) Mix {
+	if len(hours) == 0 {
+		return Mix{}
+	}
+	acc := make(Mix)
+	for _, h := range hours {
+		for s, w := range h.Mix {
+			acc[s] += w
+		}
+	}
+	for s := range acc {
+		acc[s] /= float64(len(hours))
+	}
+	return acc.Normalized()
+}
+
+// --- The four paper regions ---
+
+// Italy returns the grid serving Marconi100 (Bologna): gas-led with a large
+// alpine hydro fleet whose availability and reservoir evaporation dominate
+// the EWF dynamics — the paper's explanation for Marconi's widest EWF range
+// (up to 10.59 L/kWh).
+func Italy() Region {
+	return Region{
+		Name: "Italy", Country: "Italy",
+		Base: Mix{
+			Hydro: 0.26, Gas: 0.42, Solar: 0.12, Wind: 0.07,
+			Biomass: 0.08, Coal: 0.03, Geothermal: 0.02,
+		},
+		HydroSeasonality: 0.75, HydroPeakDay: 140, HydroNoise: 0.3,
+		SolarSeasonality: 0.45, WindNoise: 0.35,
+		Balancer:             Gas,
+		HydroEvapSummerBoost: 0.20,
+	}
+}
+
+// Japan returns the grid serving Fugaku (Kobe): gas/coal-led, modest hydro
+// and restarted nuclear.
+func Japan() Region {
+	return Region{
+		Name: "Japan", Country: "Japan",
+		Base: Mix{
+			Gas: 0.34, Coal: 0.27, Nuclear: 0.09, Solar: 0.10,
+			Hydro: 0.06, Oil: 0.04, Wind: 0.03, Biomass: 0.07,
+		},
+		HydroSeasonality: 0.5, HydroPeakDay: 160, HydroNoise: 0.2,
+		SolarSeasonality: 0.35, WindNoise: 0.4,
+		Balancer:             Gas,
+		HydroEvapSummerBoost: 0.15,
+	}
+}
+
+// Illinois returns the grid serving Polaris (Lemont): the most
+// nuclear-heavy US state. The fleet is largely once-through/lake cooled,
+// so the nuclear EWF is overridden well below the wet-tower median — this
+// is why Polaris shows the lowest EWF of the four systems.
+func Illinois() Region {
+	return Region{
+		Name: "Illinois", Country: "US",
+		Base: Mix{
+			Nuclear: 0.53, Gas: 0.17, Coal: 0.15, Wind: 0.12, Solar: 0.03,
+		},
+		SolarSeasonality: 0.5, WindNoise: 0.45,
+		Balancer: Gas,
+		EWFOverrides: map[Source]units.LPerKWh{
+			Nuclear: 1.9, // mixed once-through / cooling-pond fleet
+		},
+	}
+}
+
+// Tennessee returns the grid serving Frontier (Oak Ridge): the TVA system —
+// nuclear and hydro dams with gas/coal firming.
+func Tennessee() Region {
+	return Region{
+		Name: "Tennessee", Country: "US",
+		Base: Mix{
+			Nuclear: 0.40, Gas: 0.25, Coal: 0.20, Hydro: 0.08,
+			Solar: 0.04, Wind: 0.03,
+		},
+		HydroSeasonality: 0.55, HydroPeakDay: 110, HydroNoise: 0.2,
+		SolarSeasonality: 0.4, WindNoise: 0.4,
+		Balancer: Gas,
+		EWFOverrides: map[Source]units.LPerKWh{
+			Nuclear: 2.6, // wet-tower dominated TVA nuclear
+		},
+		HydroEvapSummerBoost: 0.25,
+	}
+}
+
+// Regions returns the four paper regions keyed by name.
+func Regions() map[string]Region {
+	out := make(map[string]Region, 4)
+	for _, r := range []Region{Italy(), Japan(), Illinois(), Tennessee()} {
+		out[r.Name] = r
+	}
+	return out
+}
+
+// California returns the grid serving El Capitan (Livermore): solar-heavy
+// CAISO with gas firming, Sierra hydro, and Geysers geothermal. An
+// outlook region (paper Sec. 6b).
+func California() Region {
+	return Region{
+		Name: "California", Country: "US",
+		Base: Mix{
+			Gas: 0.47, Solar: 0.20, Hydro: 0.10, Nuclear: 0.08,
+			Wind: 0.07, Geothermal: 0.05, Biomass: 0.03,
+		},
+		HydroSeasonality: 0.7, HydroPeakDay: 130, HydroNoise: 0.25,
+		SolarSeasonality: 0.35, WindNoise: 0.4,
+		Balancer:             Gas,
+		HydroEvapSummerBoost: 0.25,
+	}
+}
+
+// AllRegions returns the paper regions plus the outlook and candidate
+// regions keyed by name.
+func AllRegions() map[string]Region {
+	out := Regions()
+	for _, r := range []Region{California(), PacificNorthwest(), Texas(), Arizona()} {
+		out[r.Name] = r
+	}
+	return out
+}
+
+// --- Additional candidate regions for site-selection studies ---
+
+// PacificNorthwest returns a hydro-dominated candidate grid (site-selection
+// example): very low carbon, very high water intensity.
+func PacificNorthwest() Region {
+	return Region{
+		Name: "Pacific Northwest", Country: "US",
+		Base: Mix{
+			Hydro: 0.62, Gas: 0.18, Wind: 0.10, Nuclear: 0.05, Solar: 0.05,
+		},
+		HydroSeasonality: 0.6, HydroPeakDay: 150, HydroNoise: 0.2,
+		SolarSeasonality: 0.6, WindNoise: 0.4,
+		Balancer:             Gas,
+		HydroEvapSummerBoost: 0.15,
+	}
+}
+
+// Texas returns a gas/wind candidate grid: moderate carbon, low water.
+func Texas() Region {
+	return Region{
+		Name: "Texas", Country: "US",
+		Base: Mix{
+			Gas: 0.45, Wind: 0.25, Coal: 0.13, Solar: 0.09, Nuclear: 0.08,
+		},
+		SolarSeasonality: 0.35, WindNoise: 0.5,
+		Balancer: Gas,
+	}
+}
+
+// Arizona returns a solar/nuclear candidate grid in a water-scarce basin.
+func Arizona() Region {
+	return Region{
+		Name: "Arizona", Country: "US",
+		Base: Mix{
+			Solar: 0.22, Nuclear: 0.28, Gas: 0.38, Coal: 0.08, Hydro: 0.04,
+		},
+		HydroSeasonality: 0.4, HydroPeakDay: 120, HydroNoise: 0.15,
+		SolarSeasonality: 0.25, WindNoise: 0.3,
+		Balancer: Gas,
+		EWFOverrides: map[Source]units.LPerKWh{
+			Nuclear: 2.9, // Palo Verde recycles municipal wastewater in towers
+		},
+		HydroEvapSummerBoost: 0.3,
+	}
+}
+
+func hashName(name string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsGenerate(t *testing.T) {
+	outs, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 22 {
+		t.Fatalf("experiment count = %d, want 22 (3 tables + 13 figures + 6 extensions)", len(outs))
+	}
+	for _, o := range outs {
+		if o.ID == "" || o.Title == "" {
+			t.Errorf("experiment missing metadata: %+v", o.ID)
+		}
+		if len(strings.TrimSpace(o.Text)) < 50 {
+			t.Errorf("%s: suspiciously short output (%d bytes)", o.ID, len(o.Text))
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	o, err := ByID("fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.ID != "fig7" {
+		t.Errorf("ID = %q", o.ID)
+	}
+	// Case and whitespace insensitive.
+	if _, err := ByID(" FIG7 "); err != nil {
+		t.Errorf("normalized lookup failed: %v", err)
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Error("unknown ID accepted")
+	}
+}
+
+func TestIDsOrdered(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 22 {
+		t.Fatalf("len = %d", len(ids))
+	}
+	if ids[0] != "table1" || ids[len(ids)-1] != "upgrade" {
+		t.Errorf("order unexpected: first %s last %s", ids[0], ids[len(ids)-1])
+	}
+}
+
+func TestTable1Content(t *testing.T) {
+	o, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Marconi", "Fugaku", "Polaris", "Frontier",
+		"Bologna", "Kobe", "Lemont", "Oak Ridge", "A64FX", "MI250X"} {
+		if !strings.Contains(o.Text, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+}
+
+func TestTable2Content(t *testing.T) {
+	o, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"N_IC", "UPW", "PUE", "EWF", "WSI_direct", "derived", "input"} {
+		if !strings.Contains(o.Text, want) {
+			t.Errorf("Table 2 missing %q", want)
+		}
+	}
+}
+
+func TestFig3Content(t *testing.T) {
+	o, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(o.Text, "dominant: HDD") {
+		t.Error("Fig 3 should flag Frontier's HDD dominance")
+	}
+	if !strings.Contains(o.Text, "dominant: GPU") {
+		t.Error("Fig 3 should flag GPU dominance on accelerator systems")
+	}
+}
+
+func TestFig7Content(t *testing.T) {
+	o, err := Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range []string{"Marconi", "Fugaku", "Polaris", "Frontier"} {
+		if !strings.Contains(o.Text, sys) {
+			t.Errorf("Fig 7 missing %s", sys)
+		}
+	}
+	if !strings.Contains(o.Text, "direct") || !strings.Contains(o.Text, "indirect") {
+		t.Error("Fig 7 missing split labels")
+	}
+}
+
+func TestFig13Disagreement(t *testing.T) {
+	o, err := Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(o.Text, "DIFFER") {
+		t.Error("Fig 13 should demonstrate diverging water/carbon rankings")
+	}
+	if !strings.Contains(o.Text, "miniAMR") {
+		t.Error("Fig 13 should report the mini-app run")
+	}
+}
+
+func TestFig14Content(t *testing.T) {
+	o, err := Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"100% Coal", "100% Nuclear", "Water-Intensive"} {
+		if !strings.Contains(o.Text, want) {
+			t.Errorf("Fig 14 missing %q", want)
+		}
+	}
+}

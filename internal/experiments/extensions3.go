@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"thirstyflops/internal/core"
+	"thirstyflops/internal/jobs"
+	"thirstyflops/internal/report"
+	"thirstyflops/internal/sched"
+)
+
+// GreenSched regenerates the Takeaway 9 extension: a water-aware batch
+// scheduler (slack-shift backfilling) against plain EASY on a real
+// system's hourly intensity curves. Programmers change nothing — the
+// scheduler shifts deferrable jobs into cleaner hours.
+func GreenSched() (Output, error) {
+	cfg, err := core.ConfigFor("Frontier")
+	if err != nil {
+		return Output{}, err
+	}
+	a, err := cfg.Assess()
+	if err != nil {
+		return Output{}, err
+	}
+	// Price the schedule against the July window (day 195 onward): summer
+	// cooling gives WI its strongest diurnal signal (Fig. 12).
+	const julyBase = 195 * 24
+	wi := a.HourlyWaterIntensity()[julyBase:]
+	ci := a.CarbonSeries[julyBase:]
+
+	// ~75 % offered load on the partition: slack shifting only moves jobs
+	// into cleaner hours when the queue is not saturated.
+	trace, err := jobs.GenerateTrace(jobs.TraceParams{
+		Hours: 720, ArrivalPerHour: 2, MeanHours: 3, SigmaHours: 0.9,
+		MaxNodes: 256, NodePowerW: 2500,
+	}, 42)
+	if err != nil {
+		return Output{}, err
+	}
+
+	var b strings.Builder
+	b.WriteString("== Water-aware scheduling: slack-shift backfilling vs EASY (Takeaway 9) ==\n")
+	fmt.Fprintf(&b, "trace: %d jobs over 30 days on a 512-node partition; Frontier July intensity curves\n\n", len(trace))
+	t := report.NewTable("", "Slack (h)", "Water saved", "Carbon delta", "Mean wait plain (h)", "Mean wait green (h)")
+	for _, slack := range []float64{0, 6, 12, 24} {
+		cmp, err := sched.CompareGreen(trace, 512, wi, ci, slack)
+		if err != nil {
+			return Output{}, err
+		}
+		carbonDelta := 0.0
+		if cmp.Plain.Carbon > 0 {
+			carbonDelta = 100 * (float64(cmp.Green.Carbon) - float64(cmp.Plain.Carbon)) / float64(cmp.Plain.Carbon)
+		}
+		t.AddRow(
+			fmt.Sprintf("%.0f", slack),
+			fmt.Sprintf("%.2f%%", cmp.WaterSaved),
+			fmt.Sprintf("%+.2f%%", carbonDelta),
+			fmt.Sprintf("%.2f", cmp.PlainWait),
+			fmt.Sprintf("%.2f", cmp.GreenWait),
+		)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nObservation: a few hours of tolerated slack buys water savings with the same energy;\n")
+	b.WriteString("the scheduler, not the application, is the right place for water optimization.\n")
+	return Output{ID: "greensched", Title: "Water-aware scheduling", Text: b.String()}, nil
+}

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"thirstyflops/internal/core"
+	"thirstyflops/internal/embodied"
+	"thirstyflops/internal/energy"
+	"thirstyflops/internal/report"
+	"thirstyflops/internal/stats"
+	"thirstyflops/internal/wsi"
+)
+
+// Fig1 regenerates the motivation maps: per-state carbon intensity,
+// water scarcity, and HPC power concentration in the US.
+func Fig1() (Output, error) {
+	var b strings.Builder
+	t := report.NewTable("Fig. 1: US carbon intensity, water scarcity, and HPC power by state",
+		"State", "Carbon (gCO2/kWh)", "WSI (AWARE-US)", "HPC Power (MW)")
+	states := energy.USStates()
+	for _, s := range states {
+		w, _ := wsi.StateIndex(s.Code)
+		t.AddRow(s.Code,
+			fmt.Sprintf("%.0f", float64(s.CarbonIntensity)),
+			fmt.Sprintf("%.1f", w),
+			fmt.Sprintf("%.1f", s.HPCPowerMW))
+	}
+	b.WriteString(t.String())
+
+	// The figure's observation: HPC power is not sited by carbon or water
+	// friendliness. Show the top HPC states with their metrics.
+	top := append([]energy.StateProfile(nil), states...)
+	sort.Slice(top, func(i, j int) bool { return top[i].HPCPowerMW > top[j].HPCPowerMW })
+	b.WriteString("\nTop HPC states vs their sustainability context:\n")
+	for _, s := range top[:5] {
+		w, _ := wsi.StateIndex(s.Code)
+		fmt.Fprintf(&b, "  %-2s  %5.1f MW HPC   carbon %4.0f g/kWh   WSI %5.1f\n",
+			s.Code, s.HPCPowerMW, float64(s.CarbonIntensity), w)
+	}
+	fmt.Fprintf(&b, "total US TOP500 HPC power: %.0f MW\n", energy.TotalHPCPowerMW())
+	return Output{ID: "fig1", Title: "US sustainability context maps", Text: b.String()}, nil
+}
+
+// Fig3 regenerates the embodied water footprint breakdown per system.
+func Fig3() (Output, error) {
+	bds, err := embodied.AllBreakdowns(embodied.DefaultParams())
+	if err != nil {
+		return Output{}, err
+	}
+	var b strings.Builder
+	t := report.NewTable("Fig. 3: embodied water distribution by supercomputer",
+		"System", "CPU", "GPU", "DRAM", "HDD", "SSD", "Total")
+	for _, bd := range bds {
+		t.AddRow(bd.System,
+			report.Pct(bd.Share(embodied.CompCPU)),
+			report.Pct(bd.Share(embodied.CompGPU)),
+			report.Pct(bd.Share(embodied.CompDRAM)),
+			report.Pct(bd.Share(embodied.CompHDD)),
+			report.Pct(bd.Share(embodied.CompSSD)),
+			bd.Total().String())
+	}
+	b.WriteString(t.String())
+	b.WriteString("\n")
+	for _, bd := range bds {
+		fmt.Fprintf(&b, "%-9s processors %s vs memory+storage %s (dominant: %s)\n",
+			bd.System, report.Pct(bd.ProcessorShare()),
+			report.Pct(bd.MemoryStorageShare()), bd.DominantComponent())
+	}
+	fmt.Fprintf(&b, "HDD/SSD embodied water per GB ratio: %.1fx (Takeaway 1)\n",
+		embodied.StorageTradeoff())
+	return Output{ID: "fig3", Title: "Embodied breakdown", Text: b.String()}, nil
+}
+
+// Fig4 regenerates the embodied-vs-operational ratio heatmaps under the
+// two EWF/WUE cases.
+func Fig4() (Output, error) {
+	cfg, err := core.ConfigFor("Polaris")
+	if err != nil {
+		return Output{}, err
+	}
+	bd, err := cfg.EmbodiedBreakdown()
+	if err != nil {
+		return Output{}, err
+	}
+	a, err := cfg.Assess()
+	if err != nil {
+		return Output{}, err
+	}
+	axis := core.LogSpace(0.1, 100, 24)
+	var b strings.Builder
+	for _, sc := range []core.RatioScenario{core.HighWaterCase(), core.LowWaterCase()} {
+		grid, err := core.RatioMap(bd.Total(), a.Energy, sc, axis, axis)
+		if err != nil {
+			return Output{}, err
+		}
+		rows := make([]string, len(axis))
+		for i := range axis {
+			if i%6 == 0 {
+				rows[i] = fmt.Sprintf("mfgWSI=%.1f", axis[i])
+			}
+		}
+		cols := make([]string, len(axis))
+		for i := range cols {
+			cols[i] = ""
+		}
+		b.WriteString(report.Heatmap(
+			fmt.Sprintf("Fig. 4 case: %s — W_embodied/W_operational (x: op WSI 0.1..100)", sc.Name),
+			rows, cols, grid))
+		fmt.Fprintf(&b, "embodied-dominant area (ratio >= 1): %s\n\n",
+			report.Pct(core.DominanceFraction(grid)))
+	}
+	b.WriteString("Observation: the dominant-embodied region expands in the low-EWF/low-WUE case.\n")
+	return Output{ID: "fig4", Title: "Embodied vs operational ratio", Text: b.String()}, nil
+}
+
+// Fig5 regenerates the per-source EWF and carbon intensity comparison.
+func Fig5() (Output, error) {
+	srcs := energy.AllSources()
+	names := make([]string, len(srcs))
+	ewfs := make([]float64, len(srcs))
+	cis := make([]float64, len(srcs))
+	for i, s := range srcs {
+		names[i] = s.String()
+		ewfs[i] = float64(s.EWF())
+		cis[i] = float64(s.CarbonIntensity())
+	}
+	var b strings.Builder
+	b.WriteString(report.BarChart("Fig. 5a: Energy Water Factor by source", names, ewfs, "L/kWh", 30))
+	b.WriteString("\n")
+	b.WriteString(report.BarChart("Fig. 5b: Carbon intensity by source", names, cis, "gCO2/kWh", 30))
+	b.WriteString("\nRanges (min/median/max):\n")
+	for _, s := range srcs {
+		e, c := s.EWFRange(), s.CarbonRange()
+		fmt.Fprintf(&b, "  %-10s EWF %5.2f/%5.2f/%5.2f L/kWh   carbon %4.0f/%4.0f/%4.0f g/kWh\n",
+			s, e.Min, e.Median, e.Max, c.Min, c.Median, c.Max)
+	}
+	b.WriteString("Observation: low-carbon hydro/geothermal are the most water-intensive sources.\n")
+	return Output{ID: "fig5", Title: "Source factors", Text: b.String()}, nil
+}
+
+// Fig6 regenerates the annual EWF and WUE variation per system.
+func Fig6() (Output, error) {
+	cfgs, err := core.AllConfigs()
+	if err != nil {
+		return Output{}, err
+	}
+	var b strings.Builder
+	t := report.NewTable("Fig. 6: EWF (a) and WUE (b) annual variation",
+		"System", "EWF min", "EWF med", "EWF max", "WUE min", "WUE med", "WUE max")
+	type row struct {
+		name                   string
+		ewfMin, ewfMed, ewfMax float64
+		wueMin, wueMed, wueMax float64
+	}
+	rows := make([]row, 0, len(cfgs))
+	for _, c := range cfgs {
+		a, err := c.Assess()
+		if err != nil {
+			return Output{}, err
+		}
+		ewf := make([]float64, len(a.EWFSeries))
+		wue := make([]float64, len(a.WUESeries))
+		for i := range ewf {
+			ewf[i] = float64(a.EWFSeries[i])
+			wue[i] = float64(a.WUESeries[i])
+		}
+		rows = append(rows, row{
+			name:   c.System.Name,
+			ewfMin: stats.Min(ewf), ewfMed: stats.Median(ewf), ewfMax: stats.Max(ewf),
+			wueMin: stats.Min(wue), wueMed: stats.Median(wue), wueMax: stats.Max(wue),
+		})
+	}
+	for _, r := range rows {
+		t.AddRow(r.name,
+			fmt.Sprintf("%.2f", r.ewfMin), fmt.Sprintf("%.2f", r.ewfMed), fmt.Sprintf("%.2f", r.ewfMax),
+			fmt.Sprintf("%.2f", r.wueMin), fmt.Sprintf("%.2f", r.wueMed), fmt.Sprintf("%.2f", r.wueMax))
+	}
+	b.WriteString(t.String())
+	var marconiMax, polarisMin float64
+	for _, r := range rows {
+		if r.name == "Marconi" {
+			marconiMax = r.ewfMax
+		}
+		if r.name == "Polaris" {
+			polarisMin = r.ewfMin
+		}
+	}
+	fmt.Fprintf(&b, "\nMarconi peak EWF %.2f L/kWh; Polaris minimum %.2f L/kWh (%.0f%% lower).\n",
+		marconiMax, polarisMin, 100*(1-polarisMin/marconiMax))
+	return Output{ID: "fig6", Title: "EWF/WUE variation", Text: b.String()}, nil
+}
+
+// Fig7 regenerates the direct/indirect operational split pies.
+func Fig7() (Output, error) {
+	cfgs, err := core.AllConfigs()
+	if err != nil {
+		return Output{}, err
+	}
+	var b strings.Builder
+	b.WriteString("== Fig. 7: relative importance of direct and indirect water footprint ==\n")
+	for _, c := range cfgs {
+		a, err := c.Assess()
+		if err != nil {
+			return Output{}, err
+		}
+		b.WriteString(report.Split(c.System.Name, "direct", float64(a.Direct), "indirect", float64(a.Indirect)))
+	}
+	b.WriteString("Observation: indirect water (energy generation) rivals direct cooling water.\n")
+	return Output{ID: "fig7", Title: "Direct vs indirect split", Text: b.String()}, nil
+}
+
+// Fig8 regenerates the water intensity, WSI, and adjusted intensity bars.
+func Fig8() (Output, error) {
+	cfgs, err := core.AllConfigs()
+	if err != nil {
+		return Output{}, err
+	}
+	names := make([]string, len(cfgs))
+	wis := make([]float64, len(cfgs))
+	wsis := make([]float64, len(cfgs))
+	adj := make([]float64, len(cfgs))
+	for i, c := range cfgs {
+		a, err := c.Assess()
+		if err != nil {
+			return Output{}, err
+		}
+		_, _, total := a.WaterIntensity()
+		names[i] = c.System.Name
+		wis[i] = float64(total)
+		wsis[i] = float64(c.Scarcity.Direct)
+		adj[i] = float64(a.AdjustedWaterIntensity(c.Scarcity))
+	}
+	var b strings.Builder
+	b.WriteString(report.BarChart("Fig. 8a: annual average water intensity", names, wis, "L/kWh", 30))
+	b.WriteString("\n")
+	b.WriteString(report.BarChart("Fig. 8b: water scarcity index (AWARE-global)", names, wsis, "", 30))
+	b.WriteString("\n")
+	b.WriteString(report.BarChart("Fig. 8c: WSI-adjusted water intensity", names, adj, "L/kWh", 30))
+	lowestRaw := names[stats.ArgMin(wis)]
+	highestAdj := names[stats.ArgMax(adj)]
+	fmt.Fprintf(&b, "\nRanking flip: %s has the lowest raw intensity but %s the highest after WSI adjustment.\n",
+		lowestRaw, highestAdj)
+	return Output{ID: "fig8", Title: "WSI-adjusted intensity", Text: b.String()}, nil
+}

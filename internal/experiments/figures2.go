@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"thirstyflops/internal/core"
+	"thirstyflops/internal/energy"
+	"thirstyflops/internal/miniamr"
+	"thirstyflops/internal/report"
+	"thirstyflops/internal/sched"
+	"thirstyflops/internal/stats"
+	"thirstyflops/internal/units"
+	"thirstyflops/internal/wsi"
+)
+
+// Fig9 demonstrates the direct/indirect WSI composition for an HPC center
+// drawing power from plants in different basins.
+func Fig9() (Output, error) {
+	profile := wsi.Profile{
+		Direct: 0.62, // the datacenter's own basin (Lemont)
+		Plants: []wsi.PowerPlant{
+			{Name: "nuclear station (river A)", WSI: 0.45, Share: 0.53},
+			{Name: "gas peaker (river B)", WSI: 0.80, Share: 0.17},
+			{Name: "coal plant (basin C)", WSI: 0.30, Share: 0.15},
+			{Name: "wind farm (plains D)", WSI: 0.10, Share: 0.15},
+		},
+	}
+	if err := profile.Validate(); err != nil {
+		return Output{}, err
+	}
+	var b strings.Builder
+	t := report.NewTable("Fig. 9: direct and indirect water scarcity composition",
+		"Supply", "Share", "Basin WSI")
+	for _, p := range profile.Plants {
+		t.AddRow(p.Name, report.Pct(p.Share), fmt.Sprintf("%.2f", float64(p.WSI)))
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nWSI_direct   = %.2f (datacenter basin)\n", float64(profile.Direct))
+	fmt.Fprintf(&b, "WSI_indirect = %.2f (supply-weighted over feeding plants)\n", float64(profile.Indirect()))
+
+	// Effect on an assessed system: same intensities, split weighting.
+	cfg, err := core.ConfigFor("Polaris")
+	if err != nil {
+		return Output{}, err
+	}
+	a, err := cfg.Assess()
+	if err != nil {
+		return Output{}, err
+	}
+	d, i, tot := a.WaterIntensity()
+	single := a.AdjustedWaterIntensity(wsi.Profile{Direct: profile.Direct})
+	split := a.AdjustedWaterIntensity(profile)
+	fmt.Fprintf(&b, "\nPolaris WI %.2f (direct %.2f + indirect %.2f) L/kWh\n", float64(tot), float64(d), float64(i))
+	fmt.Fprintf(&b, "adjusted with a single site WSI: %.2f L/kWh\n", float64(single))
+	fmt.Fprintf(&b, "adjusted with split direct/indirect WSIs: %.2f L/kWh\n", float64(split))
+	b.WriteString("Observation: which nearby grids supply the power changes the effective footprint.\n")
+	return Output{ID: "fig9", Title: "Direct/indirect WSI", Text: b.String()}, nil
+}
+
+// Fig10 regenerates the county-level scarcity fields for Illinois and
+// Tennessee.
+func Fig10() (Output, error) {
+	var b strings.Builder
+	for _, state := range []struct {
+		name     string
+		counties []wsi.County
+	}{
+		{"Illinois", wsi.IllinoisCounties()},
+		{"Tennessee", wsi.TennesseeCounties()},
+	} {
+		s := wsi.SummarizeField(state.counties)
+		fmt.Fprintf(&b, "== Fig. 10: %s county-level WSI ==\n", state.name)
+		fmt.Fprintf(&b, "counties: %d   min %.2f   median %.2f   max %.2f   spread %.1fx\n",
+			len(state.counties), s.Min, s.Median, s.Max, s.Spread)
+		vals := make([]float64, len(state.counties))
+		for i, c := range state.counties {
+			vals[i] = c.Index
+		}
+		fmt.Fprintf(&b, "field: %s\n\n", report.Sparkline(vals))
+	}
+	b.WriteString("Observation: WSI varies at kilometre scale, so the choice of feeding grid matters (Takeaway 6).\n")
+	return Output{ID: "fig10", Title: "County-level WSI", Text: b.String()}, nil
+}
+
+// Fig11 regenerates the monthly energy-vs-water comparison.
+func Fig11() (Output, error) {
+	cfgs, err := core.AllConfigs()
+	if err != nil {
+		return Output{}, err
+	}
+	var b strings.Builder
+	b.WriteString("== Fig. 11: temporal energy (top) and water footprint (bottom) variation ==\n")
+	for _, c := range cfgs {
+		a, err := c.Assess()
+		if err != nil {
+			return Output{}, err
+		}
+		m := a.Monthly()
+		e := stats.Normalize(m.Energy)
+		w := stats.Normalize(m.Water)
+		r := stats.Pearson(m.Energy, m.Water)
+		fmt.Fprintf(&b, "%-9s energy %s\n", c.System.Name, report.Sparkline(e))
+		fmt.Fprintf(&b, "%-9s water  %s   (r=%.2f)\n", "", report.Sparkline(w), r)
+	}
+	b.WriteString("Observation: correlated but not aligned — weather and grid mix shift the water curve.\n")
+	return Output{ID: "fig11", Title: "Energy vs water over the year", Text: b.String()}, nil
+}
+
+// Fig12 regenerates the monthly water-vs-carbon intensity comparison with
+// the direct/indirect decomposition.
+func Fig12() (Output, error) {
+	cfgs, err := core.AllConfigs()
+	if err != nil {
+		return Output{}, err
+	}
+	var b strings.Builder
+	b.WriteString("== Fig. 12: monthly water intensity vs carbon intensity ==\n")
+	for _, c := range cfgs {
+		a, err := c.Assess()
+		if err != nil {
+			return Output{}, err
+		}
+		m := a.Monthly()
+		fmt.Fprintf(&b, "%-9s WI total    %s\n", c.System.Name, report.Sparkline(stats.Normalize(m.WaterIntensity)))
+		fmt.Fprintf(&b, "%-9s WI direct   %s\n", "", report.Sparkline(stats.Normalize(m.DirectIntensity)))
+		fmt.Fprintf(&b, "%-9s WI indirect %s\n", "", report.Sparkline(stats.Normalize(m.IndirectIntens)))
+		fmt.Fprintf(&b, "%-9s carbon      %s   (r_indirect,carbon=%.2f)\n", "",
+			report.Sparkline(stats.Normalize(m.CarbonIntensity)),
+			stats.Pearson(m.IndirectIntens, m.CarbonIntensity))
+	}
+	b.WriteString("Observation: Marconi's summer hydro makes carbon fall while indirect water rises — competing metrics.\n")
+	return Output{ID: "fig12", Title: "Water vs carbon intensity", Text: b.String()}, nil
+}
+
+// Fig13 regenerates the start-time ranking experiment: a miniAMR run whose
+// energy is fixed, swept across seven candidate start times.
+func Fig13() (Output, error) {
+	// Run the mini-app to obtain its (deterministic) energy.
+	mesh, err := miniamr.New(miniamr.DefaultConfig())
+	if err != nil {
+		return Output{}, err
+	}
+	st := mesh.Run()
+	runEnergy := miniamr.DefaultEnergyModel().Energy(st)
+	// The experiment's host draws server-scale power; scale the per-cell
+	// energy to a 0.5 kW-hour-scale job for readable numbers.
+	const durationHours = 4
+	jobEnergy := units.KWh(2.0) // fixed total energy, as the paper stresses
+	perHour := units.KWh(float64(jobEnergy) / durationHours)
+
+	cfg, err := core.ConfigFor("Frontier")
+	if err != nil {
+		return Output{}, err
+	}
+	a, err := cfg.Assess()
+	if err != nil {
+		return Output{}, err
+	}
+	wi := a.HourlyWaterIntensity()
+	ci := a.CarbonSeries
+
+	// Seven candidate start times across one summer day (hour-of-year
+	// base: July 15 ≈ day 195).
+	base := 195 * 24
+	candidates := []int{base, base + 4, base + 8, base + 12, base + 16, base + 20, base + 24}
+	opts, err := sched.RankStartTimes(perHour, durationHours, candidates, wi, ci)
+	if err != nil {
+		return Output{}, err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Fig. 13: start-time ranking for a fixed-energy miniAMR run ==\n")
+	fmt.Fprintf(&b, "miniAMR: %d steps, %d cell updates, peak %d blocks, %d refines, %d coarsens\n",
+		st.Steps, st.CellUpdates, st.MaxBlocks, st.Refines, st.Coarsens)
+	fmt.Fprintf(&b, "mini-app energy at model scale: %.4f kWh; experiment job energy: %v over %dh (same at every start)\n\n",
+		float64(runEnergy), jobEnergy, durationHours)
+	t := report.NewTable("", "Start (hour offset)", "Water (L)", "Water rank", "Carbon (g)", "Carbon rank")
+	for i, o := range opts {
+		t.AddRow(
+			fmt.Sprintf("+%dh", candidates[i]-base),
+			fmt.Sprintf("%.2f", float64(o.Water)),
+			fmt.Sprintf("%d", o.WaterRank),
+			fmt.Sprintf("%.1f", float64(o.Carbon)),
+			fmt.Sprintf("%d", o.CarbonRank))
+	}
+	b.WriteString(t.String())
+	if sched.RankingsDisagree(opts) {
+		b.WriteString("\nObservation: the most suitable start times for water and carbon DIFFER (Takeaway 9).\n")
+	} else {
+		b.WriteString("\nObservation: rankings coincide for this day; sweep other days to see divergence.\n")
+	}
+	// Co-optimized pick with equal water/carbon weights.
+	energyCost := make([]float64, len(candidates))
+	waterCost := make([]float64, len(candidates))
+	carbonCost := make([]float64, len(candidates))
+	for i, o := range opts {
+		energyCost[i] = float64(jobEnergy)
+		waterCost[i] = float64(o.Water)
+		carbonCost[i] = float64(o.Carbon)
+	}
+	best, err := sched.CoOptimize(candidates, energyCost, waterCost, carbonCost,
+		sched.Weights{Water: 1, Carbon: 1})
+	if err != nil {
+		return Output{}, err
+	}
+	fmt.Fprintf(&b, "co-optimized (water=carbon weights) start: +%dh\n", best-base)
+	return Output{ID: "fig13", Title: "Start-time ranking", Text: b.String()}, nil
+}
+
+// Fig14 regenerates the nuclear / renewable scenario study.
+func Fig14() (Output, error) {
+	cfgs, err := core.AllConfigs()
+	if err != nil {
+		return Output{}, err
+	}
+	var b strings.Builder
+	b.WriteString("== Fig. 14: carbon and water impact of energy-sourcing scenarios ==\n")
+	scs := energy.AllScenarios()[1:] // skip the neutral baseline row
+	tC := report.NewTable("Carbon footprint saving vs current mix (positive = better)",
+		append([]string{"System"}, scenarioNames(scs)...)...)
+	tW := report.NewTable("Water footprint saving vs current mix (positive = better)",
+		append([]string{"System"}, scenarioNames(scs)...)...)
+	for _, c := range cfgs {
+		rs, err := c.ScenarioSweep()
+		if err != nil {
+			return Output{}, err
+		}
+		byScen := map[energy.Scenario]core.ScenarioResult{}
+		for _, r := range rs {
+			byScen[r.Scenario] = r
+		}
+		rowC := []string{c.System.Name}
+		rowW := []string{c.System.Name}
+		for _, sc := range scs {
+			rowC = append(rowC, report.Signed(byScen[sc].CarbonSavingPct))
+			rowW = append(rowW, report.Signed(byScen[sc].WaterSavingPct))
+		}
+		tC.AddRow(rowC...)
+		tW.AddRow(rowW...)
+	}
+	b.WriteString(tC.String())
+	b.WriteString("\n")
+	b.WriteString(tW.String())
+	b.WriteString("\nObservations: nuclear saves >80% carbon everywhere, but its water impact is location-dependent\n")
+	b.WriteString("(saves at Marconi/Frontier, costs at Fugaku/Polaris); hydro-heavy renewables raise water >60%.\n")
+	return Output{ID: "fig14", Title: "Nuclear-powered HPC scenarios", Text: b.String()}, nil
+}
+
+func scenarioNames(scs []energy.Scenario) []string {
+	out := make([]string, len(scs))
+	for i, sc := range scs {
+		out[i] = shorten(sc.String())
+	}
+	return out
+}
+
+func shorten(s string) string {
+	s = strings.ReplaceAll(s, " Usage", "")
+	s = strings.ReplaceAll(s, " Energy Mix", "")
+	return s
+}

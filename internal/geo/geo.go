@@ -1,0 +1,257 @@
+// Package geo simulates workload shifting across geographically
+// distributed HPC centers — the setting of the paper's Takeaway 7:
+// dispatch policies that chase low energy prices or low carbon can still
+// rack up disproportionate water footprints if regional water intensity
+// and scarcity are ignored.
+//
+// A Fleet holds several assessed centers (hourly energy headroom, water
+// intensity, carbon intensity, scarcity). A Dispatcher routes a stream of
+// deferrable jobs to centers under a chosen policy; the simulator charges
+// each job the footprint of the hours it actually runs.
+package geo
+
+import (
+	"fmt"
+
+	"thirstyflops/internal/core"
+	"thirstyflops/internal/stats"
+	"thirstyflops/internal/units"
+)
+
+// Center is one HPC site participating in the fleet.
+type Center struct {
+	Name string
+	// Headroom is the spare IT power available for shifted load, kW.
+	HeadroomKW float64
+	// WI is the hourly total water intensity (Eq. 8).
+	WI []units.LPerKWh
+	// CI is the hourly grid carbon intensity.
+	CI []units.GCO2PerKWh
+	// WSI weights the center's water use by basin scarcity.
+	WSI units.WSI
+}
+
+// Validate checks the center.
+func (c Center) Validate() error {
+	switch {
+	case c.Name == "":
+		return fmt.Errorf("geo: center has no name")
+	case c.HeadroomKW <= 0:
+		return fmt.Errorf("geo: %s has no headroom", c.Name)
+	case len(c.WI) == 0 || len(c.WI) != len(c.CI):
+		return fmt.Errorf("geo: %s has inconsistent intensity series", c.Name)
+	case c.WSI < 0:
+		return fmt.Errorf("geo: %s has negative WSI", c.Name)
+	}
+	return nil
+}
+
+// CenterFromConfig assesses a paper system and wraps it as a fleet
+// center, with headroom set to the given fraction of its peak power.
+func CenterFromConfig(cfg core.Config, headroomFraction float64) (Center, error) {
+	if headroomFraction <= 0 || headroomFraction > 1 {
+		return Center{}, fmt.Errorf("geo: headroom fraction %v outside (0,1]", headroomFraction)
+	}
+	a, err := cfg.Assess()
+	if err != nil {
+		return Center{}, err
+	}
+	return Center{
+		Name:       cfg.System.Name,
+		HeadroomKW: float64(cfg.System.PeakPower) / 1e3 * headroomFraction,
+		WI:         a.HourlyWaterIntensity(),
+		CI:         a.CarbonSeries,
+		WSI:        cfg.Scarcity.Direct,
+	}, nil
+}
+
+// Job is one deferrable unit of shifted work.
+type Job struct {
+	ID         int
+	ArriveHour int     // earliest start
+	Hours      int     // runtime
+	PowerKW    float64 // draw while running
+}
+
+// Energy is the job's IT energy.
+func (j Job) Energy() units.KWh { return units.KWh(j.PowerKW * float64(j.Hours)) }
+
+// Policy selects the dispatch objective.
+type Policy int
+
+// Dispatch policies.
+const (
+	// EnergyGreedy spreads load by available headroom only — the
+	// energy-price-chaser that ignores environment entirely.
+	EnergyGreedy Policy = iota
+	// CarbonGreedy routes to the lowest carbon intensity over the job's
+	// window.
+	CarbonGreedy
+	// WaterGreedy routes to the lowest water intensity.
+	WaterGreedy
+	// ScarcityAware routes to the lowest scarcity-weighted water.
+	ScarcityAware
+	// CoOptimized balances normalized water and carbon equally.
+	CoOptimized
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case EnergyGreedy:
+		return "energy-greedy"
+	case CarbonGreedy:
+		return "carbon-greedy"
+	case WaterGreedy:
+		return "water-greedy"
+	case ScarcityAware:
+		return "scarcity-aware"
+	case CoOptimized:
+		return "co-optimized"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// AllPolicies lists the dispatch policies.
+func AllPolicies() []Policy {
+	return []Policy{EnergyGreedy, CarbonGreedy, WaterGreedy, ScarcityAware, CoOptimized}
+}
+
+// Outcome aggregates a dispatch run.
+type Outcome struct {
+	Policy        Policy
+	Energy        units.KWh
+	Water         units.Liters
+	AdjustedWater units.Liters // scarcity-weighted
+	Carbon        units.GramsCO2
+	PerCenter     map[string]units.KWh // energy routed to each center
+	Rejected      int                  // jobs no center could host
+}
+
+// Dispatch routes every job under the policy and charges footprints by
+// the destination's hourly intensities. Headroom is tracked per hour;
+// jobs run immediately at their arrival hour at the chosen center.
+func Dispatch(centers []Center, jobsIn []Job, policy Policy) (Outcome, error) {
+	if len(centers) == 0 {
+		return Outcome{}, fmt.Errorf("geo: no centers")
+	}
+	horizon := len(centers[0].WI)
+	for _, c := range centers {
+		if err := c.Validate(); err != nil {
+			return Outcome{}, err
+		}
+		if len(c.WI) != horizon {
+			return Outcome{}, fmt.Errorf("geo: centers have different horizons")
+		}
+	}
+	// Per-center, per-hour committed load in kW.
+	used := make([][]float64, len(centers))
+	for i := range used {
+		used[i] = make([]float64, horizon)
+	}
+
+	out := Outcome{Policy: policy, PerCenter: map[string]units.KWh{}}
+	for _, j := range jobsIn {
+		if j.Hours <= 0 || j.PowerKW <= 0 {
+			return Outcome{}, fmt.Errorf("geo: job %d malformed", j.ID)
+		}
+		if j.ArriveHour < 0 || j.ArriveHour+j.Hours > horizon {
+			return Outcome{}, fmt.Errorf("geo: job %d outside horizon", j.ID)
+		}
+		best := -1
+		bestScore := 0.0
+		for ci, c := range centers {
+			if !fits(c, used[ci], j) {
+				continue
+			}
+			score := scoreFor(c, j, policy, ci, len(centers))
+			if best == -1 || score < bestScore {
+				best, bestScore = ci, score
+			}
+		}
+		if best == -1 {
+			out.Rejected++
+			continue
+		}
+		c := centers[best]
+		var water, carbon float64
+		for h := j.ArriveHour; h < j.ArriveHour+j.Hours; h++ {
+			used[best][h] += j.PowerKW
+			water += j.PowerKW * float64(c.WI[h])
+			carbon += j.PowerKW * float64(c.CI[h])
+		}
+		out.Energy += j.Energy()
+		out.Water += units.Liters(water)
+		out.AdjustedWater += units.Liters(water * float64(c.WSI))
+		out.Carbon += units.GramsCO2(carbon)
+		out.PerCenter[c.Name] += j.Energy()
+	}
+	return out, nil
+}
+
+// fits reports whether the center has headroom for the job over its
+// whole window.
+func fits(c Center, used []float64, j Job) bool {
+	for h := j.ArriveHour; h < j.ArriveHour+j.Hours; h++ {
+		if used[h]+j.PowerKW > c.HeadroomKW {
+			return false
+		}
+	}
+	return true
+}
+
+// scoreFor computes the policy objective for placing j at center c
+// (lower is better).
+func scoreFor(c Center, j Job, policy Policy, idx, n int) float64 {
+	var water, carbon float64
+	for h := j.ArriveHour; h < j.ArriveHour+j.Hours; h++ {
+		water += float64(c.WI[h])
+		carbon += float64(c.CI[h])
+	}
+	switch policy {
+	case EnergyGreedy:
+		// Pure load spreading: rotate deterministically by job ID so the
+		// choice is environment-blind but balanced.
+		return float64((j.ID + idx) % n)
+	case CarbonGreedy:
+		return carbon
+	case WaterGreedy:
+		return water
+	case ScarcityAware:
+		return water * float64(c.WSI)
+	case CoOptimized:
+		// Weigh water and carbon equally after bringing carbon (g/kWh)
+		// to the same magnitude as water (L/kWh); both sums run over the
+		// same job window, so the comparison across centers is fair.
+		return water + carbon/1000
+	}
+	return water
+}
+
+// CompareAll dispatches the same jobs under every policy.
+func CompareAll(centers []Center, jobsIn []Job) ([]Outcome, error) {
+	out := make([]Outcome, 0, len(AllPolicies()))
+	for _, p := range AllPolicies() {
+		o, err := Dispatch(centers, jobsIn, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// SyntheticJobs builds a deterministic stream of deferrable jobs across
+// the horizon: count jobs with the given mean power and duration.
+func SyntheticJobs(count, horizon, meanHours int, meanPowerKW float64, seed uint64) []Job {
+	rng := stats.NewRNG(seed ^ 0x6E0)
+	out := make([]Job, count)
+	for i := range out {
+		hours := 1 + rng.Intn(2*meanHours)
+		arrive := rng.Intn(horizon - hours)
+		power := stats.Clamp(rng.NormMeanStd(meanPowerKW, meanPowerKW*0.3),
+			meanPowerKW*0.2, meanPowerKW*2)
+		out[i] = Job{ID: i + 1, ArriveHour: arrive, Hours: hours, PowerKW: power}
+	}
+	return out
+}

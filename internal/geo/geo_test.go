@@ -1,0 +1,215 @@
+package geo
+
+import (
+	"math"
+	"testing"
+
+	"thirstyflops/internal/core"
+	"thirstyflops/internal/units"
+)
+
+// twoCenters builds a wet-but-clean center and a dry-but-dirty one with
+// flat intensities, the minimal fixture for policy behaviour.
+func twoCenters(horizon int) []Center {
+	wet := Center{Name: "wet-clean", HeadroomKW: 1000, WSI: 0.2}
+	dry := Center{Name: "dry-dirty", HeadroomKW: 1000, WSI: 0.9}
+	for h := 0; h < horizon; h++ {
+		wet.WI = append(wet.WI, 10)
+		wet.CI = append(wet.CI, 50)
+		dry.WI = append(dry.WI, 2)
+		dry.CI = append(dry.CI, 600)
+	}
+	return []Center{wet, dry}
+}
+
+func TestCenterValidate(t *testing.T) {
+	cs := twoCenters(10)
+	for _, c := range cs {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+	bad := []Center{
+		{},
+		{Name: "x", HeadroomKW: 0},
+		{Name: "x", HeadroomKW: 1, WI: []units.LPerKWh{1}, CI: nil},
+		{Name: "x", HeadroomKW: 1, WI: []units.LPerKWh{1}, CI: []units.GCO2PerKWh{1}, WSI: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestWaterGreedyPicksDryCenter(t *testing.T) {
+	cs := twoCenters(24)
+	jobs := []Job{{ID: 1, ArriveHour: 0, Hours: 4, PowerKW: 100}}
+	o, err := Dispatch(cs, jobs, WaterGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.PerCenter["dry-dirty"] == 0 {
+		t.Error("water-greedy should route to the low-WI center")
+	}
+	// Water charged: 100 kW * 4 h * 2 L/kWh.
+	if math.Abs(float64(o.Water)-800) > 1e-9 {
+		t.Errorf("water = %v, want 800", o.Water)
+	}
+}
+
+func TestCarbonGreedyPicksCleanCenter(t *testing.T) {
+	cs := twoCenters(24)
+	jobs := []Job{{ID: 1, ArriveHour: 0, Hours: 4, PowerKW: 100}}
+	o, err := Dispatch(cs, jobs, CarbonGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.PerCenter["wet-clean"] == 0 {
+		t.Error("carbon-greedy should route to the low-CI center")
+	}
+	if o.Water <= 800 {
+		t.Error("the carbon-greedy choice must pay the water penalty (Takeaway 7)")
+	}
+}
+
+func TestScarcityAwareOverridesRawWater(t *testing.T) {
+	// Make the dry center sit in a desperately scarce basin: raw water
+	// favors it, scarcity-adjusted water flips to the wet one.
+	cs := twoCenters(24)
+	cs[1].WSI = 5.0 // adjusted: 2*5=10 vs wet 10*0.2=2
+	jobs := []Job{{ID: 1, ArriveHour: 0, Hours: 2, PowerKW: 50}}
+	raw, _ := Dispatch(cs, jobs, WaterGreedy)
+	adj, _ := Dispatch(cs, jobs, ScarcityAware)
+	if raw.PerCenter["dry-dirty"] == 0 {
+		t.Error("raw water policy should still pick the dry center")
+	}
+	if adj.PerCenter["wet-clean"] == 0 {
+		t.Error("scarcity-aware policy should flip to the wet center")
+	}
+}
+
+func TestHeadroomRespected(t *testing.T) {
+	cs := twoCenters(10)
+	cs[0].HeadroomKW = 100
+	cs[1].HeadroomKW = 100
+	// Three simultaneous 80 kW jobs: only two fit (one per center).
+	jobs := []Job{
+		{ID: 1, ArriveHour: 0, Hours: 5, PowerKW: 80},
+		{ID: 2, ArriveHour: 0, Hours: 5, PowerKW: 80},
+		{ID: 3, ArriveHour: 0, Hours: 5, PowerKW: 80},
+	}
+	o, err := Dispatch(cs, jobs, WaterGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", o.Rejected)
+	}
+}
+
+func TestDispatchErrors(t *testing.T) {
+	cs := twoCenters(10)
+	if _, err := Dispatch(nil, nil, WaterGreedy); err == nil {
+		t.Error("no centers accepted")
+	}
+	if _, err := Dispatch(cs, []Job{{ID: 1, ArriveHour: 8, Hours: 5, PowerKW: 1}}, WaterGreedy); err == nil {
+		t.Error("job outside horizon accepted")
+	}
+	if _, err := Dispatch(cs, []Job{{ID: 1, ArriveHour: 0, Hours: 0, PowerKW: 1}}, WaterGreedy); err == nil {
+		t.Error("zero-duration job accepted")
+	}
+	short := twoCenters(10)
+	short[1].WI = short[1].WI[:5]
+	short[1].CI = short[1].CI[:5]
+	if _, err := Dispatch(short, nil, WaterGreedy); err == nil {
+		t.Error("mismatched horizons accepted")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	for _, p := range AllPolicies() {
+		if p.String() == "" {
+			t.Errorf("policy %d unnamed", p)
+		}
+	}
+	if Policy(99).String() != "policy(99)" {
+		t.Error("out-of-range policy string")
+	}
+}
+
+func TestSyntheticJobsDeterministicAndValid(t *testing.T) {
+	a := SyntheticJobs(100, 8760, 6, 200, 42)
+	b := SyntheticJobs(100, 8760, 6, 200, 42)
+	if len(a) != 100 {
+		t.Fatalf("job count = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+		if a[i].Hours <= 0 || a[i].PowerKW <= 0 || a[i].ArriveHour < 0 ||
+			a[i].ArriveHour+a[i].Hours > 8760 {
+			t.Fatalf("job %d malformed: %+v", i, a[i])
+		}
+	}
+}
+
+func TestTakeaway7OnRealFleet(t *testing.T) {
+	// Build the real four-system fleet and dispatch the same stream under
+	// every policy. The headline: the energy-blind policy consumes more
+	// water than the water-aware one, and carbon-greedy and water-greedy
+	// disagree about where the work should go.
+	var centers []Center
+	cfgs, err := core.AllConfigs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range cfgs {
+		c, err := CenterFromConfig(cfg, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		centers = append(centers, c)
+	}
+	jobs := SyntheticJobs(300, 8760, 8, 500, 42)
+	outs, err := CompareAll(centers, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPolicy := map[Policy]Outcome{}
+	for _, o := range outs {
+		byPolicy[o.Policy] = o
+		if o.Rejected > len(jobs)/10 {
+			t.Errorf("%v rejected %d jobs — fleet too tight", o.Policy, o.Rejected)
+		}
+	}
+	if byPolicy[WaterGreedy].Water >= byPolicy[EnergyGreedy].Water {
+		t.Error("water-greedy should beat energy-blind dispatch on water")
+	}
+	if byPolicy[CarbonGreedy].Carbon >= byPolicy[EnergyGreedy].Carbon {
+		t.Error("carbon-greedy should beat energy-blind dispatch on carbon")
+	}
+	// Takeaway 7's tension: optimizing carbon alone costs water vs the
+	// water-optimal routing.
+	if byPolicy[CarbonGreedy].Water <= byPolicy[WaterGreedy].Water {
+		t.Error("carbon-greedy routing should pay a water premium over water-greedy")
+	}
+	// Scarcity awareness helps the adjusted metric.
+	if byPolicy[ScarcityAware].AdjustedWater > byPolicy[WaterGreedy].AdjustedWater {
+		t.Error("scarcity-aware should not lose to raw-water routing on adjusted water")
+	}
+}
+
+func TestCenterFromConfigErrors(t *testing.T) {
+	cfg, err := core.ConfigFor("Polaris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CenterFromConfig(cfg, 0); err == nil {
+		t.Error("zero headroom fraction accepted")
+	}
+	if _, err := CenterFromConfig(cfg, 1.5); err == nil {
+		t.Error("over-unity headroom fraction accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package hardware
+
+import "testing"
+
+func TestOutlookSystemsValid(t *testing.T) {
+	systems := OutlookSystems()
+	if len(systems) != 2 {
+		t.Fatalf("outlook count = %d, want 2 (Aurora, El Capitan)", len(systems))
+	}
+	for _, s := range systems {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		if s.RmaxPFLOPS < 1000 {
+			t.Errorf("%s: Rmax %v not exascale-class", s.Name, s.RmaxPFLOPS)
+		}
+	}
+}
+
+func TestAnySystemByName(t *testing.T) {
+	for _, name := range []string{"Marconi", "Frontier", "Aurora", "El Capitan"} {
+		if _, err := AnySystemByName(name); err != nil {
+			t.Errorf("AnySystemByName(%s): %v", name, err)
+		}
+	}
+	if _, err := AnySystemByName("Summit"); err == nil {
+		t.Error("unknown system resolved")
+	}
+	// Outlook systems stay out of the Table 1 set.
+	if _, err := SystemByName("Aurora"); err == nil {
+		t.Error("Aurora must not be in the Table 1 set")
+	}
+	if len(Systems()) != 4 {
+		t.Error("Table 1 set changed size")
+	}
+}
+
+func TestElCapitanAPUOnly(t *testing.T) {
+	ec := ElCapitan()
+	if ec.Node.HasCPU() {
+		t.Error("El Capitan nodes carry no discrete CPUs")
+	}
+	if !ec.Node.HasGPU() || ec.Node.GPUs != 4 {
+		t.Error("El Capitan should have 4 MI300A per node")
+	}
+	// TDP: 4*550 + 500 overhead.
+	if got := ec.Node.TDP(); got != 2700 {
+		t.Errorf("node TDP = %v, want 2700", got)
+	}
+	// HBM: 4*128 GB, no CPU contribution.
+	if got := ec.Node.HBMGB(); got != 512 {
+		t.Errorf("node HBM = %v, want 512", got)
+	}
+}
+
+func TestNoProcessorNodeRejected(t *testing.T) {
+	s := ElCapitan()
+	s.Node.GPUs = 0
+	if err := s.Validate(); err == nil {
+		t.Error("processor-less node accepted")
+	}
+}
+
+func TestAuroraConfiguration(t *testing.T) {
+	a := Aurora()
+	if a.SiteName != "Lemont" || a.Region != "Illinois" {
+		t.Error("Aurora shares Polaris' facility context")
+	}
+	if a.StorageGB(HDD) != 0 {
+		t.Error("DAOS is all-flash")
+	}
+	// Ponte Vecchio total silicon: 2*640 + 16*41 = 1936 mm².
+	if got := Max1550.TotalDieArea(); got != 1936 {
+		t.Errorf("Max 1550 area = %v, want 1936", got)
+	}
+}

@@ -1,0 +1,802 @@
+// Package miniamr is a from-scratch adaptive-mesh-refinement stencil
+// mini-application modeled on Sandia's miniAMR, the workload of the
+// paper's Fig. 13 experiment: a 7-point stencil over a unit cube whose
+// mesh refines around a moving sphere. Blocks are swept in parallel by a
+// goroutine worker pool; refinement, 2:1 balance, coarsening, and halo
+// exchange across refinement levels are all implemented.
+//
+// Its role in the reproduction: a deterministic, fixed-energy HPC job
+// whose start time can be swept against hourly water/carbon intensity
+// curves. Cell-update counts give an exact, reproducible energy figure.
+package miniamr
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"thirstyflops/internal/units"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	RootBlocks  int // root grid is RootBlocks³ blocks at level 0
+	BlockSize   int // each block holds BlockSize³ cells (plus halo)
+	MaxLevel    int // finest refinement level
+	Steps       int // timesteps
+	RefineEvery int // re-grid cadence in steps
+	Workers     int // goroutines sweeping blocks; 0 = GOMAXPROCS
+
+	// The refinement driver: a sphere of radius SphereRadius moving along
+	// the main diagonal of the unit cube over the course of the run.
+	SphereRadius float64
+}
+
+// DefaultConfig returns a small but non-trivial problem: 64 root blocks of
+// 8³ cells refining two levels around the sphere.
+func DefaultConfig() Config {
+	return Config{
+		RootBlocks: 4, BlockSize: 8, MaxLevel: 2,
+		Steps: 16, RefineEvery: 4, Workers: 0,
+		SphereRadius: 0.18,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.RootBlocks < 1:
+		return fmt.Errorf("miniamr: need at least one root block")
+	case c.BlockSize < 2 || c.BlockSize%2 != 0:
+		return fmt.Errorf("miniamr: block size must be even and >= 2, got %d", c.BlockSize)
+	case c.MaxLevel < 0 || c.MaxLevel > 6:
+		return fmt.Errorf("miniamr: max level %d out of range", c.MaxLevel)
+	case c.Steps < 1:
+		return fmt.Errorf("miniamr: need at least one step")
+	case c.RefineEvery < 1:
+		return fmt.Errorf("miniamr: refine cadence must be >= 1")
+	case c.SphereRadius <= 0 || c.SphereRadius > 1:
+		return fmt.Errorf("miniamr: sphere radius %v out of (0,1]", c.SphereRadius)
+	case c.Workers < 0:
+		return fmt.Errorf("miniamr: negative worker count")
+	}
+	return nil
+}
+
+// key addresses a block: refinement level plus integer block coordinates
+// within that level's grid (level l has RootBlocks·2^l blocks per edge).
+type key struct {
+	level, x, y, z int
+}
+
+// block is one mesh block: BlockSize³ cells padded by a one-cell halo.
+type block struct {
+	key   key
+	cells []float64 // (B+2)³, halo included
+	next  []float64 // scratch for the Jacobi sweep
+}
+
+// Mesh is the adaptive mesh: a forest of blocks keyed by level/coords.
+type Mesh struct {
+	cfg    Config
+	blocks map[key]*block
+	step   int
+}
+
+// New builds the level-0 mesh with a smooth initial condition.
+func New(cfg Config) (*Mesh, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Mesh{cfg: cfg, blocks: make(map[key]*block)}
+	r := cfg.RootBlocks
+	for x := 0; x < r; x++ {
+		for y := 0; y < r; y++ {
+			for z := 0; z < r; z++ {
+				k := key{0, x, y, z}
+				b := m.newBlock(k)
+				m.initBlock(b)
+				m.blocks[k] = b
+			}
+		}
+	}
+	return m, nil
+}
+
+func (m *Mesh) newBlock(k key) *block {
+	n := m.cfg.BlockSize + 2
+	return &block{key: k, cells: make([]float64, n*n*n), next: make([]float64, n*n*n)}
+}
+
+// idx flattens halo-padded cell coordinates (0..B+1 each).
+func (m *Mesh) idx(i, j, k int) int {
+	n := m.cfg.BlockSize + 2
+	return (i*n+j)*n + k
+}
+
+// cellCenter returns the physical coordinates of a cell center.
+func (m *Mesh) cellCenter(b *block, i, j, k int) (x, y, z float64) {
+	edge := float64(m.cfg.RootBlocks * (1 << b.key.level)) // blocks per edge at this level
+	h := 1.0 / (edge * float64(m.cfg.BlockSize))           // cell width
+	x = (float64(b.key.x*m.cfg.BlockSize+i-1) + 0.5) * h
+	y = (float64(b.key.y*m.cfg.BlockSize+j-1) + 0.5) * h
+	z = (float64(b.key.z*m.cfg.BlockSize+k-1) + 0.5) * h
+	return
+}
+
+// initBlock fills a block with the initial condition: a smooth bump.
+func (m *Mesh) initBlock(b *block) {
+	B := m.cfg.BlockSize
+	for i := 1; i <= B; i++ {
+		for j := 1; j <= B; j++ {
+			for k := 1; k <= B; k++ {
+				x, y, z := m.cellCenter(b, i, j, k)
+				b.cells[m.idx(i, j, k)] = math.Sin(math.Pi*x) * math.Sin(math.Pi*y) * math.Sin(math.Pi*z)
+			}
+		}
+	}
+}
+
+// spherePos returns the center of the refinement sphere at a step: it
+// traverses the cube diagonal and back.
+func (m *Mesh) spherePos(step int) (x, y, z float64) {
+	t := float64(step) / float64(m.cfg.Steps)
+	// Triangle wave across [0.2, 0.8].
+	p := 0.2 + 0.6*(1-math.Abs(2*t-1))
+	return p, p, p
+}
+
+// blockBounds returns the physical bounding box of a block.
+func (m *Mesh) blockBounds(k key) (lo, hi [3]float64) {
+	edge := float64(m.cfg.RootBlocks * (1 << k.level))
+	w := 1.0 / edge
+	lo = [3]float64{float64(k.x) * w, float64(k.y) * w, float64(k.z) * w}
+	hi = [3]float64{lo[0] + w, lo[1] + w, lo[2] + w}
+	return
+}
+
+// intersectsShell reports whether the block box intersects the spherical
+// shell (surface band) driving refinement.
+func (m *Mesh) intersectsShell(k key, cx, cy, cz float64) bool {
+	lo, hi := m.blockBounds(k)
+	// Distance from sphere center to the box (closest point).
+	var dminSq float64
+	c := [3]float64{cx, cy, cz}
+	var dmaxSq float64
+	for a := 0; a < 3; a++ {
+		d := 0.0
+		if c[a] < lo[a] {
+			d = lo[a] - c[a]
+		} else if c[a] > hi[a] {
+			d = c[a] - hi[a]
+		}
+		dminSq += d * d
+		far := math.Max(math.Abs(c[a]-lo[a]), math.Abs(c[a]-hi[a]))
+		dmaxSq += far * far
+	}
+	r := m.cfg.SphereRadius
+	// Shell intersects the box iff min distance <= r <= max distance.
+	return dminSq <= r*r && r*r <= dmaxSq
+}
+
+// Stats aggregates one run.
+type Stats struct {
+	Steps       int
+	CellUpdates int64 // stencil cell updates performed
+	MaxBlocks   int   // peak live block count
+	MinBlocks   int
+	Refines     int // blocks split
+	Coarsens    int // sibling groups merged
+	WallTime    time.Duration
+}
+
+// Run executes the configured number of steps and returns statistics.
+func (m *Mesh) Run() Stats {
+	start := time.Now()
+	st := Stats{Steps: m.cfg.Steps, MinBlocks: len(m.blocks)}
+	for s := 0; s < m.cfg.Steps; s++ {
+		m.step = s
+		if s%m.cfg.RefineEvery == 0 {
+			r, c := m.regrid()
+			st.Refines += r
+			st.Coarsens += c
+		}
+		m.exchangeHalos()
+		st.CellUpdates += m.sweep()
+		if n := len(m.blocks); n > st.MaxBlocks {
+			st.MaxBlocks = n
+		} else if n < st.MinBlocks {
+			st.MinBlocks = n
+		}
+	}
+	st.WallTime = time.Since(start)
+	return st
+}
+
+// NumBlocks returns the live block count.
+func (m *Mesh) NumBlocks() int { return len(m.blocks) }
+
+// Keys returns a snapshot of live block keys (for tests).
+func (m *Mesh) Keys() []key {
+	out := make([]key, 0, len(m.blocks))
+	for k := range m.blocks {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TotalVolume sums the physical volume of all leaf blocks; an intact mesh
+// always covers exactly the unit cube.
+func (m *Mesh) TotalVolume() float64 {
+	var v float64
+	for k := range m.blocks {
+		edge := float64(m.cfg.RootBlocks * (1 << k.level))
+		w := 1.0 / edge
+		v += w * w * w
+	}
+	return v
+}
+
+// --- Regridding ---
+
+// regrid refines blocks intersecting the sphere shell, enforces 2:1
+// balance, and coarsens sibling groups that have left the shell.
+func (m *Mesh) regrid() (refines, coarsens int) {
+	cx, cy, cz := m.spherePos(m.step)
+
+	// Phase 1: mark refinements.
+	for {
+		var toRefine []key
+		for k := range m.blocks {
+			if k.level < m.cfg.MaxLevel && m.intersectsShell(k, cx, cy, cz) {
+				toRefine = append(toRefine, k)
+			}
+		}
+		// 2:1 balance: a block whose same-face neighbor is 2 levels finer
+		// must refine too.
+		toRefine = append(toRefine, m.balanceViolations()...)
+		if len(toRefine) == 0 {
+			break
+		}
+		did := false
+		seen := map[key]bool{}
+		for _, k := range toRefine {
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if _, ok := m.blocks[k]; !ok {
+				continue
+			}
+			m.refineBlock(k)
+			refines++
+			did = true
+		}
+		if !did {
+			break
+		}
+	}
+
+	// Phase 2: coarsen complete sibling groups fully outside the shell.
+	for {
+		merged := false
+		for k := range m.blocks {
+			if k.level == 0 {
+				continue
+			}
+			parent := key{k.level - 1, k.x / 2, k.y / 2, k.z / 2}
+			if m.canCoarsen(parent, cx, cy, cz) {
+				m.coarsenGroup(parent)
+				coarsens++
+				merged = true
+				break // map mutated; restart scan
+			}
+		}
+		if !merged {
+			break
+		}
+	}
+	return refines, coarsens
+}
+
+// balanceViolations finds blocks with a face neighbor two or more levels
+// finer, which must refine to restore 2:1 balance.
+func (m *Mesh) balanceViolations() []key {
+	var out []key
+	for k := range m.blocks {
+		if k.level >= m.cfg.MaxLevel {
+			continue
+		}
+		// Any block exactly two levels deeper overlapping a face region of
+		// k indicates imbalance. Check the 6 face-adjacent regions at
+		// level k.level+2.
+		fineLevel := k.level + 2
+		if fineLevel > m.cfg.MaxLevel {
+			continue
+		}
+		scale := 4 // 2^(2)
+		for _, d := range [][3]int{{-1, 0, 0}, {1, 0, 0}, {0, -1, 0}, {0, 1, 0}, {0, 0, -1}, {0, 0, 1}} {
+			nx, ny, nz := k.x+d[0], k.y+d[1], k.z+d[2]
+			if !m.inGrid(k.level, nx, ny, nz) {
+				continue
+			}
+			// Scan the face plane of the fine-level grid inside the
+			// neighbor box adjacent to k.
+			if m.anyFineOnFace(key{k.level, nx, ny, nz}, d, fineLevel, scale) {
+				out = append(out, k)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// anyFineOnFace reports whether any block exists at fineLevel on the face
+// of the neighbor box facing back toward the original block.
+func (m *Mesh) anyFineOnFace(nb key, d [3]int, fineLevel, scale int) bool {
+	x0, x1 := nb.x*scale, nb.x*scale+scale-1
+	y0, y1 := nb.y*scale, nb.y*scale+scale-1
+	z0, z1 := nb.z*scale, nb.z*scale+scale-1
+	// The face adjacent to the original block is the opposite of d.
+	switch {
+	case d[0] == 1:
+		x1 = x0
+	case d[0] == -1:
+		x0 = x1
+	case d[1] == 1:
+		y1 = y0
+	case d[1] == -1:
+		y0 = y1
+	case d[2] == 1:
+		z1 = z0
+	case d[2] == -1:
+		z0 = z1
+	}
+	for x := x0; x <= x1; x++ {
+		for y := y0; y <= y1; y++ {
+			for z := z0; z <= z1; z++ {
+				if _, ok := m.blocks[key{fineLevel, x, y, z}]; ok {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func (m *Mesh) inGrid(level, x, y, z int) bool {
+	n := m.cfg.RootBlocks * (1 << level)
+	return x >= 0 && y >= 0 && z >= 0 && x < n && y < n && z < n
+}
+
+// refineBlock splits a block into its 8 children with piecewise-constant
+// prolongation of the solution.
+func (m *Mesh) refineBlock(k key) {
+	parent := m.blocks[k]
+	B := m.cfg.BlockSize
+	for ox := 0; ox < 2; ox++ {
+		for oy := 0; oy < 2; oy++ {
+			for oz := 0; oz < 2; oz++ {
+				ck := key{k.level + 1, 2*k.x + ox, 2*k.y + oy, 2*k.z + oz}
+				c := m.newBlock(ck)
+				for i := 1; i <= B; i++ {
+					for j := 1; j <= B; j++ {
+						for l := 1; l <= B; l++ {
+							pi := (i-1)/2 + 1 + ox*B/2
+							pj := (j-1)/2 + 1 + oy*B/2
+							pl := (l-1)/2 + 1 + oz*B/2
+							c.cells[m.idx(i, j, l)] = parent.cells[m.idx(pi, pj, pl)]
+						}
+					}
+				}
+				m.blocks[ck] = c
+			}
+		}
+	}
+	delete(m.blocks, k)
+}
+
+// canCoarsen reports whether all 8 children of parent exist, none
+// intersects the shell, and merging keeps 2:1 balance.
+func (m *Mesh) canCoarsen(parent key, cx, cy, cz float64) bool {
+	level := parent.level + 1
+	for ox := 0; ox < 2; ox++ {
+		for oy := 0; oy < 2; oy++ {
+			for oz := 0; oz < 2; oz++ {
+				ck := key{level, 2*parent.x + ox, 2*parent.y + oy, 2*parent.z + oz}
+				if _, ok := m.blocks[ck]; !ok {
+					return false
+				}
+				if m.intersectsShell(ck, cx, cy, cz) {
+					return false
+				}
+			}
+		}
+	}
+	// Balance: no neighbor of the would-be parent may be 2+ levels finer.
+	if parent.level+2 <= m.cfg.MaxLevel {
+		scale := 4
+		for _, d := range [][3]int{{-1, 0, 0}, {1, 0, 0}, {0, -1, 0}, {0, 1, 0}, {0, 0, -1}, {0, 0, 1}} {
+			nx, ny, nz := parent.x+d[0], parent.y+d[1], parent.z+d[2]
+			if !m.inGrid(parent.level, nx, ny, nz) {
+				continue
+			}
+			if m.anyFineOnFace(key{parent.level, nx, ny, nz}, d, parent.level+2, scale) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// coarsenGroup merges 8 children into their parent by 2x2x2 averaging.
+func (m *Mesh) coarsenGroup(parent key) {
+	B := m.cfg.BlockSize
+	p := m.newBlock(parent)
+	level := parent.level + 1
+	for ox := 0; ox < 2; ox++ {
+		for oy := 0; oy < 2; oy++ {
+			for oz := 0; oz < 2; oz++ {
+				ck := key{level, 2*parent.x + ox, 2*parent.y + oy, 2*parent.z + oz}
+				c := m.blocks[ck]
+				for i := 1; i <= B; i += 2 {
+					for j := 1; j <= B; j += 2 {
+						for l := 1; l <= B; l += 2 {
+							avg := (c.cells[m.idx(i, j, l)] + c.cells[m.idx(i+1, j, l)] +
+								c.cells[m.idx(i, j+1, l)] + c.cells[m.idx(i, j, l+1)] +
+								c.cells[m.idx(i+1, j+1, l)] + c.cells[m.idx(i+1, j, l+1)] +
+								c.cells[m.idx(i, j+1, l+1)] + c.cells[m.idx(i+1, j+1, l+1)]) / 8
+							pi := (i-1)/2 + 1 + ox*B/2
+							pj := (j-1)/2 + 1 + oy*B/2
+							pl := (l-1)/2 + 1 + oz*B/2
+							p.cells[m.idx(pi, pj, pl)] = avg
+						}
+					}
+				}
+				delete(m.blocks, ck)
+			}
+		}
+	}
+	m.blocks[parent] = p
+}
+
+// --- Halo exchange ---
+
+// face describes one of the six block faces.
+var faces = [6][3]int{{-1, 0, 0}, {1, 0, 0}, {0, -1, 0}, {0, 1, 0}, {0, 0, -1}, {0, 0, 1}}
+
+// exchangeHalos fills every block's halo from same-level neighbors,
+// coarser neighbors (constant prolongation), finer neighbors (face
+// averaging), or the domain boundary (Dirichlet zero).
+func (m *Mesh) exchangeHalos() {
+	B := m.cfg.BlockSize
+	for k, b := range m.blocks {
+		for _, d := range faces {
+			nk := key{k.level, k.x + d[0], k.y + d[1], k.z + d[2]}
+			switch {
+			case !m.inGrid(k.level, nk.x, nk.y, nk.z):
+				m.fillFaceConstant(b, d, 0) // domain boundary
+			case m.blocks[nk] != nil:
+				m.copyFaceSameLevel(b, m.blocks[nk], d)
+			default:
+				if !m.fillFromCoarse(b, d) {
+					if !m.fillFromFine(b, d) {
+						m.fillFaceConstant(b, d, 0)
+					}
+				}
+			}
+		}
+		_ = B
+	}
+}
+
+// haloRange iterates the halo plane of face d, calling f with halo cell
+// coords (i,j,k) and the in-block interior offset direction.
+func (m *Mesh) haloRange(d [3]int, f func(i, j, k int)) {
+	B := m.cfg.BlockSize
+	fix := func(v int) (int, bool) { return v, v != 0 }
+	_ = fix
+	var iLo, iHi, jLo, jHi, kLo, kHi int
+	iLo, iHi, jLo, jHi, kLo, kHi = 1, B, 1, B, 1, B
+	switch {
+	case d[0] == -1:
+		iLo, iHi = 0, 0
+	case d[0] == 1:
+		iLo, iHi = B+1, B+1
+	case d[1] == -1:
+		jLo, jHi = 0, 0
+	case d[1] == 1:
+		jLo, jHi = B+1, B+1
+	case d[2] == -1:
+		kLo, kHi = 0, 0
+	case d[2] == 1:
+		kLo, kHi = B+1, B+1
+	}
+	for i := iLo; i <= iHi; i++ {
+		for j := jLo; j <= jHi; j++ {
+			for k := kLo; k <= kHi; k++ {
+				f(i, j, k)
+			}
+		}
+	}
+}
+
+func (m *Mesh) fillFaceConstant(b *block, d [3]int, v float64) {
+	m.haloRange(d, func(i, j, k int) {
+		b.cells[m.idx(i, j, k)] = v
+	})
+}
+
+// copyFaceSameLevel copies the neighbor's adjacent interior plane into b's
+// halo plane.
+func (m *Mesh) copyFaceSameLevel(b, nb *block, d [3]int) {
+	B := m.cfg.BlockSize
+	m.haloRange(d, func(i, j, k int) {
+		ni, nj, nk := i, j, k
+		switch {
+		case d[0] == -1:
+			ni = B
+		case d[0] == 1:
+			ni = 1
+		case d[1] == -1:
+			nj = B
+		case d[1] == 1:
+			nj = 1
+		case d[2] == -1:
+			nk = B
+		case d[2] == 1:
+			nk = 1
+		}
+		b.cells[m.idx(i, j, k)] = nb.cells[m.idx(ni, nj, nk)]
+	})
+}
+
+// fillFromCoarse fills b's halo from a coarser (level-1) neighbor by
+// piecewise-constant sampling. Returns false if no such neighbor exists.
+func (m *Mesh) fillFromCoarse(b *block, d [3]int) bool {
+	k := b.key
+	if k.level == 0 {
+		return false
+	}
+	nk := key{k.level, k.x + d[0], k.y + d[1], k.z + d[2]}
+	ck := key{k.level - 1, nk.x / 2, nk.y / 2, nk.z / 2}
+	cb := m.blocks[ck]
+	if cb == nil {
+		return false
+	}
+	B := m.cfg.BlockSize
+	// Offsets of the fine neighbor block within the coarse block (0 or 1
+	// per axis) determine which half of the coarse block we sample.
+	ox, oy, oz := nk.x%2, nk.y%2, nk.z%2
+	m.haloRange(d, func(i, j, kk int) {
+		// Map fine halo cell to the coarse neighbor's interior.
+		fi, fj, fk := i, j, kk
+		switch {
+		case d[0] == -1:
+			fi = B // adjacent plane inside the neighbor
+		case d[0] == 1:
+			fi = 1
+		case d[1] == -1:
+			fj = B
+		case d[1] == 1:
+			fj = 1
+		case d[2] == -1:
+			fk = B
+		case d[2] == 1:
+			fk = 1
+		}
+		ci := (fi-1)/2 + 1 + ox*B/2
+		cj := (fj-1)/2 + 1 + oy*B/2
+		cl := (fk-1)/2 + 1 + oz*B/2
+		b.cells[m.idx(i, j, kk)] = cb.cells[m.idx(ci, cj, cl)]
+	})
+	return true
+}
+
+// fillFromFine fills b's halo from finer (level+1) neighbor children by
+// averaging 2x2 fine faces. Returns false if the fine children are absent.
+func (m *Mesh) fillFromFine(b *block, d [3]int) bool {
+	k := b.key
+	if k.level >= m.cfg.MaxLevel {
+		return false
+	}
+	nk := key{k.level, k.x + d[0], k.y + d[1], k.z + d[2]}
+	// The four fine children touching the shared face.
+	fineLevel := k.level + 1
+	var found *block
+	for ox := 0; ox < 2; ox++ {
+		for oy := 0; oy < 2; oy++ {
+			for oz := 0; oz < 2; oz++ {
+				fk := key{fineLevel, 2*nk.x + ox, 2*nk.y + oy, 2*nk.z + oz}
+				if fb := m.blocks[fk]; fb != nil {
+					found = fb
+				}
+			}
+		}
+	}
+	if found == nil {
+		return false
+	}
+	B := m.cfg.BlockSize
+	m.haloRange(d, func(i, j, kk int) {
+		// Identify the fine child covering this halo cell and average its
+		// adjacent 2x2 face patch.
+		var ox, oy, oz int
+		fi := 2*i - 1
+		fj := 2*j - 1
+		fk2 := 2*kk - 1
+		switch {
+		case d[0] == -1, d[0] == 1:
+			oy, oz = (fj-1)/B, (fk2-1)/B
+			if d[0] == -1 {
+				ox = 1
+			}
+		case d[1] == -1, d[1] == 1:
+			ox, oz = (fi-1)/B, (fk2-1)/B
+			if d[1] == -1 {
+				oy = 1
+			}
+		default:
+			ox, oy = (fi-1)/B, (fj-1)/B
+			if d[2] == -1 {
+				oz = 1
+			}
+		}
+		ox, oy, oz = clamp01(ox), clamp01(oy), clamp01(oz)
+		ck := key{fineLevel, 2*nk.x + ox, 2*nk.y + oy, 2*nk.z + oz}
+		fb := m.blocks[ck]
+		if fb == nil {
+			b.cells[m.idx(i, j, kk)] = 0
+			return
+		}
+		// Local fine coordinates of the 2x2 patch on the shared plane.
+		li := wrapFine(fi, ox, B)
+		lj := wrapFine(fj, oy, B)
+		lk := wrapFine(fk2, oz, B)
+		switch {
+		case d[0] == -1:
+			li = B
+		case d[0] == 1:
+			li = 1
+		case d[1] == -1:
+			lj = B
+		case d[1] == 1:
+			lj = 1
+		case d[2] == -1:
+			lk = B
+		case d[2] == 1:
+			lk = 1
+		}
+		var sum float64
+		var cnt int
+		for a := 0; a < 2; a++ {
+			for c := 0; c < 2; c++ {
+				pi, pj, pk := li, lj, lk
+				switch {
+				case d[0] != 0:
+					pj, pk = bound(lj+a, B), bound(lk+c, B)
+				case d[1] != 0:
+					pi, pk = bound(li+a, B), bound(lk+c, B)
+				default:
+					pi, pj = bound(li+a, B), bound(lj+c, B)
+				}
+				sum += fb.cells[m.idx(pi, pj, pk)]
+				cnt++
+			}
+		}
+		b.cells[m.idx(i, j, kk)] = sum / float64(cnt)
+	})
+	return true
+}
+
+func clamp01(v int) int {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func wrapFine(f, o, b int) int {
+	v := f - o*b
+	return bound(v, b)
+}
+
+func bound(v, b int) int {
+	if v < 1 {
+		return 1
+	}
+	if v > b {
+		return b
+	}
+	return v
+}
+
+// --- Stencil sweep ---
+
+// sweep applies one Jacobi 7-point relaxation over every block in
+// parallel and returns the number of cell updates performed.
+func (m *Mesh) sweep() int64 {
+	workers := m.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	blocks := make([]*block, 0, len(m.blocks))
+	for _, b := range m.blocks {
+		blocks = append(blocks, b)
+	}
+	var wg sync.WaitGroup
+	work := make(chan *block)
+	B := m.cfg.BlockSize
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range work {
+				for i := 1; i <= B; i++ {
+					for j := 1; j <= B; j++ {
+						for k := 1; k <= B; k++ {
+							c := m.idx(i, j, k)
+							b.next[c] = (b.cells[c] +
+								b.cells[m.idx(i-1, j, k)] + b.cells[m.idx(i+1, j, k)] +
+								b.cells[m.idx(i, j-1, k)] + b.cells[m.idx(i, j+1, k)] +
+								b.cells[m.idx(i, j, k-1)] + b.cells[m.idx(i, j, k+1)]) / 7
+						}
+					}
+				}
+				b.cells, b.next = b.next, b.cells
+			}
+		}()
+	}
+	for _, b := range blocks {
+		work <- b
+	}
+	close(work)
+	wg.Wait()
+	return int64(len(blocks)) * int64(B) * int64(B) * int64(B)
+}
+
+// --- Energy accounting ---
+
+// EnergyModel converts a run's work into electrical energy, anchoring the
+// Fig. 13 experiment: the paper executed miniAMR on a Xeon 8175 host and
+// noted the job consumes the same energy regardless of start time.
+type EnergyModel struct {
+	// JoulesPerCellUpdate is the marginal compute energy per stencil cell
+	// update (covers core, memory, and board overheads).
+	JoulesPerCellUpdate float64
+}
+
+// DefaultEnergyModel returns a model sized so the default config consumes
+// on the order of a few kWh per run-hour on a dual-socket host.
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{JoulesPerCellUpdate: 2.4e-6}
+}
+
+// Energy converts run statistics into IT energy.
+func (e EnergyModel) Energy(st Stats) units.KWh {
+	return units.KWh(float64(st.CellUpdates) * e.JoulesPerCellUpdate / 3.6e6)
+}
+
+// MaxValue returns the largest absolute cell value in the mesh — a
+// stability probe for tests (Jacobi averaging must not amplify).
+func (m *Mesh) MaxValue() float64 {
+	var mx float64
+	B := m.cfg.BlockSize
+	for _, b := range m.blocks {
+		for i := 1; i <= B; i++ {
+			for j := 1; j <= B; j++ {
+				for k := 1; k <= B; k++ {
+					if v := math.Abs(b.cells[m.idx(i, j, k)]); v > mx {
+						mx = v
+					}
+				}
+			}
+		}
+	}
+	return mx
+}

@@ -1,0 +1,245 @@
+package miniamr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{RootBlocks: 0, BlockSize: 8, MaxLevel: 1, Steps: 1, RefineEvery: 1, SphereRadius: 0.2},
+		{RootBlocks: 2, BlockSize: 7, MaxLevel: 1, Steps: 1, RefineEvery: 1, SphereRadius: 0.2},
+		{RootBlocks: 2, BlockSize: 8, MaxLevel: -1, Steps: 1, RefineEvery: 1, SphereRadius: 0.2},
+		{RootBlocks: 2, BlockSize: 8, MaxLevel: 1, Steps: 0, RefineEvery: 1, SphereRadius: 0.2},
+		{RootBlocks: 2, BlockSize: 8, MaxLevel: 1, Steps: 1, RefineEvery: 0, SphereRadius: 0.2},
+		{RootBlocks: 2, BlockSize: 8, MaxLevel: 1, Steps: 1, RefineEvery: 1, SphereRadius: 0},
+		{RootBlocks: 2, BlockSize: 8, MaxLevel: 1, Steps: 1, RefineEvery: 1, SphereRadius: 0.2, Workers: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestNewMeshRootCount(t *testing.T) {
+	cfg := DefaultConfig()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.RootBlocks * cfg.RootBlocks * cfg.RootBlocks
+	if m.NumBlocks() != want {
+		t.Errorf("root blocks = %d, want %d", m.NumBlocks(), want)
+	}
+	if math.Abs(m.TotalVolume()-1) > 1e-12 {
+		t.Errorf("initial volume = %v, want 1", m.TotalVolume())
+	}
+}
+
+func TestRunRefinesAroundSphere(t *testing.T) {
+	cfg := DefaultConfig()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootCount := m.NumBlocks()
+	st := m.Run()
+	if st.Refines == 0 {
+		t.Error("the moving sphere should trigger refinement")
+	}
+	if st.MaxBlocks <= rootCount {
+		t.Errorf("peak blocks %d should exceed root count %d", st.MaxBlocks, rootCount)
+	}
+	if st.CellUpdates <= 0 {
+		t.Error("no cell updates recorded")
+	}
+	if st.Steps != cfg.Steps {
+		t.Errorf("steps = %d, want %d", st.Steps, cfg.Steps)
+	}
+}
+
+func TestVolumeConservedThroughRun(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Steps = 12
+	cfg.RefineEvery = 2
+	m, _ := New(cfg)
+	for s := 0; s < cfg.Steps; s++ {
+		m.step = s
+		m.regrid()
+		if v := m.TotalVolume(); math.Abs(v-1) > 1e-9 {
+			t.Fatalf("step %d: volume %v != 1 (mesh has holes or overlaps)", s, v)
+		}
+	}
+}
+
+func TestMaxLevelRespected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Steps = 8
+	m, _ := New(cfg)
+	m.Run()
+	for _, k := range m.Keys() {
+		if k.level > cfg.MaxLevel {
+			t.Fatalf("block at level %d exceeds max %d", k.level, cfg.MaxLevel)
+		}
+		if k.level < 0 {
+			t.Fatalf("negative level")
+		}
+	}
+}
+
+func TestTwoToOneBalance(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Steps = 8
+	m, _ := New(cfg)
+	m.Run()
+	// Collect per-level occupancy, then verify no block has a face
+	// neighbor region occupied 2+ levels finer.
+	blocks := map[key]bool{}
+	for _, k := range m.Keys() {
+		blocks[k] = true
+	}
+	for _, k := range m.Keys() {
+		fineLevel := k.level + 2
+		if fineLevel > cfg.MaxLevel {
+			continue
+		}
+		for _, d := range faces {
+			nx, ny, nz := k.x+d[0], k.y+d[1], k.z+d[2]
+			if !m.inGrid(k.level, nx, ny, nz) {
+				continue
+			}
+			if m.anyFineOnFace(key{k.level, nx, ny, nz}, d, fineLevel, 4) {
+				t.Fatalf("2:1 balance violated at %+v face %v", k, d)
+			}
+		}
+	}
+}
+
+func TestJacobiStability(t *testing.T) {
+	// Jacobi averaging of a bounded field with zero boundaries must not
+	// amplify: max|u| non-increasing (up to prolongation averaging).
+	cfg := DefaultConfig()
+	cfg.Steps = 10
+	m, _ := New(cfg)
+	before := m.MaxValue()
+	if before <= 0 {
+		t.Fatal("initial condition should be non-trivial")
+	}
+	m.Run()
+	after := m.MaxValue()
+	if after > before+1e-9 {
+		t.Errorf("stencil amplified the field: %v -> %v", before, after)
+	}
+	if math.IsNaN(after) || math.IsInf(after, 0) {
+		t.Error("field corrupted")
+	}
+}
+
+func TestDeterministicCellUpdates(t *testing.T) {
+	// The same config always does exactly the same work — the property the
+	// Fig. 13 experiment depends on ("same energy at every start time").
+	run := func() int64 {
+		m, _ := New(DefaultConfig())
+		return m.Run().CellUpdates
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("cell updates differ across runs: %d vs %d", a, b)
+	}
+}
+
+func TestWorkersProduceSameResult(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Steps = 6
+	cfg.Workers = 1
+	m1, _ := New(cfg)
+	st1 := m1.Run()
+	cfg.Workers = 8
+	m8, _ := New(cfg)
+	st8 := m8.Run()
+	if st1.CellUpdates != st8.CellUpdates {
+		t.Errorf("worker count changed work: %d vs %d", st1.CellUpdates, st8.CellUpdates)
+	}
+	if math.Abs(m1.MaxValue()-m8.MaxValue()) > 1e-12 {
+		t.Errorf("worker count changed the solution: %v vs %v", m1.MaxValue(), m8.MaxValue())
+	}
+}
+
+func TestCoarseningHappens(t *testing.T) {
+	// As the sphere moves away, previously refined regions must merge.
+	cfg := DefaultConfig()
+	cfg.Steps = 16
+	cfg.RefineEvery = 2
+	m, _ := New(cfg)
+	st := m.Run()
+	if st.Coarsens == 0 {
+		t.Error("expected coarsening as the sphere moves")
+	}
+}
+
+func TestEnergyModel(t *testing.T) {
+	em := DefaultEnergyModel()
+	st := Stats{CellUpdates: 3_600_000_000} // 3.6e9 updates
+	// 3.6e9 * 2.4e-6 J = 8640 J = 2.4e-3 kWh.
+	got := em.Energy(st)
+	if math.Abs(float64(got)-0.0024) > 1e-9 {
+		t.Errorf("Energy = %v, want 0.0024 kWh", got)
+	}
+	if em.Energy(Stats{}) != 0 {
+		t.Error("zero work should cost zero energy")
+	}
+}
+
+// Property: energy is linear in cell updates.
+func TestEnergyLinearProperty(t *testing.T) {
+	em := DefaultEnergyModel()
+	f := func(a, b uint32) bool {
+		sa := Stats{CellUpdates: int64(a)}
+		sb := Stats{CellUpdates: int64(b)}
+		sum := Stats{CellUpdates: int64(a) + int64(b)}
+		lhs := float64(em.Energy(sum))
+		rhs := float64(em.Energy(sa)) + float64(em.Energy(sb))
+		return math.Abs(lhs-rhs) <= 1e-9*math.Max(1, lhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHaloExchangeSameLevel(t *testing.T) {
+	// Two adjacent root blocks: after exchange, the halo of one equals the
+	// interior face of the other.
+	cfg := Config{RootBlocks: 2, BlockSize: 4, MaxLevel: 0, Steps: 1, RefineEvery: 1, SphereRadius: 0.2, Workers: 1}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.exchangeHalos()
+	a := m.blocks[key{0, 0, 0, 0}]
+	b := m.blocks[key{0, 1, 0, 0}]
+	B := cfg.BlockSize
+	for j := 1; j <= B; j++ {
+		for k := 1; k <= B; k++ {
+			if a.cells[m.idx(B+1, j, k)] != b.cells[m.idx(1, j, k)] {
+				t.Fatalf("halo mismatch at (%d,%d)", j, k)
+			}
+		}
+	}
+}
+
+func TestSmallestConfig(t *testing.T) {
+	cfg := Config{RootBlocks: 1, BlockSize: 2, MaxLevel: 0, Steps: 2, RefineEvery: 1, SphereRadius: 0.3, Workers: 2}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Run()
+	if st.CellUpdates != 2*8 { // 2 steps x 1 block x 2³ cells
+		t.Errorf("cell updates = %d, want 16", st.CellUpdates)
+	}
+}

@@ -1,0 +1,238 @@
+// Package report renders the tables and figures of the reproduction as
+// plain text: aligned tables, horizontal bar charts, heatmaps, percentage
+// splits, and sparklines. Every experiment binary and benchmark prints
+// through this package so outputs stay uniform and diffable.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; short rows are padded, long rows truncated to the
+// header width.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if l := len([]rune(c)); l > widths[i] {
+				widths[i] = l
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len([]rune(c))))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.headers)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Bar renders a horizontal bar scaled to width characters for a value in
+// [0, max]. Negative values render a left-marked bar.
+func Bar(value, max float64, width int) string {
+	if width <= 0 || max <= 0 {
+		return ""
+	}
+	v := math.Abs(value)
+	n := int(math.Round(v / max * float64(width)))
+	if n > width {
+		n = width
+	}
+	bar := strings.Repeat("█", n) + strings.Repeat("·", width-n)
+	if value < 0 {
+		return "-" + bar
+	}
+	return " " + bar
+}
+
+// BarChart renders labeled horizontal bars with values.
+func BarChart(title string, labels []string, values []float64, unit string, width int) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", title)
+	}
+	if len(labels) != len(values) || len(values) == 0 {
+		return b.String()
+	}
+	maxLabel := 0
+	maxVal := 0.0
+	for i, l := range labels {
+		if len(l) > maxLabel {
+			maxLabel = len(l)
+		}
+		if v := math.Abs(values[i]); v > maxVal {
+			maxVal = v
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	for i, l := range labels {
+		fmt.Fprintf(&b, "%-*s %s %10.2f %s\n", maxLabel, l, Bar(values[i], maxVal, width), values[i], unit)
+	}
+	return b.String()
+}
+
+// Split renders a two-way percentage split (the Fig. 7 pies).
+func Split(label string, aName string, a float64, bName string, b float64) string {
+	total := a + b
+	if total == 0 {
+		return fmt.Sprintf("%s: no data\n", label)
+	}
+	pa := a / total * 100
+	pb := b / total * 100
+	const width = 40
+	na := int(math.Round(pa / 100 * width))
+	return fmt.Sprintf("%-10s [%s%s] %s %.0f%% / %s %.0f%%\n",
+		label,
+		strings.Repeat("#", na), strings.Repeat("=", width-na),
+		aName, pa, bName, pb)
+}
+
+// Heatmap renders a 2D grid of values with a coarse shade ramp, plus row
+// and column labels (the Fig. 4 ratio maps).
+func Heatmap(title string, rowLabels, colLabels []string, grid [][]float64) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", title)
+	}
+	if len(grid) == 0 {
+		return b.String()
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range grid {
+		for _, v := range row {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	ramp := []rune(" .:-=+*#%@")
+	shade := func(v float64) rune {
+		if hi == lo {
+			return ramp[len(ramp)/2]
+		}
+		i := int((v - lo) / (hi - lo) * float64(len(ramp)-1))
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(ramp) {
+			i = len(ramp) - 1
+		}
+		return ramp[i]
+	}
+	maxRow := 0
+	for _, r := range rowLabels {
+		if len(r) > maxRow {
+			maxRow = len(r)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s ", maxRow, "")
+	for _, c := range colLabels {
+		fmt.Fprintf(&b, "%s", c)
+	}
+	b.WriteString("\n")
+	for i, row := range grid {
+		label := ""
+		if i < len(rowLabels) {
+			label = rowLabels[i]
+		}
+		fmt.Fprintf(&b, "%-*s ", maxRow, label)
+		for _, v := range row {
+			b.WriteRune(shade(v))
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "scale: %q=%.2f .. %q=%.2f\n", string(ramp[0]), lo, string(ramp[len(ramp)-1]), hi)
+	return b.String()
+}
+
+// Sparkline renders a compact trend line for a series (the Fig. 11/12
+// monthly curves).
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		i := len(ramp) / 2
+		if hi > lo {
+			i = int((v - lo) / (hi - lo) * float64(len(ramp)-1))
+		}
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(ramp) {
+			i = len(ramp) - 1
+		}
+		b.WriteRune(ramp[i])
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a percentage string.
+func Pct(frac float64) string { return fmt.Sprintf("%.1f%%", frac*100) }
+
+// Signed formats a savings percentage with its sign, matching the Fig. 14
+// bars (positive = saving, negative = increase).
+func Signed(pct float64) string { return fmt.Sprintf("%+.0f%%", pct) }

@@ -1,0 +1,141 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Systems", "Name", "Location")
+	tbl.AddRow("Frontier", "Oak Ridge")
+	tbl.AddRow("Fugaku", "Kobe")
+	out := tbl.String()
+	if !strings.Contains(out, "== Systems ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "Frontier") || !strings.Contains(out, "Kobe") {
+		t.Error("missing cells")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("line count = %d, want 5:\n%s", len(lines), out)
+	}
+	// Columns align: both data rows have "Location" column starting at the
+	// same offset.
+	idx1 := strings.Index(lines[3], "Oak Ridge")
+	idx2 := strings.Index(lines[4], "Kobe")
+	if idx1 != idx2 {
+		t.Errorf("columns misaligned: %d vs %d", idx1, idx2)
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tbl := NewTable("", "A", "B", "C")
+	tbl.AddRow("only")                   // short row padded
+	tbl.AddRow("x", "y", "z", "ignored") // long row truncated
+	out := tbl.String()
+	if strings.Contains(out, "ignored") {
+		t.Error("extra cell not truncated")
+	}
+	if !strings.Contains(out, "only") {
+		t.Error("short row lost")
+	}
+}
+
+func TestBar(t *testing.T) {
+	full := Bar(10, 10, 10)
+	if strings.Count(full, "█") != 10 {
+		t.Errorf("full bar = %q", full)
+	}
+	half := Bar(5, 10, 10)
+	if strings.Count(half, "█") != 5 {
+		t.Errorf("half bar = %q", half)
+	}
+	neg := Bar(-5, 10, 10)
+	if !strings.HasPrefix(neg, "-") {
+		t.Errorf("negative bar should be marked: %q", neg)
+	}
+	over := Bar(100, 10, 10)
+	if strings.Count(over, "█") != 10 {
+		t.Error("overfull bar should clamp")
+	}
+	if Bar(1, 0, 10) != "" || Bar(1, 10, 0) != "" {
+		t.Error("degenerate bars should be empty")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("EWF", []string{"hydro", "wind"}, []float64{16, 0.01}, "L/kWh", 20)
+	if !strings.Contains(out, "hydro") || !strings.Contains(out, "wind") {
+		t.Error("labels missing")
+	}
+	if !strings.Contains(out, "L/kWh") {
+		t.Error("unit missing")
+	}
+	// Mismatched input renders just the title.
+	out2 := BarChart("x", []string{"a"}, []float64{1, 2}, "", 10)
+	if strings.Contains(out2, "a") {
+		t.Error("mismatched chart should not render rows")
+	}
+	// All-zero values must not divide by zero.
+	out3 := BarChart("z", []string{"a"}, []float64{0}, "", 10)
+	if !strings.Contains(out3, "a") {
+		t.Error("zero chart should still render")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	out := Split("Marconi", "direct", 37, "indirect", 63)
+	if !strings.Contains(out, "37%") || !strings.Contains(out, "63%") {
+		t.Errorf("split percentages wrong: %q", out)
+	}
+	if !strings.Contains(Split("x", "a", 0, "b", 0), "no data") {
+		t.Error("zero split should say no data")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	grid := [][]float64{{0, 1}, {2, 3}}
+	out := Heatmap("ratio", []string{"r1", "r2"}, []string{"a", "b"}, grid)
+	if !strings.Contains(out, "r1") || !strings.Contains(out, "scale:") {
+		t.Errorf("heatmap missing parts:\n%s", out)
+	}
+	// Constant grid doesn't crash on zero range.
+	out2 := Heatmap("flat", []string{"r"}, []string{"c"}, [][]float64{{5}})
+	if !strings.Contains(out2, "flat") {
+		t.Error("flat heatmap broken")
+	}
+	if Heatmap("e", nil, nil, nil) != "== e ==\n" {
+		t.Error("empty heatmap should render title only")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Errorf("sparkline length = %d, want 4", len([]rune(s)))
+	}
+	first, last := []rune(s)[0], []rune(s)[3]
+	if first >= last {
+		t.Errorf("rising series should rise: %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline should be empty")
+	}
+	flat := Sparkline([]float64{2, 2})
+	if len([]rune(flat)) != 2 {
+		t.Error("flat sparkline broken")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.5) != "50.0%" {
+		t.Errorf("Pct = %q", Pct(0.5))
+	}
+	if Signed(-94) != "-94%" {
+		t.Errorf("Signed = %q", Signed(-94))
+	}
+	if Signed(80) != "+80%" {
+		t.Errorf("Signed = %q", Signed(80))
+	}
+}

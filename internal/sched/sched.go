@@ -1,0 +1,395 @@
+// Package sched implements the system-software side of the paper's
+// takeaways: batch scheduling simulators (FCFS and EASY backfill) over
+// synthetic traces, the water/carbon start-time ranking of Fig. 13, and
+// the weighted multi-metric co-optimizer sketched in Sec. 6(a). Takeaway 9
+// argues programmers need no new tools but schedulers do — this package is
+// that scheduler substrate.
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"thirstyflops/internal/jobs"
+	"thirstyflops/internal/stats"
+	"thirstyflops/internal/units"
+)
+
+// Placement records where the simulator ran one job.
+type Placement struct {
+	Job   jobs.Job
+	Start float64 // hours from trace start
+	End   float64
+}
+
+// Wait is the queueing delay the job experienced.
+func (p Placement) Wait() float64 { return p.Start - p.Job.SubmitHour }
+
+// Result summarizes a scheduling run.
+type Result struct {
+	Placements []Placement
+	Makespan   float64 // completion time of the last job
+	MeanWait   float64
+	MaxWait    float64
+	// Utilization is busy node-hours over nodes x makespan.
+	Utilization float64
+}
+
+// computeMetrics fills the aggregate fields from the placements.
+func computeMetrics(placements []Placement, nodes int) Result {
+	r := Result{Placements: placements}
+	if len(placements) == 0 {
+		return r
+	}
+	var waitSum, busy float64
+	for _, p := range placements {
+		if p.End > r.Makespan {
+			r.Makespan = p.End
+		}
+		w := p.Wait()
+		waitSum += w
+		if w > r.MaxWait {
+			r.MaxWait = w
+		}
+		busy += float64(p.Job.Nodes) * p.Job.Hours
+	}
+	r.MeanWait = waitSum / float64(len(placements))
+	if r.Makespan > 0 && nodes > 0 {
+		r.Utilization = busy / (float64(nodes) * r.Makespan)
+	}
+	return r
+}
+
+// ValidatePlacements checks the scheduler invariants: every job placed
+// exactly once, starts after submission, correct duration, and the node
+// pool never oversubscribed.
+func ValidatePlacements(trace []jobs.Job, placements []Placement, nodes int) error {
+	if len(placements) != len(trace) {
+		return fmt.Errorf("sched: %d placements for %d jobs", len(placements), len(trace))
+	}
+	seen := make(map[int]bool, len(placements))
+	type edge struct {
+		t     float64
+		delta int
+	}
+	edges := make([]edge, 0, 2*len(placements))
+	for _, p := range placements {
+		if seen[p.Job.ID] {
+			return fmt.Errorf("sched: job %d placed twice", p.Job.ID)
+		}
+		seen[p.Job.ID] = true
+		if p.Start < p.Job.SubmitHour-1e-9 {
+			return fmt.Errorf("sched: job %d started before submission", p.Job.ID)
+		}
+		if math.Abs((p.End-p.Start)-p.Job.Hours) > 1e-9 {
+			return fmt.Errorf("sched: job %d duration altered", p.Job.ID)
+		}
+		edges = append(edges, edge{p.Start, p.Job.Nodes}, edge{p.End, -p.Job.Nodes})
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].t != edges[b].t {
+			return edges[a].t < edges[b].t
+		}
+		return edges[a].delta < edges[b].delta // releases before acquires at ties
+	})
+	inUse := 0
+	for _, e := range edges {
+		inUse += e.delta
+		if inUse > nodes {
+			return fmt.Errorf("sched: %d nodes in use at t=%v exceeds pool of %d", inUse, e.t, nodes)
+		}
+	}
+	return nil
+}
+
+// FCFS runs strict first-come-first-served scheduling: jobs start in
+// submission order, each at the earliest instant enough nodes are free,
+// and no job overtakes an earlier one.
+func FCFS(trace []jobs.Job, nodes int) (Result, error) {
+	if nodes <= 0 {
+		return Result{}, fmt.Errorf("sched: non-positive node pool")
+	}
+	queue := append([]jobs.Job(nil), trace...)
+	jobs.SortBySubmit(queue)
+
+	type running struct {
+		end   float64
+		width int
+	}
+	var active []running
+	placements := make([]Placement, 0, len(queue))
+	// FCFS also cannot start a job before its predecessor started.
+	prevStart := 0.0
+	for _, j := range queue {
+		if j.Nodes > nodes {
+			return Result{}, fmt.Errorf("sched: job %d wants %d nodes on a %d-node machine", j.ID, j.Nodes, nodes)
+		}
+		t := math.Max(j.SubmitHour, prevStart)
+		for {
+			free := nodes
+			next := math.Inf(1)
+			for _, r := range active {
+				if r.end > t {
+					free -= r.width
+					if r.end < next {
+						next = r.end
+					}
+				}
+			}
+			if free >= j.Nodes {
+				break
+			}
+			t = next
+		}
+		placements = append(placements, Placement{Job: j, Start: t, End: t + j.Hours})
+		active = append(active, running{end: t + j.Hours, width: j.Nodes})
+		prevStart = t
+	}
+	return computeMetrics(placements, nodes), nil
+}
+
+// endHeap is a min-heap of running-job end times with widths.
+type endHeap []struct {
+	end   float64
+	width int
+}
+
+func (h endHeap) Len() int           { return len(h) }
+func (h endHeap) Less(a, b int) bool { return h[a].end < h[b].end }
+func (h endHeap) Swap(a, b int)      { h[a], h[b] = h[b], h[a] }
+func (h *endHeap) Push(x interface{}) {
+	*h = append(*h, x.(struct {
+		end   float64
+		width int
+	}))
+}
+func (h *endHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// EASYBackfill runs EASY backfilling: the queue head receives a
+// reservation at its earliest feasible time, and later jobs may jump the
+// queue only if they cannot delay that reservation.
+func EASYBackfill(trace []jobs.Job, nodes int) (Result, error) {
+	if nodes <= 0 {
+		return Result{}, fmt.Errorf("sched: non-positive node pool")
+	}
+	pending := append([]jobs.Job(nil), trace...)
+	jobs.SortBySubmit(pending)
+	for _, j := range pending {
+		if j.Nodes > nodes {
+			return Result{}, fmt.Errorf("sched: job %d wants %d nodes on a %d-node machine", j.ID, j.Nodes, nodes)
+		}
+	}
+
+	var run endHeap
+	heap.Init(&run)
+	free := nodes
+	var queue []jobs.Job
+	placements := make([]Placement, 0, len(pending))
+	t := 0.0
+
+	start := func(j jobs.Job, now float64) {
+		placements = append(placements, Placement{Job: j, Start: now, End: now + j.Hours})
+		heap.Push(&run, struct {
+			end   float64
+			width int
+		}{now + j.Hours, j.Nodes})
+		free -= j.Nodes
+	}
+
+	schedule := func(now float64) {
+		// Start queue heads while they fit.
+		for len(queue) > 0 && queue[0].Nodes <= free {
+			start(queue[0], now)
+			queue = queue[1:]
+		}
+		if len(queue) == 0 {
+			return
+		}
+		// Head is blocked: find its shadow time and spare nodes.
+		head := queue[0]
+		ends := append(endHeap(nil), run...)
+		sort.Slice(ends, func(a, b int) bool { return ends[a].end < ends[b].end })
+		avail := free
+		shadow := math.Inf(1)
+		spare := 0
+		for _, r := range ends {
+			avail += r.width
+			if avail >= head.Nodes {
+				shadow = r.end
+				spare = avail - head.Nodes
+				break
+			}
+		}
+		// Backfill later jobs that cannot delay the head's reservation.
+		rest := queue[1:]
+		kept := rest[:0]
+		for _, j := range rest {
+			fits := j.Nodes <= free
+			harmless := now+j.Hours <= shadow+1e-12 || j.Nodes <= spare
+			if fits && harmless {
+				start(j, now)
+				if j.Nodes <= spare {
+					spare -= j.Nodes
+				}
+				continue
+			}
+			kept = append(kept, j)
+		}
+		queue = queue[:1+len(kept)]
+		copy(queue[1:], kept)
+	}
+
+	i := 0
+	for i < len(pending) || len(queue) > 0 || run.Len() > 0 {
+		// Next event: a submission or a completion.
+		nextSubmit, nextEnd := math.Inf(1), math.Inf(1)
+		if i < len(pending) {
+			nextSubmit = pending[i].SubmitHour
+		}
+		if run.Len() > 0 {
+			nextEnd = run[0].end
+		}
+		if math.IsInf(nextSubmit, 1) && math.IsInf(nextEnd, 1) {
+			break
+		}
+		if nextSubmit <= nextEnd {
+			t = nextSubmit
+			for i < len(pending) && pending[i].SubmitHour <= t {
+				queue = append(queue, pending[i])
+				i++
+			}
+		} else {
+			t = nextEnd
+			for run.Len() > 0 && run[0].end <= t {
+				done := heap.Pop(&run).(struct {
+					end   float64
+					width int
+				})
+				free += done.width
+			}
+		}
+		schedule(t)
+	}
+	return computeMetrics(placements, nodes), nil
+}
+
+// --- Fig. 13: environmental start-time ranking ---
+
+// StartOption scores one candidate start time for a fixed-energy job.
+type StartOption struct {
+	Hour       int // start hour within the intensity series
+	Water      units.Liters
+	Carbon     units.GramsCO2
+	WaterRank  int // 1 = most suitable (lowest footprint)
+	CarbonRank int
+}
+
+// RankStartTimes evaluates a job of the given duration and constant
+// per-hour energy at each candidate start hour against hourly water- and
+// carbon-intensity series, and ranks the candidates on both metrics.
+// The paper's Fig. 13 observation is that the two rankings disagree.
+func RankStartTimes(energyPerHour units.KWh, durationHours int, candidates []int,
+	wi []units.LPerKWh, ci []units.GCO2PerKWh) ([]StartOption, error) {
+	if len(wi) != len(ci) {
+		return nil, fmt.Errorf("sched: intensity series lengths differ (%d vs %d)", len(wi), len(ci))
+	}
+	if durationHours <= 0 {
+		return nil, fmt.Errorf("sched: non-positive duration")
+	}
+	if energyPerHour < 0 {
+		return nil, fmt.Errorf("sched: negative energy")
+	}
+	out := make([]StartOption, len(candidates))
+	for k, c := range candidates {
+		if c < 0 || c+durationHours > len(wi) {
+			return nil, fmt.Errorf("sched: candidate %d does not fit the series", c)
+		}
+		var w, g float64
+		for h := c; h < c+durationHours; h++ {
+			w += float64(wi[h]) * float64(energyPerHour)
+			g += float64(ci[h]) * float64(energyPerHour)
+		}
+		out[k] = StartOption{Hour: c, Water: units.Liters(w), Carbon: units.GramsCO2(g)}
+	}
+	waters := make([]float64, len(out))
+	carbons := make([]float64, len(out))
+	for k, o := range out {
+		waters[k] = float64(o.Water)
+		carbons[k] = float64(o.Carbon)
+	}
+	for k, r := range stats.Ranks(waters) {
+		out[k].WaterRank = r
+	}
+	for k, r := range stats.Ranks(carbons) {
+		out[k].CarbonRank = r
+	}
+	return out, nil
+}
+
+// RankingsDisagree reports whether the water-best and carbon-best start
+// times differ — the Fig. 13 headline.
+func RankingsDisagree(opts []StartOption) bool {
+	var waterBest, carbonBest int
+	for _, o := range opts {
+		if o.WaterRank == 1 {
+			waterBest = o.Hour
+		}
+		if o.CarbonRank == 1 {
+			carbonBest = o.Hour
+		}
+	}
+	return waterBest != carbonBest
+}
+
+// --- Sec. 6(a): weighted multi-metric co-optimization ---
+
+// Weights assigns relative importance to the three sustainability metrics.
+type Weights struct {
+	Energy float64
+	Water  float64
+	Carbon float64
+}
+
+// Validate requires non-negative weights with a positive sum.
+func (w Weights) Validate() error {
+	if w.Energy < 0 || w.Water < 0 || w.Carbon < 0 {
+		return fmt.Errorf("sched: negative weight")
+	}
+	if w.Energy+w.Water+w.Carbon == 0 {
+		return fmt.Errorf("sched: all weights zero")
+	}
+	return nil
+}
+
+// CoOptimize picks the candidate start hour minimizing the weighted sum of
+// min-max-normalized energy, water, and carbon costs. Energy costs may be
+// constant across candidates (as for Fig. 13's fixed-energy job), in which
+// case the energy term is neutral.
+func CoOptimize(candidates []int, energyCost, waterCost, carbonCost []float64, w Weights) (int, error) {
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	n := len(candidates)
+	if n == 0 {
+		return 0, fmt.Errorf("sched: no candidates")
+	}
+	if len(energyCost) != n || len(waterCost) != n || len(carbonCost) != n {
+		return 0, fmt.Errorf("sched: cost vectors must match candidates")
+	}
+	e := stats.Normalize(energyCost)
+	wa := stats.Normalize(waterCost)
+	c := stats.Normalize(carbonCost)
+	scores := make([]float64, n)
+	for i := range scores {
+		scores[i] = w.Energy*e[i] + w.Water*wa[i] + w.Carbon*c[i]
+	}
+	return candidates[stats.ArgMin(scores)], nil
+}

@@ -1,0 +1,311 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"thirstyflops/internal/jobs"
+	"thirstyflops/internal/units"
+)
+
+func simpleTrace() []jobs.Job {
+	return []jobs.Job{
+		{ID: 1, SubmitHour: 0, Nodes: 4, Hours: 2, PowerPerNode: 1000},
+		{ID: 2, SubmitHour: 0, Nodes: 4, Hours: 2, PowerPerNode: 1000},
+		{ID: 3, SubmitHour: 0, Nodes: 2, Hours: 1, PowerPerNode: 1000},
+	}
+}
+
+func TestFCFSSimple(t *testing.T) {
+	// 4-node machine: job1 at t=0, job2 waits for job1, job3 (2 nodes)
+	// cannot overtake under strict FCFS.
+	r, err := FCFS(simpleTrace(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePlacements(simpleTrace(), r.Placements, 4); err != nil {
+		t.Fatal(err)
+	}
+	byID := map[int]Placement{}
+	for _, p := range r.Placements {
+		byID[p.Job.ID] = p
+	}
+	if byID[1].Start != 0 {
+		t.Errorf("job1 start = %v", byID[1].Start)
+	}
+	if byID[2].Start != 2 {
+		t.Errorf("job2 start = %v, want 2 (waits for job1)", byID[2].Start)
+	}
+	if byID[3].Start < byID[2].Start {
+		t.Errorf("FCFS must not let job3 overtake job2")
+	}
+	if r.Makespan != 5 {
+		t.Errorf("makespan = %v, want 5", r.Makespan)
+	}
+}
+
+func TestEASYBackfillsShortJob(t *testing.T) {
+	// Same trace on EASY: job3 (2 nodes, 1h) backfills at t=0 because the
+	// machine has 0 spare nodes only for job1; after job1 starts, 0 free…
+	// Use a 6-node machine: job1 (4n) runs, job2 (4n) is head blocked
+	// until t=2, job3 (2n,1h) fits in the 2 spare nodes and ends at t=1
+	// before the shadow — it must backfill.
+	r, err := EASYBackfill(simpleTrace(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePlacements(simpleTrace(), r.Placements, 6); err != nil {
+		t.Fatal(err)
+	}
+	byID := map[int]Placement{}
+	for _, p := range r.Placements {
+		byID[p.Job.ID] = p
+	}
+	if byID[3].Start != 0 {
+		t.Errorf("job3 should backfill at t=0, started %v", byID[3].Start)
+	}
+	if byID[2].Start != 2 {
+		t.Errorf("head job2 must start at its shadow time 2, got %v", byID[2].Start)
+	}
+}
+
+func TestBackfillDoesNotDelayHead(t *testing.T) {
+	// A long narrow job must not backfill ahead of the blocked head when
+	// it would collide with the head's reservation.
+	trace := []jobs.Job{
+		{ID: 1, SubmitHour: 0, Nodes: 4, Hours: 2},
+		{ID: 2, SubmitHour: 0, Nodes: 6, Hours: 2},  // head, blocked until t=2
+		{ID: 3, SubmitHour: 0, Nodes: 2, Hours: 10}, // would delay head
+	}
+	r, err := EASYBackfill(trace, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[int]Placement{}
+	for _, p := range r.Placements {
+		byID[p.Job.ID] = p
+	}
+	if byID[2].Start != 2 {
+		t.Errorf("head delayed to %v by a backfill", byID[2].Start)
+	}
+	if byID[3].Start < byID[2].Start {
+		t.Errorf("job3 backfilled harmfully at %v", byID[3].Start)
+	}
+}
+
+func TestSchedulersOnGeneratedTrace(t *testing.T) {
+	trace, err := jobs.GenerateTrace(jobs.DefaultTrace(64), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := 64
+	fc, err := FCFS(trace, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePlacements(trace, fc.Placements, nodes); err != nil {
+		t.Fatalf("FCFS invariant: %v", err)
+	}
+	ez, err := EASYBackfill(trace, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePlacements(trace, ez.Placements, nodes); err != nil {
+		t.Fatalf("EASY invariant: %v", err)
+	}
+	// Backfilling should not hurt aggregate wait on a mixed trace.
+	if ez.MeanWait > fc.MeanWait+1e-9 {
+		t.Errorf("EASY mean wait %.3f > FCFS %.3f", ez.MeanWait, fc.MeanWait)
+	}
+	if ez.Utilization <= 0 || ez.Utilization > 1 {
+		t.Errorf("utilization %v out of range", ez.Utilization)
+	}
+}
+
+func TestSchedulerRejectsImpossibleJob(t *testing.T) {
+	trace := []jobs.Job{{ID: 1, SubmitHour: 0, Nodes: 100, Hours: 1}}
+	if _, err := FCFS(trace, 10); err == nil {
+		t.Error("FCFS accepted oversized job")
+	}
+	if _, err := EASYBackfill(trace, 10); err == nil {
+		t.Error("EASY accepted oversized job")
+	}
+	if _, err := FCFS(trace, 0); err == nil {
+		t.Error("FCFS accepted empty machine")
+	}
+	if _, err := EASYBackfill(trace, -1); err == nil {
+		t.Error("EASY accepted negative machine")
+	}
+}
+
+func TestValidatePlacementsCatchesViolations(t *testing.T) {
+	trace := []jobs.Job{
+		{ID: 1, SubmitHour: 0, Nodes: 3, Hours: 2},
+		{ID: 2, SubmitHour: 0, Nodes: 3, Hours: 2},
+	}
+	// Oversubscription: both run at once on 4 nodes.
+	bad := []Placement{
+		{Job: trace[0], Start: 0, End: 2},
+		{Job: trace[1], Start: 0, End: 2},
+	}
+	if err := ValidatePlacements(trace, bad, 4); err == nil {
+		t.Error("oversubscription not caught")
+	}
+	// Early start.
+	early := []Placement{
+		{Job: jobs.Job{ID: 1, SubmitHour: 5, Nodes: 1, Hours: 1}, Start: 0, End: 1},
+	}
+	if err := ValidatePlacements([]jobs.Job{{ID: 1, SubmitHour: 5, Nodes: 1, Hours: 1}}, early, 4); err == nil {
+		t.Error("early start not caught")
+	}
+	// Duplicate placement.
+	dup := []Placement{
+		{Job: trace[0], Start: 0, End: 2},
+		{Job: trace[0], Start: 2, End: 4},
+	}
+	if err := ValidatePlacements(trace, dup, 4); err == nil {
+		t.Error("duplicate placement not caught")
+	}
+	// Missing job.
+	if err := ValidatePlacements(trace, bad[:1], 4); err == nil {
+		t.Error("missing placement not caught")
+	}
+}
+
+// Property: both schedulers satisfy the invariants on random traces.
+func TestSchedulerInvariantsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := jobs.TraceParams{Hours: 48, ArrivalPerHour: 4, MeanHours: 3,
+			SigmaHours: 1, MaxNodes: 32, NodePowerW: 1500}
+		trace, err := jobs.GenerateTrace(p, seed)
+		if err != nil || len(trace) == 0 {
+			return err == nil
+		}
+		fc, err := FCFS(trace, 32)
+		if err != nil || ValidatePlacements(trace, fc.Placements, 32) != nil {
+			return false
+		}
+		ez, err := EASYBackfill(trace, 32)
+		if err != nil || ValidatePlacements(trace, ez.Placements, 32) != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankStartTimes(t *testing.T) {
+	// Water cheapest at hour 0; carbon cheapest at hour 2.
+	wi := []units.LPerKWh{1, 5, 5, 5}
+	ci := []units.GCO2PerKWh{500, 500, 100, 500}
+	opts, err := RankStartTimes(10, 1, []int{0, 1, 2}, wi, ci)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts[0].WaterRank != 1 {
+		t.Errorf("hour 0 water rank = %d, want 1", opts[0].WaterRank)
+	}
+	if opts[2].CarbonRank != 1 {
+		t.Errorf("hour 2 carbon rank = %d, want 1", opts[2].CarbonRank)
+	}
+	if !RankingsDisagree(opts) {
+		t.Error("rankings should disagree in this construction")
+	}
+	// Footprint values: hour 0 water = 1 L/kWh * 10 kWh.
+	if math.Abs(float64(opts[0].Water)-10) > 1e-9 {
+		t.Errorf("water = %v, want 10", opts[0].Water)
+	}
+}
+
+func TestRankStartTimesMultiHour(t *testing.T) {
+	wi := []units.LPerKWh{1, 2, 3, 4}
+	ci := []units.GCO2PerKWh{4, 3, 2, 1}
+	opts, err := RankStartTimes(1, 2, []int{0, 2}, wi, ci)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start 0: water 1+2 = 3; start 2: water 3+4 = 7.
+	if float64(opts[0].Water) != 3 || float64(opts[1].Water) != 7 {
+		t.Errorf("multi-hour sums wrong: %v, %v", opts[0].Water, opts[1].Water)
+	}
+	if !RankingsDisagree(opts) {
+		t.Error("opposed gradients must disagree")
+	}
+}
+
+func TestRankStartTimesErrors(t *testing.T) {
+	wi := []units.LPerKWh{1, 2}
+	ci := []units.GCO2PerKWh{1, 2}
+	if _, err := RankStartTimes(1, 1, []int{5}, wi, ci); err == nil {
+		t.Error("out-of-range candidate accepted")
+	}
+	if _, err := RankStartTimes(1, 0, []int{0}, wi, ci); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := RankStartTimes(-1, 1, []int{0}, wi, ci); err == nil {
+		t.Error("negative energy accepted")
+	}
+	if _, err := RankStartTimes(1, 1, []int{0}, wi, ci[:1]); err == nil {
+		t.Error("mismatched series accepted")
+	}
+}
+
+func TestCoOptimize(t *testing.T) {
+	candidates := []int{0, 6, 12}
+	energy := []float64{1, 1, 1} // constant energy: neutral term
+	water := []float64{5, 1, 9}
+	carbon := []float64{9, 5, 1}
+
+	// Water-only weighting picks hour 6.
+	got, err := CoOptimize(candidates, energy, water, carbon, Weights{Water: 1})
+	if err != nil || got != 6 {
+		t.Errorf("water-only pick = %v (err %v), want 6", got, err)
+	}
+	// Carbon-only weighting picks hour 12.
+	got, _ = CoOptimize(candidates, energy, water, carbon, Weights{Carbon: 1})
+	if got != 12 {
+		t.Errorf("carbon-only pick = %v, want 12", got)
+	}
+	// Balanced weighting picks the compromise (hour 6: normalized water 0
+	// + carbon 0.5 = 0.5 beats hour 12: 1 + 0 and hour 0: 0.5 + 1).
+	got, _ = CoOptimize(candidates, energy, water, carbon, Weights{Water: 1, Carbon: 1})
+	if got != 6 {
+		t.Errorf("balanced pick = %v, want 6", got)
+	}
+}
+
+func TestCoOptimizeErrors(t *testing.T) {
+	if _, err := CoOptimize(nil, nil, nil, nil, Weights{Water: 1}); err == nil {
+		t.Error("no candidates accepted")
+	}
+	if _, err := CoOptimize([]int{0}, []float64{1}, []float64{1}, []float64{1}, Weights{}); err == nil {
+		t.Error("zero weights accepted")
+	}
+	if _, err := CoOptimize([]int{0}, []float64{1, 2}, []float64{1}, []float64{1}, Weights{Water: 1}); err == nil {
+		t.Error("mismatched cost vector accepted")
+	}
+	if _, err := CoOptimize([]int{0}, []float64{1}, []float64{1}, []float64{1}, Weights{Water: -1, Carbon: 2}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestPlacementWait(t *testing.T) {
+	p := Placement{Job: jobs.Job{SubmitHour: 2}, Start: 5, End: 6}
+	if p.Wait() != 3 {
+		t.Errorf("Wait = %v, want 3", p.Wait())
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	r, err := FCFS(nil, 8)
+	if err != nil || len(r.Placements) != 0 {
+		t.Error("FCFS of empty trace should be empty and error-free")
+	}
+	r2, err := EASYBackfill(nil, 8)
+	if err != nil || len(r2.Placements) != 0 {
+		t.Error("EASY of empty trace should be empty and error-free")
+	}
+}

@@ -1,0 +1,151 @@
+// Package sensitivity quantifies how much each Table 2 input parameter
+// moves the total water footprint when swept across its published range —
+// the uncertainty analysis the paper motivates when it acknowledges that
+// water modeling "may be susceptible to unavoidable estimation
+// differences". The output is a tornado-style ranking: the parameters
+// whose ranges dominate the answer are the ones worth measuring well.
+package sensitivity
+
+import (
+	"fmt"
+	"sort"
+
+	"thirstyflops/internal/core"
+	"thirstyflops/internal/energy"
+	"thirstyflops/internal/units"
+)
+
+// Factor is one swept input: mutations produce the low and high variants
+// of a configuration.
+type Factor struct {
+	Name string
+	Low  func(*core.Config)
+	High func(*core.Config)
+}
+
+// DefaultFactors returns the Table 2 parameters with published ranges.
+func DefaultFactors() []Factor {
+	return []Factor{
+		{
+			Name: "fab yield (0.70..0.95)",
+			Low:  func(c *core.Config) { c.Embodied.Yield = 0.95 }, // high yield = low water
+			High: func(c *core.Config) { c.Embodied.Yield = 0.70 },
+		},
+		{
+			Name: "fab grid EWF (1.0..4.0 L/kWh)",
+			Low:  func(c *core.Config) { c.Embodied.FabEWF = 1.0 },
+			High: func(c *core.Config) { c.Embodied.FabEWF = 4.0 },
+		},
+		{
+			Name: "hydro EWF (5..17 L/kWh)",
+			Low:  func(c *core.Config) { overrideEWF(c, energy.Hydro, 5) },
+			High: func(c *core.Config) { overrideEWF(c, energy.Hydro, 17) },
+		},
+		{
+			Name: "nuclear EWF (0.5..3.2 L/kWh)",
+			Low:  func(c *core.Config) { overrideEWF(c, energy.Nuclear, 0.5) },
+			High: func(c *core.Config) { overrideEWF(c, energy.Nuclear, 3.2) },
+		},
+		{
+			Name: "cooling curve slope (±30%)",
+			Low:  func(c *core.Config) { c.Curve.Coeff *= 0.7 },
+			High: func(c *core.Config) { c.Curve.Coeff *= 1.3 },
+		},
+		{
+			Name: "PUE (±10%)",
+			Low:  func(c *core.Config) { scalePUE(c, 0.9) },
+			High: func(c *core.Config) { scalePUE(c, 1.1) },
+		},
+		{
+			Name: "utilization (0.70..0.92)",
+			Low:  func(c *core.Config) { c.Demand.Mean = 0.70 },
+			High: func(c *core.Config) { c.Demand.Mean = 0.92 },
+		},
+	}
+}
+
+func overrideEWF(c *core.Config, s energy.Source, v units.LPerKWh) {
+	over := make(map[energy.Source]units.LPerKWh, len(c.Region.EWFOverrides)+1)
+	for k, val := range c.Region.EWFOverrides {
+		over[k] = val
+	}
+	over[s] = v
+	c.Region.EWFOverrides = over
+}
+
+func scalePUE(c *core.Config, f float64) {
+	p := float64(c.System.PUE) * f
+	if p < 1 {
+		p = 1
+	}
+	c.System.PUE = units.PUE(p)
+}
+
+// Result is one factor's impact on the lifetime water footprint.
+type Result struct {
+	Factor string
+	Base   units.Liters
+	Low    units.Liters
+	High   units.Liters
+	// SwingPct is (high - low) / base, the tornado bar width.
+	SwingPct float64
+}
+
+// Analyze sweeps every factor for a configuration over the given lifetime
+// and returns results sorted by descending swing.
+func Analyze(cfg core.Config, years float64, factors []Factor) ([]Result, error) {
+	if years <= 0 {
+		return nil, fmt.Errorf("sensitivity: non-positive lifetime")
+	}
+	if len(factors) == 0 {
+		factors = DefaultFactors()
+	}
+	base, err := lifetimeWater(cfg, years)
+	if err != nil {
+		return nil, err
+	}
+	if base <= 0 {
+		return nil, fmt.Errorf("sensitivity: degenerate baseline")
+	}
+	out := make([]Result, 0, len(factors))
+	for _, f := range factors {
+		lowCfg := cfg
+		f.Low(&lowCfg)
+		low, err := lifetimeWater(lowCfg, years)
+		if err != nil {
+			return nil, fmt.Errorf("sensitivity: %s low: %w", f.Name, err)
+		}
+		highCfg := cfg
+		f.High(&highCfg)
+		high, err := lifetimeWater(highCfg, years)
+		if err != nil {
+			return nil, fmt.Errorf("sensitivity: %s high: %w", f.Name, err)
+		}
+		out = append(out, Result{
+			Factor:   f.Name,
+			Base:     base,
+			Low:      low,
+			High:     high,
+			SwingPct: 100 * (float64(high) - float64(low)) / float64(base),
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		return abs(out[a].SwingPct) > abs(out[b].SwingPct)
+	})
+	return out, nil
+}
+
+func lifetimeWater(cfg core.Config, years float64) (units.Liters, error) {
+	f, err := cfg.Lifetime(years)
+	if err != nil {
+		return 0, err
+	}
+	return f.Total(), nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

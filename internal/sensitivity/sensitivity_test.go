@@ -1,0 +1,143 @@
+package sensitivity
+
+import (
+	"math"
+	"testing"
+
+	"thirstyflops/internal/core"
+)
+
+func analyze(t *testing.T, system string) []Result {
+	t.Helper()
+	cfg, err := core.ConfigFor(system)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Analyze(cfg, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	rs := analyze(t, "Marconi")
+	if len(rs) != len(DefaultFactors()) {
+		t.Fatalf("result count = %d, want %d", len(rs), len(DefaultFactors()))
+	}
+	for _, r := range rs {
+		if r.Base <= 0 || r.Low <= 0 || r.High <= 0 {
+			t.Errorf("%s: non-positive footprints", r.Factor)
+		}
+		if math.IsNaN(r.SwingPct) || math.IsInf(r.SwingPct, 0) {
+			t.Errorf("%s: bad swing", r.Factor)
+		}
+	}
+	// Sorted by descending absolute swing.
+	for i := 1; i < len(rs); i++ {
+		if math.Abs(rs[i].SwingPct) > math.Abs(rs[i-1].SwingPct)+1e-12 {
+			t.Error("results not sorted by swing")
+		}
+	}
+}
+
+func TestDirectionality(t *testing.T) {
+	// Every factor's high variant should consume at least as much water
+	// as its low variant (they are oriented that way by construction).
+	for _, sys := range []string{"Marconi", "Frontier"} {
+		for _, r := range analyze(t, sys) {
+			if r.High < r.Low {
+				t.Errorf("%s/%s: high %v < low %v", sys, r.Factor, r.High, r.Low)
+			}
+		}
+	}
+}
+
+func TestHydroDominatesMarconi(t *testing.T) {
+	// Marconi's grid is hydro-heavy: the hydro EWF range must be its
+	// top-2 uncertainty.
+	rs := analyze(t, "Marconi")
+	pos := -1
+	for i, r := range rs {
+		if r.Factor == "hydro EWF (5..17 L/kWh)" {
+			pos = i
+		}
+	}
+	if pos < 0 || pos > 1 {
+		t.Errorf("hydro EWF rank = %d, want 0 or 1 for Marconi", pos)
+	}
+}
+
+func TestYieldMattersLittleAtScale(t *testing.T) {
+	// For an operating leadership machine, the fab yield range moves the
+	// lifetime total far less than the utilization range: embodied is a
+	// small slice of Eq. 1 at this scale.
+	rs := analyze(t, "Frontier")
+	var yieldSwing, utilSwing float64
+	for _, r := range rs {
+		switch r.Factor {
+		case "fab yield (0.70..0.95)":
+			yieldSwing = math.Abs(r.SwingPct)
+		case "utilization (0.70..0.92)":
+			utilSwing = math.Abs(r.SwingPct)
+		}
+	}
+	if yieldSwing >= utilSwing {
+		t.Errorf("yield swing %.2f%% >= utilization swing %.2f%%", yieldSwing, utilSwing)
+	}
+}
+
+func TestNuclearEWFMattersForIllinois(t *testing.T) {
+	// Illinois' grid is half nuclear; its cooling technology assumption
+	// must register a nontrivial swing.
+	rs := analyze(t, "Polaris")
+	for _, r := range rs {
+		if r.Factor == "nuclear EWF (0.5..3.2 L/kWh)" {
+			if math.Abs(r.SwingPct) < 5 {
+				t.Errorf("nuclear EWF swing %.2f%% too small for Polaris", r.SwingPct)
+			}
+			return
+		}
+	}
+	t.Fatal("nuclear factor missing")
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	cfg, err := core.ConfigFor("Polaris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(cfg, 0, nil); err == nil {
+		t.Error("zero lifetime accepted")
+	}
+	broken := cfg
+	broken.Demand.Mean = -1
+	if _, err := Analyze(broken, 6, nil); err == nil {
+		t.Error("broken config accepted")
+	}
+}
+
+func TestMutationsDoNotLeak(t *testing.T) {
+	// Analyze must not mutate the caller's config (regions carry maps).
+	cfg, err := core.ConfigFor("Polaris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := cfg.Region.EWFOverrides[2] // energy.Nuclear == 3; use raw lookup below
+	_ = before
+	orig := make(map[interface{}]float64)
+	for k, v := range cfg.Region.EWFOverrides {
+		orig[k] = float64(v)
+	}
+	if _, err := Analyze(cfg, 6, nil); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range cfg.Region.EWFOverrides {
+		if orig[k] != float64(v) {
+			t.Errorf("override %v mutated: %v -> %v", k, orig[k], v)
+		}
+	}
+	if len(orig) != len(cfg.Region.EWFOverrides) {
+		t.Error("override map size changed")
+	}
+}

@@ -1,0 +1,247 @@
+// Package stats provides the small numerical toolkit ThirstyFLOPS is built
+// on: descriptive statistics, min-max normalization, correlation, quantiles,
+// time-series aggregation helpers, and a deterministic random generator.
+//
+// Everything here is dependency-free and operates on plain []float64 so the
+// domain packages can stay focused on modeling.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Min returns the smallest element of xs. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	mustNonEmpty(xs)
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	mustNonEmpty(xs)
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of xs (0 for an empty slice).
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs. It panics on an empty slice.
+func Mean(xs []float64) float64 {
+	mustNonEmpty(xs)
+	return Sum(xs) / float64(len(xs))
+}
+
+// Variance returns the population variance of xs. It panics on an empty
+// slice.
+func Variance(xs []float64) float64 {
+	mustNonEmpty(xs)
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the median of xs. It panics on an empty slice.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It panics on an empty slice or an
+// out-of-range q.
+func Quantile(xs []float64, q float64) float64 {
+	mustNonEmpty(xs)
+	if q < 0 || q > 1 {
+		panic("stats: quantile out of range")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Normalize rescales xs to [0, 1] with min-max scaling, as used for the
+// paper's Fig. 11/12 comparisons. A constant series maps to all zeros.
+func Normalize(xs []float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	lo, hi := Min(xs), Max(xs)
+	out := make([]float64, len(xs))
+	if hi == lo {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = (x - lo) / (hi - lo)
+	}
+	return out
+}
+
+// Pearson returns the Pearson correlation coefficient between xs and ys. It
+// panics if the slices differ in length or are shorter than 2. A series with
+// zero variance yields NaN.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: Pearson length mismatch")
+	}
+	if len(xs) < 2 {
+		panic("stats: Pearson needs at least 2 points")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// ArgMin returns the index of the smallest element. It panics on an empty
+// slice; ties resolve to the first occurrence.
+func ArgMin(xs []float64) int {
+	mustNonEmpty(xs)
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgMax returns the index of the largest element. It panics on an empty
+// slice; ties resolve to the first occurrence.
+func ArgMax(xs []float64) int {
+	mustNonEmpty(xs)
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Ranks returns the 1-based ascending rank of every element (rank 1 = the
+// smallest value). Ties are broken by position.
+func Ranks(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]int, len(xs))
+	for r, i := range idx {
+		ranks[i] = r + 1
+	}
+	return ranks
+}
+
+// MonthlyMeans aggregates an hourly year-long series (8760 values, or 8784
+// for leap years) into 12 per-month means using standard month lengths. For
+// series whose length is not a whole year it splits into 12 equal chunks.
+func MonthlyMeans(hourly []float64) []float64 {
+	if len(hourly) == 0 {
+		return nil
+	}
+	monthHours := []int{744, 672, 744, 720, 744, 720, 744, 744, 720, 744, 720, 744} // 8760
+	if len(hourly) == 8784 {                                                        // leap year: February has 696 h
+		monthHours[1] = 696
+	}
+	total := 0
+	for _, h := range monthHours {
+		total += h
+	}
+	out := make([]float64, 12)
+	if len(hourly) != total {
+		// Not a calendar year: fall back to 12 equal chunks.
+		chunk := len(hourly) / 12
+		if chunk == 0 {
+			chunk = 1
+		}
+		for m := 0; m < 12; m++ {
+			lo := m * chunk
+			hi := lo + chunk
+			if m == 11 || hi > len(hourly) {
+				hi = len(hourly)
+			}
+			if lo >= hi {
+				out[m] = out[max(0, m-1)]
+				continue
+			}
+			out[m] = Mean(hourly[lo:hi])
+		}
+		return out
+	}
+	pos := 0
+	for m, h := range monthHours {
+		out[m] = Mean(hourly[pos : pos+h])
+		pos += h
+	}
+	return out
+}
+
+// HoursPerYear is the length of the non-leap hourly series used throughout
+// the synthetic substrates.
+const HoursPerYear = 8760
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Lerp linearly interpolates between a and b by t in [0,1].
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+func mustNonEmpty(xs []float64) {
+	if len(xs) == 0 {
+		panic("stats: empty slice")
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

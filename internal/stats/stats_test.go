@@ -1,0 +1,384 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinMaxSumMean(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	if got := Min(xs); got != 1 {
+		t.Errorf("Min = %v, want 1", got)
+	}
+	if got := Max(xs); got != 9 {
+		t.Errorf("Max = %v, want 9", got)
+	}
+	if got := Sum(xs); got != 31 {
+		t.Errorf("Sum = %v, want 31", got)
+	}
+	if got := Mean(xs); math.Abs(got-3.875) > 1e-12 {
+		t.Errorf("Mean = %v, want 3.875", got)
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestMedianQuantile(t *testing.T) {
+	if got := Median([]float64{1, 2, 3, 4, 5}); got != 3 {
+		t.Errorf("odd Median = %v, want 3", got)
+	}
+	if got := Median([]float64{1, 2, 3, 4}); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("even Median = %v, want 2.5", got)
+	}
+	xs := []float64{10, 20, 30, 40, 50}
+	if got := Quantile(xs, 0); got != 10 {
+		t.Errorf("q0 = %v, want 10", got)
+	}
+	if got := Quantile(xs, 1); got != 50 {
+		t.Errorf("q1 = %v, want 50", got)
+	}
+	if got := Quantile(xs, 0.25); got != 20 {
+		t.Errorf("q0.25 = %v, want 20", got)
+	}
+	if got := Quantile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("single-element quantile = %v, want 7", got)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range quantile")
+		}
+	}()
+	Quantile([]float64{1}, 1.5)
+}
+
+func TestEmptyPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Min":    func() { Min(nil) },
+		"Max":    func() { Max(nil) },
+		"Mean":   func() { Mean(nil) },
+		"ArgMin": func() { ArgMin(nil) },
+		"ArgMax": func() { ArgMax(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(nil) should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{10, 15, 20})
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("Normalize[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Constant series maps to zeros.
+	for _, v := range Normalize([]float64{4, 4, 4}) {
+		if v != 0 {
+			t.Errorf("constant Normalize = %v, want 0", v)
+		}
+	}
+	if Normalize(nil) != nil {
+		t.Error("Normalize(nil) should be nil")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect corr = %v, want 1", got)
+	}
+	zs := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(xs, zs); math.Abs(got+1) > 1e-12 {
+		t.Errorf("perfect anticorr = %v, want -1", got)
+	}
+}
+
+func TestArgMinArgMax(t *testing.T) {
+	xs := []float64{5, 1, 9, 1, 9}
+	if got := ArgMin(xs); got != 1 {
+		t.Errorf("ArgMin = %v, want 1 (first tie)", got)
+	}
+	if got := ArgMax(xs); got != 2 {
+		t.Errorf("ArgMax = %v, want 2 (first tie)", got)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	xs := []float64{30, 10, 20}
+	got := Ranks(xs)
+	want := []int{3, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Ranks[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMonthlyMeansCalendarYear(t *testing.T) {
+	hourly := make([]float64, HoursPerYear)
+	for i := range hourly {
+		hourly[i] = 1
+	}
+	for _, m := range MonthlyMeans(hourly) {
+		if math.Abs(m-1) > 1e-12 {
+			t.Errorf("constant year mean = %v, want 1", m)
+		}
+	}
+	// January-only signal: only month 0 is nonzero.
+	hourly2 := make([]float64, HoursPerYear)
+	for i := 0; i < 744; i++ {
+		hourly2[i] = 2
+	}
+	ms := MonthlyMeans(hourly2)
+	if math.Abs(ms[0]-2) > 1e-12 {
+		t.Errorf("January mean = %v, want 2", ms[0])
+	}
+	for m := 1; m < 12; m++ {
+		if ms[m] != 0 {
+			t.Errorf("month %d mean = %v, want 0", m, ms[m])
+		}
+	}
+}
+
+func TestMonthlyMeansIrregularLength(t *testing.T) {
+	got := MonthlyMeans([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	if len(got) != 12 {
+		t.Fatalf("len = %d, want 12", len(got))
+	}
+	for i, v := range got {
+		if v != float64(i+1) {
+			t.Errorf("chunked mean[%d] = %v, want %v", i, v, i+1)
+		}
+	}
+	if MonthlyMeans(nil) != nil {
+		t.Error("MonthlyMeans(nil) should be nil")
+	}
+}
+
+func TestClampLerp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp misbehaves")
+	}
+	if Lerp(0, 10, 0.5) != 5 {
+		t.Error("Lerp midpoint wrong")
+	}
+}
+
+// --- RNG tests ---
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should give different streams")
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed must not produce a stuck stream")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestRNGRangeAndIntn(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(-3, 9)
+		if v < -3 || v >= 9 {
+			t.Fatalf("Range out of bounds: %v", v)
+		}
+		n := r.Intn(13)
+		if n < 0 || n >= 13 {
+			t.Fatalf("Intn out of bounds: %v", n)
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(99)
+	n := 50000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.03 {
+		t.Errorf("Norm mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("Norm variance = %v, want ~1", variance)
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(123)
+	n := 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exp(2)
+		if v < 0 {
+			t.Fatal("Exp must be non-negative")
+		}
+		sum += v
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("Exp(2) mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRNGLogNormalPositive(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 1000; i++ {
+		if r.LogNormal(0, 1) <= 0 {
+			t.Fatal("LogNormal must be positive")
+		}
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	parent := NewRNG(42)
+	child := parent.Fork()
+	// The child stream should not replay the parent's.
+	p, c := NewRNG(42), child
+	diff := false
+	for i := 0; i < 10; i++ {
+		if p.Uint64() != c.Uint64() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("forked stream replays the parent")
+	}
+}
+
+// Property: Normalize output is always within [0,1] and hits both ends for
+// non-constant input.
+func TestNormalizeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Mod(v, 1e9))
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		out := Normalize(xs)
+		lo, hi := Min(out), Max(out)
+		if lo < 0 || hi > 1 {
+			return false
+		}
+		if Min(xs) != Max(xs) && (lo != 0 || hi != 1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantiles are monotone in q.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		a := math.Mod(math.Abs(q1), 1)
+		b := math.Mod(math.Abs(q2), 1)
+		if a > b {
+			a, b = b, a
+		}
+		return Quantile(xs, a) <= Quantile(xs, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ranks are a permutation of 1..n.
+func TestRanksPermutationProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i, v := range xs {
+			if math.IsNaN(v) {
+				xs[i] = 0
+			}
+		}
+		r := Ranks(xs)
+		seen := make([]bool, len(r)+1)
+		for _, v := range r {
+			if v < 1 || v > len(r) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

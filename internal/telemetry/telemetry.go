@@ -1,0 +1,195 @@
+// Package telemetry handles the power-log time series that anchor the
+// operational water footprint: hourly IT power samples per system, energy
+// aggregation, resampling, and CSV/JSON round-trips compatible with
+// external analysis. The paper consumes published log datasets (Marconi
+// M100 exadata, ALCF public data, Fugaku logs, Frontier energy dataset);
+// the jobs package synthesizes equivalent series which flow through here.
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"thirstyflops/internal/stats"
+	"thirstyflops/internal/units"
+)
+
+// PowerLog is an hourly IT power series for one system.
+type PowerLog struct {
+	System  string        `json:"system"`
+	Year    int           `json:"year"`
+	Samples []units.Watts `json:"samples_w"`
+}
+
+// Validate checks the log for physical plausibility.
+func (l PowerLog) Validate() error {
+	if l.System == "" {
+		return fmt.Errorf("telemetry: log has no system name")
+	}
+	if len(l.Samples) == 0 {
+		return fmt.Errorf("telemetry: %s: empty log", l.System)
+	}
+	for i, s := range l.Samples {
+		if s < 0 {
+			return fmt.Errorf("telemetry: %s: negative power at hour %d", l.System, i)
+		}
+	}
+	return nil
+}
+
+// Energy integrates the full log into IT energy (hourly samples).
+func (l PowerLog) Energy() units.KWh {
+	var total units.KWh
+	for _, w := range l.Samples {
+		total += w.EnergyOver(1)
+	}
+	return total
+}
+
+// HourlyEnergy converts each power sample into that hour's energy.
+func (l PowerLog) HourlyEnergy() []units.KWh {
+	out := make([]units.KWh, len(l.Samples))
+	for i, w := range l.Samples {
+		out[i] = w.EnergyOver(1)
+	}
+	return out
+}
+
+// MonthlyEnergy aggregates a year-long log into 12 monthly energies.
+func (l PowerLog) MonthlyEnergy() []units.KWh {
+	hourly := make([]float64, len(l.Samples))
+	for i, w := range l.Samples {
+		hourly[i] = float64(w.EnergyOver(1))
+	}
+	monthsMeans := stats.MonthlyMeans(hourly)
+	monthHours := []float64{744, 672, 744, 720, 744, 720, 744, 744, 720, 744, 720, 744}
+	out := make([]units.KWh, 12)
+	for m := range out {
+		out[m] = units.KWh(monthsMeans[m] * monthHours[m])
+	}
+	return out
+}
+
+// MeanPower is the average IT draw over the log.
+func (l PowerLog) MeanPower() units.Watts {
+	if len(l.Samples) == 0 {
+		return 0
+	}
+	var total float64
+	for _, w := range l.Samples {
+		total += float64(w)
+	}
+	return units.Watts(total / float64(len(l.Samples)))
+}
+
+// Resample downsamples the log by averaging consecutive windows of the
+// given size; a trailing partial window is averaged over its actual
+// length. Factor <= 1 returns a copy.
+func (l PowerLog) Resample(factor int) PowerLog {
+	if factor <= 1 {
+		return PowerLog{System: l.System, Year: l.Year, Samples: append([]units.Watts(nil), l.Samples...)}
+	}
+	out := PowerLog{System: l.System, Year: l.Year}
+	for i := 0; i < len(l.Samples); i += factor {
+		end := i + factor
+		if end > len(l.Samples) {
+			end = len(l.Samples)
+		}
+		var sum float64
+		for _, w := range l.Samples[i:end] {
+			sum += float64(w)
+		}
+		out.Samples = append(out.Samples, units.Watts(sum/float64(end-i)))
+	}
+	return out
+}
+
+// --- CSV round trip ---
+
+// WriteCSV emits the log as "hour,power_w" rows with a header comment
+// carrying the metadata.
+func (l PowerLog) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# system=%s year=%d\n", l.System, l.Year); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(bw, "hour,power_w"); err != nil {
+		return err
+	}
+	for i, s := range l.Samples {
+		if _, err := fmt.Fprintf(bw, "%d,%.3f\n", i, float64(s)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a log written by WriteCSV.
+func ReadCSV(r io.Reader) (PowerLog, error) {
+	var l PowerLog
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		lineNo++
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "#"):
+			for _, field := range strings.Fields(strings.TrimPrefix(line, "#")) {
+				k, v, ok := strings.Cut(field, "=")
+				if !ok {
+					continue
+				}
+				switch k {
+				case "system":
+					l.System = v
+				case "year":
+					y, err := strconv.Atoi(v)
+					if err != nil {
+						return PowerLog{}, fmt.Errorf("telemetry: line %d: bad year %q", lineNo, v)
+					}
+					l.Year = y
+				}
+			}
+		case line == "hour,power_w":
+			continue
+		default:
+			_, val, ok := strings.Cut(line, ",")
+			if !ok {
+				return PowerLog{}, fmt.Errorf("telemetry: line %d: malformed row %q", lineNo, line)
+			}
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return PowerLog{}, fmt.Errorf("telemetry: line %d: bad power %q", lineNo, val)
+			}
+			l.Samples = append(l.Samples, units.Watts(p))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return PowerLog{}, err
+	}
+	return l, l.Validate()
+}
+
+// --- JSON round trip ---
+
+// WriteJSON emits the log as JSON.
+func (l PowerLog) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(l)
+}
+
+// ReadJSON parses a JSON log.
+func ReadJSON(r io.Reader) (PowerLog, error) {
+	var l PowerLog
+	if err := json.NewDecoder(r).Decode(&l); err != nil {
+		return PowerLog{}, err
+	}
+	return l, l.Validate()
+}

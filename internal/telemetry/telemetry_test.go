@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"thirstyflops/internal/units"
+)
+
+func sampleLog() PowerLog {
+	return PowerLog{
+		System:  "TestSys",
+		Year:    2023,
+		Samples: []units.Watts{1000, 2000, 3000, 4000},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := sampleLog().Validate(); err != nil {
+		t.Errorf("valid log rejected: %v", err)
+	}
+	if err := (PowerLog{System: "x"}).Validate(); err == nil {
+		t.Error("empty log accepted")
+	}
+	if err := (PowerLog{Samples: []units.Watts{1}}).Validate(); err == nil {
+		t.Error("nameless log accepted")
+	}
+	bad := sampleLog()
+	bad.Samples[2] = -5
+	if err := bad.Validate(); err == nil {
+		t.Error("negative power accepted")
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	// 1+2+3+4 kW over one hour each = 10 kWh.
+	if got := sampleLog().Energy(); math.Abs(float64(got)-10) > 1e-9 {
+		t.Errorf("Energy = %v, want 10 kWh", got)
+	}
+	he := sampleLog().HourlyEnergy()
+	if len(he) != 4 || math.Abs(float64(he[1])-2) > 1e-12 {
+		t.Errorf("HourlyEnergy = %v", he)
+	}
+}
+
+func TestMeanPower(t *testing.T) {
+	if got := sampleLog().MeanPower(); math.Abs(float64(got)-2500) > 1e-9 {
+		t.Errorf("MeanPower = %v, want 2500", got)
+	}
+	if got := (PowerLog{}).MeanPower(); got != 0 {
+		t.Errorf("empty MeanPower = %v", got)
+	}
+}
+
+func TestMonthlyEnergyConservation(t *testing.T) {
+	// A constant year-long 1 kW log: monthly energies must sum to 8760 kWh
+	// and January (744 h) must carry 744 kWh.
+	samples := make([]units.Watts, 8760)
+	for i := range samples {
+		samples[i] = 1000
+	}
+	l := PowerLog{System: "x", Year: 2023, Samples: samples}
+	ms := l.MonthlyEnergy()
+	if len(ms) != 12 {
+		t.Fatalf("months = %d", len(ms))
+	}
+	var sum float64
+	for _, m := range ms {
+		sum += float64(m)
+	}
+	if math.Abs(sum-8760) > 1e-6 {
+		t.Errorf("monthly sum = %v, want 8760", sum)
+	}
+	if math.Abs(float64(ms[0])-744) > 1e-6 {
+		t.Errorf("January = %v, want 744", ms[0])
+	}
+}
+
+func TestResample(t *testing.T) {
+	l := sampleLog()
+	r := l.Resample(2)
+	if len(r.Samples) != 2 {
+		t.Fatalf("resampled len = %d, want 2", len(r.Samples))
+	}
+	if float64(r.Samples[0]) != 1500 || float64(r.Samples[1]) != 3500 {
+		t.Errorf("resampled = %v", r.Samples)
+	}
+	// Trailing partial window.
+	l2 := PowerLog{System: "x", Samples: []units.Watts{2, 4, 6}}
+	r2 := l2.Resample(2)
+	if len(r2.Samples) != 2 || float64(r2.Samples[1]) != 6 {
+		t.Errorf("partial window wrong: %v", r2.Samples)
+	}
+	// Factor <= 1 copies without aliasing.
+	c := l.Resample(1)
+	c.Samples[0] = 99
+	if l.Samples[0] == 99 {
+		t.Error("Resample(1) aliased the source")
+	}
+}
+
+func TestResamplePreservesMeanPower(t *testing.T) {
+	l := PowerLog{System: "x", Samples: []units.Watts{10, 20, 30, 40, 50, 60}}
+	if got, want := l.Resample(3).MeanPower(), l.MeanPower(); math.Abs(float64(got-want)) > 1e-9 {
+		t.Errorf("resample changed mean power: %v vs %v", got, want)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	l := sampleLog()
+	var buf bytes.Buffer
+	if err := l.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.System != l.System || got.Year != l.Year {
+		t.Errorf("metadata lost: %+v", got)
+	}
+	if len(got.Samples) != len(l.Samples) {
+		t.Fatalf("sample count %d != %d", len(got.Samples), len(l.Samples))
+	}
+	for i := range got.Samples {
+		if math.Abs(float64(got.Samples[i]-l.Samples[i])) > 1e-3 {
+			t.Errorf("sample %d: %v != %v", i, got.Samples[i], l.Samples[i])
+		}
+	}
+}
+
+func TestCSVRejectsMalformed(t *testing.T) {
+	for name, data := range map[string]string{
+		"bad row":   "# system=x year=1\nhour,power_w\nnot-a-row\n",
+		"bad power": "# system=x year=1\nhour,power_w\n0,abc\n",
+		"bad year":  "# system=x year=abc\nhour,power_w\n0,1\n",
+		"empty":     "",
+	} {
+		if _, err := ReadCSV(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	l := sampleLog()
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.System != l.System || got.Year != l.Year || len(got.Samples) != len(l.Samples) {
+		t.Errorf("JSON round trip lost data: %+v", got)
+	}
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"system":"","samples_w":[]}`)); err == nil {
+		t.Error("invalid log accepted after JSON decode")
+	}
+}

@@ -1,0 +1,127 @@
+// Package upgrade answers the procurement question the paper's Sec. 6
+// raises when it says embodied accounting is "critical for accurate
+// comparison across HPC systems with various hardware types and upgrade
+// cycles": replacing a running system with newer hardware invests a fresh
+// embodied water footprint to buy lower operational water per unit of
+// compute. This package computes the water payback period of such an
+// upgrade.
+//
+// The comparison is compute-normalized: the new technology is scaled to
+// deliver the old system's Rmax, and it is installed at the old system's
+// site and grid (the facility does not move), keeping weather, EWF, and
+// scarcity fixed while the hardware changes.
+package upgrade
+
+import (
+	"fmt"
+	"math"
+
+	"thirstyflops/internal/core"
+	"thirstyflops/internal/units"
+)
+
+// Plan describes one upgrade decision.
+type Plan struct {
+	// Old is the running system in place.
+	Old core.Config
+	// New is the replacement technology (its own site/grid are ignored;
+	// it is installed at Old's facility).
+	New core.Config
+	// HorizonYears is the period over which the decision is judged.
+	HorizonYears float64
+}
+
+// Validate checks the plan.
+func (p Plan) Validate() error {
+	if err := p.Old.Validate(); err != nil {
+		return fmt.Errorf("upgrade: old: %w", err)
+	}
+	if err := p.New.Validate(); err != nil {
+		return fmt.Errorf("upgrade: new: %w", err)
+	}
+	if p.Old.System.RmaxPFLOPS <= 0 || p.New.System.RmaxPFLOPS <= 0 {
+		return fmt.Errorf("upgrade: both systems need Rmax for compute normalization")
+	}
+	if p.HorizonYears <= 0 {
+		return fmt.Errorf("upgrade: non-positive horizon")
+	}
+	return nil
+}
+
+// Analysis is the outcome of an upgrade decision.
+type Analysis struct {
+	OldSystem, NewSystem string
+
+	// Scale is the fraction of the new technology needed to match the old
+	// system's Rmax.
+	Scale float64
+
+	// Annual operational water, compute-normalized to the old Rmax.
+	OldAnnualWater units.Liters
+	NewAnnualWater units.Liters
+
+	// NewEmbodied is the embodied investment of the scaled replacement.
+	NewEmbodied units.Liters
+
+	// AnnualSavings is the operational water saved per year (may be
+	// negative if the "upgrade" is a downgrade).
+	AnnualSavings units.Liters
+
+	// PaybackYears is how long the embodied investment takes to amortize
+	// against the savings; +Inf when there are no savings.
+	PaybackYears float64
+
+	// HorizonNet is the total water saved over the horizon after paying
+	// the embodied cost. Positive means the upgrade is water-positive.
+	HorizonNet units.Liters
+}
+
+// WaterPositive reports whether the upgrade saves water within the
+// horizon.
+func (a Analysis) WaterPositive() bool { return a.HorizonNet > 0 }
+
+// Analyze evaluates an upgrade plan.
+func Analyze(p Plan) (Analysis, error) {
+	if err := p.Validate(); err != nil {
+		return Analysis{}, err
+	}
+	oldAnnual, err := p.Old.Assess()
+	if err != nil {
+		return Analysis{}, err
+	}
+
+	// Install the new hardware at the old facility: same weather, grid,
+	// scarcity, and seed; the hardware (and its PUE, a property of the
+	// cooling plant generation shipped with the system) changes.
+	installed := p.New
+	installed.Site = p.Old.Site
+	installed.Region = p.Old.Region
+	installed.Scarcity = p.Old.Scarcity
+	installed.Seed = p.Old.Seed
+	newAnnual, err := installed.Assess()
+	if err != nil {
+		return Analysis{}, err
+	}
+	newEmb, err := installed.EmbodiedBreakdown()
+	if err != nil {
+		return Analysis{}, err
+	}
+
+	scale := p.Old.System.RmaxPFLOPS / p.New.System.RmaxPFLOPS
+	a := Analysis{
+		OldSystem:      p.Old.System.Name,
+		NewSystem:      p.New.System.Name,
+		Scale:          scale,
+		OldAnnualWater: oldAnnual.Operational(),
+		NewAnnualWater: units.Liters(float64(newAnnual.Operational()) * scale),
+		NewEmbodied:    units.Liters(float64(newEmb.Total()) * scale),
+	}
+	a.AnnualSavings = a.OldAnnualWater - a.NewAnnualWater
+	if a.AnnualSavings > 0 {
+		a.PaybackYears = float64(a.NewEmbodied) / float64(a.AnnualSavings)
+	} else {
+		a.PaybackYears = math.Inf(1)
+	}
+	a.HorizonNet = units.Liters(float64(a.AnnualSavings)*p.HorizonYears - float64(a.NewEmbodied))
+	return a, nil
+}

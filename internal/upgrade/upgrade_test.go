@@ -1,0 +1,121 @@
+package upgrade
+
+import (
+	"math"
+	"testing"
+
+	"thirstyflops/internal/core"
+)
+
+func plan(t *testing.T, oldName, newName string, years float64) Plan {
+	t.Helper()
+	oldCfg, err := core.ConfigFor(oldName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newCfg, err := core.ConfigFor(newName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Plan{Old: oldCfg, New: newCfg, HorizonYears: years}
+}
+
+func TestMarconiToFrontierTech(t *testing.T) {
+	// Replacing 2019 V100-era hardware with 2021 MI250X-era hardware at
+	// the same delivered Rmax must pay back its embodied water quickly:
+	// the new stack delivers ~8x the compute per litre (Water500).
+	a, err := Analyze(plan(t, "Marconi", "Frontier", 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Scale <= 0 || a.Scale >= 1 {
+		t.Errorf("scale = %v, want a small fraction of Frontier", a.Scale)
+	}
+	if a.AnnualSavings <= 0 {
+		t.Fatalf("upgrade should save water annually, got %v", a.AnnualSavings)
+	}
+	if math.IsInf(a.PaybackYears, 1) || a.PaybackYears > 1 {
+		t.Errorf("payback = %v years, want well under a year", a.PaybackYears)
+	}
+	if !a.WaterPositive() {
+		t.Error("upgrade should be water-positive over 5 years")
+	}
+}
+
+func TestDowngradeNeverPaysBack(t *testing.T) {
+	// The reverse direction (Frontier -> Marconi-era tech) must show no
+	// savings and infinite payback.
+	a, err := Analyze(plan(t, "Frontier", "Marconi", 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AnnualSavings > 0 {
+		t.Errorf("downgrade should not save water, got %v", a.AnnualSavings)
+	}
+	if !math.IsInf(a.PaybackYears, 1) {
+		t.Errorf("payback = %v, want +Inf", a.PaybackYears)
+	}
+	if a.WaterPositive() {
+		t.Error("downgrade must not be water-positive")
+	}
+}
+
+func TestHorizonScalesNet(t *testing.T) {
+	short, err := Analyze(plan(t, "Polaris", "Frontier", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Analyze(plan(t, "Polaris", "Frontier", 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.HorizonNet <= short.HorizonNet {
+		t.Error("longer horizon should accumulate more net savings")
+	}
+	// Embodied investment is horizon-independent.
+	if short.NewEmbodied != long.NewEmbodied {
+		t.Error("embodied investment must not depend on the horizon")
+	}
+}
+
+func TestInstallationKeepsFacility(t *testing.T) {
+	// The replacement runs at the old site: its operational water must be
+	// priced with the old grid/weather, not the new system's home. Verify
+	// by comparing against a manual assessment.
+	p := plan(t, "Marconi", "Frontier", 5)
+	a, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	installed := p.New
+	installed.Site = p.Old.Site
+	installed.Region = p.Old.Region
+	installed.Scarcity = p.Old.Scarcity
+	installed.Seed = p.Old.Seed
+	manual, err := installed.Assess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(manual.Operational()) * a.Scale
+	if math.Abs(float64(a.NewAnnualWater)-want) > 1e-6*want {
+		t.Errorf("installed water = %v, want %v", a.NewAnnualWater, want)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	p := plan(t, "Marconi", "Frontier", 5)
+	p.HorizonYears = 0
+	if _, err := Analyze(p); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	p2 := plan(t, "Marconi", "Frontier", 5)
+	p2.New.System.RmaxPFLOPS = 0
+	if _, err := Analyze(p2); err == nil {
+		t.Error("missing Rmax accepted")
+	}
+	p3 := plan(t, "Marconi", "Frontier", 5)
+	p3.Old.System.PUE = 0.5
+	if _, err := Analyze(p3); err == nil {
+		t.Error("invalid old config accepted")
+	}
+}

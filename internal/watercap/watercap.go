@@ -1,0 +1,180 @@
+// Package watercap implements the paper's Takeaway 5: when water is a
+// constrained resource, HPC facilities and grid operators must decide
+// hour by hour how much of the water budget goes to cooling the
+// datacenter versus generating its electricity.
+//
+// The coordinator model: cooling water is fixed by the weather (WUE), but
+// the grid can blend its current mix toward a "dry" dispatch (gas/wind
+// instead of hydro/nuclear) at a carbon cost. Each hour the controller
+// picks the smallest mix shift alpha ∈ [0,1] that keeps total water under
+// the cap; if even a full shift is insufficient, it either curtails load
+// or records a deficit.
+package watercap
+
+import (
+	"fmt"
+
+	"thirstyflops/internal/energy"
+	"thirstyflops/internal/units"
+)
+
+// Policy configures the coordinator.
+type Policy struct {
+	// HourlyCap is the water budget per hour in litres.
+	HourlyCap units.Liters
+	// DryMix is the low-water dispatch the grid can shift toward; its EWF
+	// should undercut the region's usual mix for shifting to help.
+	DryMix energy.Mix
+	// AllowCurtail permits shedding IT load when a full mix shift still
+	// exceeds the cap. When false, the overage is recorded as deficit.
+	AllowCurtail bool
+}
+
+// DefaultDryMix is a gas/wind/solar dispatch: the water-light (but
+// carbon-heavier) end of most grids.
+func DefaultDryMix() energy.Mix {
+	return energy.Mix{energy.Gas: 0.70, energy.Wind: 0.20, energy.Solar: 0.10}
+}
+
+// Validate checks the policy.
+func (p Policy) Validate() error {
+	if p.HourlyCap <= 0 {
+		return fmt.Errorf("watercap: non-positive hourly cap")
+	}
+	if err := p.DryMix.Validate(); err != nil {
+		return fmt.Errorf("watercap: dry mix: %w", err)
+	}
+	return nil
+}
+
+// Hour is the coordinator's decision for one hour.
+type Hour struct {
+	Alpha     float64      // mix shift applied, 0 = current mix, 1 = dry mix
+	Water     units.Liters // water consumed after coordination
+	Carbon    units.GramsCO2
+	Curtailed units.KWh    // IT energy shed (AllowCurtail only)
+	Deficit   units.Liters // water over cap (cap unreachable, no curtail)
+}
+
+// Result aggregates a coordinated run against its uncoordinated baseline.
+type Result struct {
+	Hours []Hour
+
+	BaselineWater  units.Liters
+	Water          units.Liters
+	BaselineCarbon units.GramsCO2
+	Carbon         units.GramsCO2
+
+	ShiftHours   int          // hours with alpha > 0
+	DeficitHours int          // hours that blew the cap anyway
+	Curtailed    units.KWh    // total load shed
+	Deficit      units.Liters // total overage
+}
+
+// WaterSavedPct is the water reduction vs. the uncoordinated baseline.
+func (r Result) WaterSavedPct() float64 {
+	if r.BaselineWater == 0 {
+		return 0
+	}
+	return 100 * (float64(r.BaselineWater) - float64(r.Water)) / float64(r.BaselineWater)
+}
+
+// CarbonCostPct is the carbon increase paid for the water savings.
+func (r Result) CarbonCostPct() float64 {
+	if r.BaselineCarbon == 0 {
+		return 0
+	}
+	return 100 * (float64(r.Carbon) - float64(r.BaselineCarbon)) / float64(r.BaselineCarbon)
+}
+
+// Run coordinates one period. The series are parallel hourly inputs: IT
+// energy, direct intensity (WUE), grid EWF, and grid carbon intensity;
+// pue converts IT to facility energy.
+func Run(p Policy, pue units.PUE,
+	energySeries []units.KWh, wueSeries, ewfSeries []units.LPerKWh,
+	carbonSeries []units.GCO2PerKWh) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if !pue.Valid() {
+		return Result{}, fmt.Errorf("watercap: invalid PUE %v", pue)
+	}
+	n := len(energySeries)
+	if len(wueSeries) != n || len(ewfSeries) != n || len(carbonSeries) != n {
+		return Result{}, fmt.Errorf("watercap: series lengths differ")
+	}
+	dryEWF := float64(p.DryMix.EWF(nil))
+	dryCI := float64(p.DryMix.CarbonIntensity(nil))
+	pueF := float64(pue)
+	cap := float64(p.HourlyCap)
+
+	res := Result{Hours: make([]Hour, n)}
+	for h := 0; h < n; h++ {
+		e := float64(energySeries[h])
+		wue := float64(wueSeries[h])
+		ewf := float64(ewfSeries[h])
+		ci := float64(carbonSeries[h])
+
+		baseWater := e * (wue + pueF*ewf)
+		baseCarbon := e * pueF * ci
+		res.BaselineWater += units.Liters(baseWater)
+		res.BaselineCarbon += units.GramsCO2(baseCarbon)
+
+		out := Hour{Water: units.Liters(baseWater), Carbon: units.GramsCO2(baseCarbon)}
+		switch {
+		case baseWater <= cap:
+			// Under budget: no intervention.
+		case dryEWF < ewf:
+			// Shift the mix just enough: solve
+			// e*(wue + pue*((1-a)*ewf + a*dry)) = cap for a.
+			a := (baseWater - cap) / (e * pueF * (ewf - dryEWF))
+			if a <= 1 {
+				out.Alpha = a
+				out.Water = units.Liters(cap)
+				ciEff := (1-a)*ci + a*dryCI
+				out.Carbon = units.GramsCO2(e * pueF * ciEff)
+			} else {
+				out.Alpha = 1
+				fullShift := e * (wue + pueF*dryEWF)
+				out.Water = units.Liters(fullShift)
+				out.Carbon = units.GramsCO2(e * pueF * dryCI)
+				resolveOverage(&out, p, e, wue, pueF, dryEWF, dryCI, cap, fullShift)
+			}
+		default:
+			// The dry mix does not help; curtail or record deficit.
+			resolveOverage(&out, p, e, wue, pueF, ewf, ci, cap, baseWater)
+		}
+		if out.Alpha > 0 {
+			res.ShiftHours++
+		}
+		if out.Deficit > 0 {
+			res.DeficitHours++
+		}
+		res.Water += out.Water
+		res.Carbon += out.Carbon
+		res.Curtailed += out.Curtailed
+		res.Deficit += out.Deficit
+		res.Hours[h] = out
+	}
+	return res, nil
+}
+
+// resolveOverage handles an hour whose water demand exceeds the cap even
+// at the given effective intensity: either shed load to fit or record the
+// deficit.
+func resolveOverage(out *Hour, p Policy, e, wue, pue, ewf, ci, cap, demand float64) {
+	if demand <= cap {
+		return
+	}
+	if p.AllowCurtail {
+		wi := wue + pue*ewf
+		eFit := cap / wi
+		out.Curtailed = units.KWh(e - eFit)
+		out.Water = units.Liters(cap)
+		out.Carbon = units.GramsCO2(eFit * pue * ci)
+		return
+	}
+	out.Deficit = units.Liters(demand - cap)
+	out.Water = units.Liters(demand)
+	out.Carbon = units.GramsCO2(e * pue * ci)
+}

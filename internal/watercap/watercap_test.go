@@ -1,0 +1,223 @@
+package watercap
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"thirstyflops/internal/core"
+	"thirstyflops/internal/energy"
+	"thirstyflops/internal/units"
+)
+
+func flatSeries(n int, e, w, f, c float64) ([]units.KWh, []units.LPerKWh, []units.LPerKWh, []units.GCO2PerKWh) {
+	es := make([]units.KWh, n)
+	ws := make([]units.LPerKWh, n)
+	fs := make([]units.LPerKWh, n)
+	cs := make([]units.GCO2PerKWh, n)
+	for i := 0; i < n; i++ {
+		es[i], ws[i], fs[i], cs[i] = units.KWh(e), units.LPerKWh(w), units.LPerKWh(f), units.GCO2PerKWh(c)
+	}
+	return es, ws, fs, cs
+}
+
+func TestPolicyValidate(t *testing.T) {
+	good := Policy{HourlyCap: 100, DryMix: DefaultDryMix()}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid policy rejected: %v", err)
+	}
+	if err := (Policy{HourlyCap: 0, DryMix: DefaultDryMix()}).Validate(); err == nil {
+		t.Error("zero cap accepted")
+	}
+	if err := (Policy{HourlyCap: 1, DryMix: energy.Mix{energy.Gas: 0.5}}).Validate(); err == nil {
+		t.Error("invalid dry mix accepted")
+	}
+}
+
+func TestNoInterventionUnderBudget(t *testing.T) {
+	es, ws, fs, cs := flatSeries(24, 100, 1, 1, 400)
+	// Demand: 100*(1+1.2*1) = 220 L/h, cap at 1000 → untouched.
+	p := Policy{HourlyCap: 1000, DryMix: DefaultDryMix()}
+	r, err := Run(p, 1.2, es, ws, fs, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ShiftHours != 0 || r.DeficitHours != 0 || r.Curtailed != 0 {
+		t.Errorf("unexpected intervention: %+v", r)
+	}
+	if r.Water != r.BaselineWater || r.Carbon != r.BaselineCarbon {
+		t.Error("baseline should be unchanged")
+	}
+	if r.WaterSavedPct() != 0 || r.CarbonCostPct() != 0 {
+		t.Error("no savings or cost expected")
+	}
+}
+
+func TestMixShiftHitsCapExactly(t *testing.T) {
+	// Demand 100*(2 + 1.0*8) = 1000 L/h; dry EWF ≈ 0.662 → full shift
+	// would give 100*(2+0.662) = 266; cap 600 → partial shift expected.
+	es, ws, fs, cs := flatSeries(10, 100, 2, 8, 100)
+	p := Policy{HourlyCap: 600, DryMix: DefaultDryMix()}
+	r, err := Run(p, 1.0, es, ws, fs, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range r.Hours {
+		if math.Abs(float64(h.Water)-600) > 1e-6 {
+			t.Fatalf("hour %d water %v, want exactly the 600 L cap", i, h.Water)
+		}
+		if h.Alpha <= 0 || h.Alpha >= 1 {
+			t.Fatalf("hour %d alpha %v, want partial shift", i, h.Alpha)
+		}
+		if h.Deficit != 0 || h.Curtailed != 0 {
+			t.Fatal("partial shift should not curtail")
+		}
+	}
+	if r.ShiftHours != 10 {
+		t.Errorf("shift hours = %d, want 10", r.ShiftHours)
+	}
+}
+
+func TestShiftRaisesCarbon(t *testing.T) {
+	// Hydro-heavy baseline (low carbon, high water): shifting to gas/wind
+	// must save water and cost carbon — the Takeaway 5 tension.
+	es, ws, fs, cs := flatSeries(10, 100, 2, 10, 50)
+	p := Policy{HourlyCap: 700, DryMix: DefaultDryMix()}
+	r, err := Run(p, 1.0, es, ws, fs, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WaterSavedPct() <= 0 {
+		t.Errorf("water saved %.1f%%, want positive", r.WaterSavedPct())
+	}
+	if r.CarbonCostPct() <= 0 {
+		t.Errorf("carbon cost %.1f%%, want positive (dry mix is dirtier)", r.CarbonCostPct())
+	}
+}
+
+func TestDeficitWhenUnreachable(t *testing.T) {
+	// Cooling alone busts the cap: 100*5 = 500 L from WUE with a 300 cap.
+	es, ws, fs, cs := flatSeries(5, 100, 5, 1, 400)
+	p := Policy{HourlyCap: 300, DryMix: DefaultDryMix()}
+	r, err := Run(p, 1.0, es, ws, fs, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DeficitHours != 5 {
+		t.Errorf("deficit hours = %d, want 5", r.DeficitHours)
+	}
+	if r.Deficit <= 0 {
+		t.Error("deficit volume missing")
+	}
+	if r.Curtailed != 0 {
+		t.Error("no curtailment allowed")
+	}
+}
+
+func TestCurtailmentFitsCap(t *testing.T) {
+	es, ws, fs, cs := flatSeries(5, 100, 5, 1, 400)
+	p := Policy{HourlyCap: 300, DryMix: DefaultDryMix(), AllowCurtail: true}
+	r, err := Run(p, 1.0, es, ws, fs, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DeficitHours != 0 || r.Deficit != 0 {
+		t.Error("curtailment should eliminate deficits")
+	}
+	if r.Curtailed <= 0 {
+		t.Error("load should have been shed")
+	}
+	for _, h := range r.Hours {
+		if float64(h.Water) > 300+1e-9 {
+			t.Fatalf("hour water %v exceeds cap with curtailment", h.Water)
+		}
+	}
+}
+
+func TestDryMixWorseThanGridNoShift(t *testing.T) {
+	// If the grid is already drier than the dry mix, shifting never helps:
+	// expect deficits, not shifts.
+	es, ws, fs, cs := flatSeries(5, 100, 1, 0.1, 400)
+	p := Policy{HourlyCap: 50, DryMix: DefaultDryMix()}
+	r, err := Run(p, 1.0, es, ws, fs, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ShiftHours != 0 {
+		t.Error("shift applied although dry mix is wetter than the grid")
+	}
+	if r.DeficitHours != 5 {
+		t.Errorf("deficit hours = %d, want 5", r.DeficitHours)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	es, ws, fs, cs := flatSeries(3, 1, 1, 1, 1)
+	p := Policy{HourlyCap: 10, DryMix: DefaultDryMix()}
+	if _, err := Run(p, 0.5, es, ws, fs, cs); err == nil {
+		t.Error("invalid PUE accepted")
+	}
+	if _, err := Run(p, 1.2, es, ws[:2], fs, cs); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	if _, err := Run(Policy{}, 1.2, es, ws, fs, cs); err == nil {
+		t.Error("invalid policy accepted")
+	}
+}
+
+// Property: coordinated water never exceeds baseline water, and with
+// curtailment enabled it never exceeds the cap either.
+func TestCoordinationNeverWorseProperty(t *testing.T) {
+	f := func(capRaw, eRaw, wRaw, fRaw uint16) bool {
+		cap := 10 + float64(capRaw%5000)
+		e := 1 + float64(eRaw%500)
+		w := 0.1 + float64(wRaw%10)
+		fEWF := 0.1 + float64(fRaw%15)
+		es, ws, fs, cs := flatSeries(6, e, w, fEWF, 300)
+		p := Policy{HourlyCap: units.Liters(cap), DryMix: DefaultDryMix(), AllowCurtail: true}
+		r, err := Run(p, 1.1, es, ws, fs, cs)
+		if err != nil {
+			return false
+		}
+		if r.Water > r.BaselineWater+1e-9 {
+			return false
+		}
+		for _, h := range r.Hours {
+			if float64(h.Water) > cap+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWaterCapOnAssessedSystem(t *testing.T) {
+	// Integration: cap Marconi's summer water at 80 % of its mean demand
+	// and verify the coordinator trades carbon for water.
+	cfg, err := core.ConfigFor("Marconi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := cfg.Assess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanHourly := float64(a.Operational()) / float64(len(a.EnergySeries))
+	p := Policy{HourlyCap: units.Liters(meanHourly * 0.8), DryMix: DefaultDryMix()}
+	r, err := Run(p, cfg.System.PUE, a.EnergySeries, a.WUESeries, a.EWFSeries, a.CarbonSeries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ShiftHours == 0 {
+		t.Error("a sub-mean cap must force mix shifts on hydro-heavy Marconi")
+	}
+	if r.WaterSavedPct() <= 0 {
+		t.Error("coordination should save water")
+	}
+	if r.CarbonCostPct() <= 0 {
+		t.Error("the water saving should cost carbon (Takeaway 5's tension)")
+	}
+}

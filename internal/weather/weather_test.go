@@ -1,0 +1,195 @@
+package weather
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"thirstyflops/internal/stats"
+	"thirstyflops/internal/units"
+)
+
+func TestSitesPresent(t *testing.T) {
+	sites := Sites()
+	for _, name := range []string{"Bologna", "Kobe", "Lemont", "Oak Ridge"} {
+		s, ok := sites[name]
+		if !ok {
+			t.Fatalf("missing site %q", name)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("site %q invalid: %v", name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadSites(t *testing.T) {
+	bad := []Site{
+		{},                                    // no name
+		{Name: "x", SeasonalAmp: -1},          // negative amplitude
+		{Name: "x", MeanRH: 130},              // RH out of range
+		{Name: "x", MeanRH: 50, NoiseStd: -2}, // negative noise
+		{Name: "x", DiurnalAmp: -0.1, MeanRH: 50}, // negative diurnal
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestHourlyYearLengthAndDeterminism(t *testing.T) {
+	s := Bologna()
+	a := s.HourlyYear(7)
+	b := s.HourlyYear(7)
+	if len(a) != stats.HoursPerYear {
+		t.Fatalf("len = %d, want %d", len(a), stats.HoursPerYear)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hour %d differs between identical seeds", i)
+		}
+	}
+	c := s.HourlyYear(8)
+	same := 0
+	for i := range a {
+		if a[i].Temp == c[i].Temp {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical series")
+	}
+}
+
+func TestSeasonality(t *testing.T) {
+	// Northern-hemisphere sites must be warmer in July than January.
+	for name, site := range Sites() {
+		yr := site.HourlyYear(1)
+		var jan, jul float64
+		for h := 0; h < 744; h++ {
+			jan += float64(yr[h].Temp)
+		}
+		// July = hours 4344..5087.
+		for h := 4344; h < 5088; h++ {
+			jul += float64(yr[h].Temp)
+		}
+		jan /= 744
+		jul /= 744
+		if jul <= jan {
+			t.Errorf("%s: July mean %.1f <= January mean %.1f", name, jul, jan)
+		}
+	}
+}
+
+func TestDiurnalCycle(t *testing.T) {
+	// Mid-afternoon should on average be warmer than pre-dawn.
+	yr := OakRidge().HourlyYear(3)
+	var afternoon, predawn, na, np float64
+	for _, s := range yr {
+		switch s.Hour % 24 {
+		case 15:
+			afternoon += float64(s.Temp)
+			na++
+		case 4:
+			predawn += float64(s.Temp)
+			np++
+		}
+	}
+	if afternoon/na <= predawn/np {
+		t.Errorf("afternoon mean %.2f <= predawn mean %.2f", afternoon/na, predawn/np)
+	}
+}
+
+func TestHumidityBounds(t *testing.T) {
+	for _, site := range Sites() {
+		for _, s := range site.HourlyYear(11) {
+			if s.RH < 5 || s.RH > 99 {
+				t.Fatalf("%s: RH %v out of clamp range", site.Name, s.RH)
+			}
+		}
+	}
+}
+
+func TestWetBulbKnownValues(t *testing.T) {
+	// Stull's paper gives Tw = 13.7°C for T=20°C, RH=50%.
+	got := WetBulb(20, 50)
+	if math.Abs(float64(got)-13.7) > 0.2 {
+		t.Errorf("WetBulb(20,50) = %v, want ~13.7", got)
+	}
+	// At saturation the wet bulb approaches the dry bulb.
+	got2 := WetBulb(25, 99)
+	if math.Abs(float64(got2)-25) > 0.6 {
+		t.Errorf("WetBulb(25,99) = %v, want ~25", got2)
+	}
+}
+
+func TestWetBulbNeverExceedsDryBulb(t *testing.T) {
+	for temp := -20.0; temp <= 50; temp += 2.5 {
+		for rh := 5.0; rh <= 99; rh += 4 {
+			wb := WetBulb(units.Celsius(temp), units.RelativeHumidity(rh))
+			if float64(wb) > temp+1e-9 {
+				t.Fatalf("WetBulb(%v,%v) = %v exceeds dry bulb", temp, rh, wb)
+			}
+		}
+	}
+}
+
+func TestWetBulbMonotoneInHumidity(t *testing.T) {
+	// At fixed temperature, higher RH means higher wet bulb. The Stull fit
+	// loses monotonicity slightly below ~5°C (outside its stated accuracy
+	// envelope), so the check covers the evaporative-cooling regime.
+	for temp := 10.0; temp <= 40; temp += 5 {
+		prev := WetBulb(units.Celsius(temp), 5)
+		for rh := 10.0; rh <= 99; rh += 5 {
+			cur := WetBulb(units.Celsius(temp), units.RelativeHumidity(rh))
+			if cur < prev-1e-9 {
+				t.Fatalf("wet bulb decreased with RH at T=%v (rh=%v)", temp, rh)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestWetBulbMonotoneInTemperatureProperty(t *testing.T) {
+	f := func(t1, t2, rhRaw float64) bool {
+		a := stats.Clamp(math.Mod(math.Abs(t1), 70)-20, -20, 50)
+		b := stats.Clamp(math.Mod(math.Abs(t2), 70)-20, -20, 50)
+		rh := stats.Clamp(math.Mod(math.Abs(rhRaw), 94)+5, 5, 99)
+		if a > b {
+			a, b = b, a
+		}
+		wa := WetBulb(units.Celsius(a), units.RelativeHumidity(rh))
+		wb := WetBulb(units.Celsius(b), units.RelativeHumidity(rh))
+		return wa <= wb+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWetBulbSeries(t *testing.T) {
+	yr := Kobe().HourlyYear(2)
+	wbs := WetBulbSeries(yr)
+	if len(wbs) != len(yr) {
+		t.Fatalf("length mismatch %d vs %d", len(wbs), len(yr))
+	}
+	for i := range wbs {
+		if wbs[i] != yr[i].WetBulb {
+			t.Fatalf("element %d mismatch", i)
+		}
+	}
+}
+
+func TestSiteClimatesDiffer(t *testing.T) {
+	// Lemont (continental) must have a colder winter than Kobe.
+	lem := Lemont().HourlyYear(1)
+	kob := Kobe().HourlyYear(1)
+	var lemJan, kobJan float64
+	for h := 0; h < 744; h++ {
+		lemJan += float64(lem[h].Temp)
+		kobJan += float64(kob[h].Temp)
+	}
+	if lemJan >= kobJan {
+		t.Error("Lemont January should be colder than Kobe January")
+	}
+}
