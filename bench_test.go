@@ -163,11 +163,10 @@ func BenchmarkStartTimeRanking(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	wi := a.HourlyWaterIntensity()
 	candidates := []int{0, 4, 8, 12, 16, 20, 24}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sched.RankStartTimes(0.5, 4, candidates, wi, a.CarbonSeries); err != nil {
+		if _, err := sched.RankStartTimes(0.5, 4, candidates, a.Hourly); err != nil {
 			b.Fatal(err)
 		}
 	}

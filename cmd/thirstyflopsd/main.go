@@ -1,0 +1,221 @@
+// Command thirstyflopsd serves ThirstyFLOPS water-footprint assessments
+// over HTTP JSON, directly on a shared cached Engine: repeated requests
+// for the same configuration are answered from the memo without
+// re-simulating the year.
+//
+// Endpoints:
+//
+//	POST /assess    AssessRequest  -> AssessResult
+//	POST /sweep     SweepRequest   -> SweepResult
+//	GET  /water500                 -> Water500Result (seed/year query params)
+//	GET  /healthz                  -> liveness plus cache statistics
+//
+// Usage:
+//
+//	thirstyflopsd -addr :8080 -workers 8 -cache 256
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"thirstyflops"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "assessment fan-out width (0 = GOMAXPROCS)")
+		cache   = flag.Int("cache", 256, "max memoized assessments (0 disables)")
+	)
+	flag.Parse()
+
+	eng := thirstyflops.NewEngine(
+		thirstyflops.WithWorkers(*workers),
+		thirstyflops.WithCache(*cache),
+	)
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      newMux(eng),
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 5 * time.Minute, // full-series responses are large
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("thirstyflopsd listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		log.Print("shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// server binds the HTTP surface to one Engine.
+type server struct {
+	engine *thirstyflops.Engine
+	start  time.Time
+}
+
+// newMux routes the JSON API onto an Engine.
+func newMux(eng *thirstyflops.Engine) *http.ServeMux {
+	s := &server{engine: eng, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/assess", s.handleAssess)
+	mux.HandleFunc("/sweep", s.handleSweep)
+	mux.HandleFunc("/water500", s.handleWater500)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// errorBody is the JSON error shape.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("thirstyflopsd: write: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// decodeBody strictly parses a JSON request body; an empty body yields
+// the zero request so curl-without-payload works for defaultable calls.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	err := dec.Decode(v)
+	if err == nil || errors.Is(err, io.EOF) {
+		return nil
+	}
+	return fmt.Errorf("bad request body: %w", err)
+}
+
+func (s *server) handleAssess(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST an AssessRequest"))
+		return
+	}
+	var req thirstyflops.AssessRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.engine.Assess(r.Context(), req)
+	if err != nil {
+		writeError(w, statusFor(r.Context(), err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST a SweepRequest"))
+		return
+	}
+	var req thirstyflops.SweepRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.engine.Sweep(r.Context(), req)
+	if err != nil {
+		writeError(w, statusFor(r.Context(), err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *server) handleWater500(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET or POST"))
+		return
+	}
+	var req thirstyflops.Water500Request
+	if r.Method == http.MethodPost {
+		if err := decodeBody(r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	// Query parameters override the body for both methods.
+	if v := r.URL.Query().Get("seed"); v != "" {
+		seed, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad seed %q", v))
+			return
+		}
+		req.Seed = &seed
+	}
+	if v := r.URL.Query().Get("year"); v != "" {
+		year, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad year %q", v))
+			return
+		}
+		req.Year = &year
+	}
+	res, err := s.engine.Water500(r.Context(), req)
+	if err != nil {
+		writeError(w, statusFor(r.Context(), err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// healthBody is the /healthz response.
+type healthBody struct {
+	Status        string                  `json:"status"`
+	UptimeSeconds float64                 `json:"uptime_seconds"`
+	Cache         thirstyflops.CacheStats `json:"cache"`
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthBody{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Cache:         s.engine.CacheStats(),
+	})
+}
+
+// statusFor maps an engine error onto an HTTP status: cancellation
+// surfaces as client-closed-request-ish 503, everything else is the
+// client's request shape (unknown system, invalid document, bad
+// parameters) — a 400.
+func statusFor(ctx context.Context, err error) int {
+	if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}

@@ -1,0 +1,226 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"thirstyflops"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *thirstyflops.Engine) {
+	t.Helper()
+	eng := thirstyflops.NewEngine()
+	ts := httptest.NewServer(newMux(eng))
+	t.Cleanup(ts.Close)
+	return ts, eng
+}
+
+func postJSON(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestAssessEndToEnd(t *testing.T) {
+	ts, eng := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/assess", `{"system": "Frontier", "scenarios": true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var got thirstyflops.AssessResult
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+
+	// The served response must agree with a direct Engine call.
+	want, err := eng.Assess(context.Background(),
+		thirstyflops.AssessRequest{System: "Frontier", Scenarios: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.System != "Frontier" || got.Site != want.Site {
+		t.Errorf("metadata wrong: %+v", got)
+	}
+	if got.OperationalL != want.OperationalL || got.LifetimeTotalL != want.LifetimeTotalL ||
+		got.CarbonKg != want.CarbonKg {
+		t.Error("served footprints differ from direct engine result")
+	}
+	if len(got.Scenarios) != 5 {
+		t.Errorf("scenarios = %d, want 5", len(got.Scenarios))
+	}
+
+	// A repeat request is answered from the cache.
+	resp2 := postJSON(t, ts.URL+"/assess", `{"system": "Frontier", "scenarios": true}`)
+	var again thirstyflops.AssessResult
+	if err := json.NewDecoder(resp2.Body).Decode(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Error("repeat request did not hit the engine cache")
+	}
+}
+
+func TestAssessCustomSystem(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/assess", `{
+		"custom": {
+			"system": {
+				"name": "EdgePod", "nodes": 4,
+				"cpu": {"catalog": "AMD EPYC 7532"}, "cpus_per_node": 1,
+				"dram_gb_per_node": 64, "peak_power_mw": 0.004, "pue": 1.4
+			},
+			"site_name": "Lemont", "region": "Illinois"
+		}
+	}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var got thirstyflops.AssessResult
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.System != "EdgePod" || got.OperationalL <= 0 {
+		t.Errorf("custom assessment wrong: %+v", got)
+	}
+}
+
+func TestAssessErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, tc := range []struct {
+		body   string
+		status int
+	}{
+		{`{"system": "HAL9000"}`, http.StatusBadRequest},
+		{`{"unknown_field": 1}`, http.StatusBadRequest},
+		{`not json`, http.StatusBadRequest},
+		{``, http.StatusBadRequest}, // empty body selects no system
+	} {
+		resp := postJSON(t, ts.URL+"/assess", tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("body %q: status = %d, want %d", tc.body, resp.StatusCode, tc.status)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+			t.Errorf("body %q: error body missing", tc.body)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/assess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /assess status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/sweep", `{"systems": ["Marconi", "Fugaku"]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var got thirstyflops.SweepResult
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Systems) != 2 || got.Systems[0].System != "Marconi" {
+		t.Errorf("sweep wrong: %+v", got.Systems)
+	}
+	for _, s := range got.Systems {
+		if len(s.Scenarios) != 5 {
+			t.Errorf("%s: scenarios = %d, want 5", s.System, len(s.Scenarios))
+		}
+	}
+}
+
+func TestWater500Endpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/water500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var got thirstyflops.Water500Result
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 4 || got.Entries[0].Rank != 1 {
+		t.Errorf("ranking malformed: %+v", got.Entries)
+	}
+	if resp, err := http.Get(ts.URL + "/water500?seed=bogus"); err == nil {
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad seed status = %d, want 400", resp.StatusCode)
+		}
+	}
+}
+
+func TestWater500PostBody(t *testing.T) {
+	ts, _ := newTestServer(t)
+	byQuery, err := http.Get(ts.URL + "/water500?seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer byQuery.Body.Close()
+	var want thirstyflops.Water500Result
+	if err := json.NewDecoder(byQuery.Body).Decode(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	// The same seed in a POSTed body must be honored, not ignored.
+	resp := postJSON(t, ts.URL+"/water500", `{"seed": 7}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var got thirstyflops.Water500Result
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != len(want.Entries) {
+		t.Fatalf("entry counts differ: %d vs %d", len(got.Entries), len(want.Entries))
+	}
+	for i := range got.Entries {
+		if got.Entries[i] != want.Entries[i] {
+			t.Errorf("entry %d: body-seeded %+v != query-seeded %+v", i, got.Entries[i], want.Entries[i])
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// Warm the cache so the health report shows engine activity.
+	postJSON(t, ts.URL+"/assess", `{"system": "Polaris"}`)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var h healthBody
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.UptimeSeconds < 0 {
+		t.Errorf("health wrong: %+v", h)
+	}
+	if h.Cache.Misses != 1 {
+		t.Errorf("cache stats not surfaced: %+v", h.Cache)
+	}
+}

@@ -1,0 +1,496 @@
+package thirstyflops
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"thirstyflops/internal/configio"
+	"thirstyflops/internal/core"
+	"thirstyflops/internal/embodied"
+)
+
+// Engine is a reusable, concurrency-safe assessment session. The yearly
+// simulation behind an assessment is a pure function of the Config (which
+// embeds Seed and Year), so the Engine memoizes it: repeated requests for
+// the same configuration — across goroutines, sweeps, rankings, and HTTP
+// handlers — simulate once and share the result. An Engine is cheap
+// enough to create per process and is safe for use from multiple
+// goroutines; the zero value is not usable, construct one with NewEngine.
+type Engine struct {
+	workers    int
+	maxEntries int
+
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	order   []string // fingerprints in recency order, oldest first
+	hits    uint64
+	misses  uint64
+}
+
+// cacheEntry memoizes one configuration's assessment. The sync.Once
+// collapses concurrent first requests into a single simulation.
+type cacheEntry struct {
+	once   sync.Once
+	annual core.Annual
+	err    error
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithCache bounds the number of memoized assessments (default 64).
+// Oldest-touched entries are evicted first. n <= 0 disables caching.
+func WithCache(n int) Option {
+	return func(e *Engine) { e.maxEntries = n }
+}
+
+// WithWorkers sets the AssessMany/Sweep fan-out width (default
+// GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.workers = n
+		}
+	}
+}
+
+// NewEngine builds an assessment session.
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{
+		workers:    runtime.GOMAXPROCS(0),
+		maxEntries: 64,
+		entries:    map[string]*cacheEntry{},
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+var (
+	defaultEngineOnce sync.Once
+	defaultEngine     *Engine
+)
+
+// DefaultEngine returns the shared package-level Engine backing the
+// deprecated one-shot top-level helpers.
+func DefaultEngine() *Engine {
+	defaultEngineOnce.Do(func() { defaultEngine = NewEngine() })
+	return defaultEngine
+}
+
+// CacheStats reports the Engine's memoization behavior.
+type CacheStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+}
+
+// CacheStats returns a snapshot of the cache counters.
+func (e *Engine) CacheStats() CacheStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return CacheStats{Hits: e.hits, Misses: e.misses, Entries: len(e.entries)}
+}
+
+// fingerprint derives the cache key: the SHA-256 of the canonical JSON
+// encoding of the Config. Every field that feeds the simulation (system,
+// site, region, curve, demand, seed, year) participates, so distinct
+// configurations cannot collide and identical ones always hit.
+func fingerprint(cfg Config) (string, error) {
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		return "", fmt.Errorf("thirstyflops: config not fingerprintable: %w", err)
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// annualFor returns the memoized assessment of cfg, simulating at most
+// once per fingerprint. The second return reports whether the result was
+// served from cache.
+func (e *Engine) annualFor(cfg Config) (core.Annual, bool, error) {
+	if e.maxEntries <= 0 {
+		a, err := cfg.Assess()
+		return a, false, err
+	}
+	key, err := fingerprint(cfg)
+	if err != nil {
+		return core.Annual{}, false, err
+	}
+
+	e.mu.Lock()
+	ent, cached := e.entries[key]
+	if cached {
+		e.hits++
+		e.touchLocked(key)
+	} else {
+		e.misses++
+		ent = &cacheEntry{}
+		e.entries[key] = ent
+		e.order = append(e.order, key)
+		for len(e.entries) > e.maxEntries {
+			oldest := e.order[0]
+			e.order = e.order[1:]
+			delete(e.entries, oldest)
+		}
+	}
+	e.mu.Unlock()
+
+	ent.once.Do(func() { ent.annual, ent.err = cfg.Assess() })
+	return ent.annual, cached, ent.err
+}
+
+// touchLocked moves key to the most-recent end of the eviction order.
+func (e *Engine) touchLocked(key string) {
+	for i, k := range e.order {
+		if k == key {
+			copy(e.order[i:], e.order[i+1:])
+			e.order[len(e.order)-1] = key
+			return
+		}
+	}
+}
+
+// --- Request/result model ---
+
+// AssessRequest asks for one system assessment. Exactly one of System (a
+// bundled Table 1 name) or Custom (a JSON config document) selects the
+// machine; Seed and Year override the configuration defaults when set.
+type AssessRequest struct {
+	System string          `json:"system,omitempty"`
+	Custom *ConfigDocument `json:"custom,omitempty"`
+
+	Seed *uint64 `json:"seed,omitempty"`
+	Year *int    `json:"year,omitempty"`
+
+	// Years is the lifetime over which the embodied footprint is
+	// amortized; 0 means the 6-year default.
+	Years float64 `json:"years,omitempty"`
+
+	// IncludeSeries attaches the full hourly timeline to the result.
+	IncludeSeries bool `json:"include_series,omitempty"`
+	// Scenarios attaches the Fig. 14 energy-sourcing sweep.
+	Scenarios bool `json:"scenarios,omitempty"`
+	// Withdrawal attaches Table 3 withdrawal accounting under the default
+	// contract.
+	Withdrawal bool `json:"withdrawal,omitempty"`
+}
+
+// DefaultLifetimeYears amortizes embodied water when AssessRequest.Years
+// is unset.
+const DefaultLifetimeYears = 6
+
+// resolveConfig materializes the request's configuration.
+func (r AssessRequest) resolveConfig() (Config, error) {
+	var cfg Config
+	switch {
+	case r.System != "" && r.Custom != nil:
+		return Config{}, fmt.Errorf("thirstyflops: request names both a bundled system and a custom document")
+	case r.System != "":
+		c, err := core.ConfigFor(r.System)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg = c
+	case r.Custom != nil:
+		c, err := configio.Build(*r.Custom)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg = c
+	default:
+		return Config{}, fmt.Errorf("thirstyflops: request selects no system (set system or custom)")
+	}
+	if r.Seed != nil {
+		cfg.Seed = *r.Seed
+	}
+	if r.Year != nil {
+		cfg.Year = *r.Year
+	}
+	return cfg, nil
+}
+
+// AssessResult is the JSON-serializable outcome of one assessment.
+type AssessResult struct {
+	System string  `json:"system"`
+	Site   string  `json:"site"`
+	Region string  `json:"region"`
+	Seed   uint64  `json:"seed"`
+	Year   int     `json:"year"`
+	Years  float64 `json:"years"`
+
+	EnergyKWh    float64 `json:"energy_kwh_per_year"`
+	DirectL      float64 `json:"direct_l_per_year"`
+	IndirectL    float64 `json:"indirect_l_per_year"`
+	OperationalL float64 `json:"operational_l_per_year"`
+	DirectShare  float64 `json:"direct_share"`
+	CarbonKg     float64 `json:"carbon_kg_per_year"`
+
+	WaterIntensity    float64 `json:"water_intensity_l_per_kwh"`
+	AdjustedIntensity float64 `json:"wsi_adjusted_intensity_l_per_kwh"`
+
+	EmbodiedL      float64            `json:"embodied_l"`
+	LifetimeTotalL float64            `json:"lifetime_total_l"`
+	EmbodiedShares map[string]float64 `json:"embodied_shares"`
+
+	Scenarios  []ScenarioResult `json:"scenarios,omitempty"`
+	Withdrawal *Withdrawal      `json:"withdrawal,omitempty"`
+	Series     *Series          `json:"series,omitempty"`
+
+	// Cached reports whether the hourly simulation was served from the
+	// Engine's memo rather than recomputed.
+	Cached bool `json:"cached"`
+}
+
+// Assess evaluates one request. The deterministic simulation is memoized
+// per configuration; the derived sections (lifetime, scenarios,
+// withdrawal) are recomputed from the cached year.
+func (e *Engine) Assess(ctx context.Context, req AssessRequest) (*AssessResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg, err := req.resolveConfig()
+	if err != nil {
+		return nil, err
+	}
+	years := req.Years
+	if years == 0 {
+		years = DefaultLifetimeYears
+	}
+	if years < 0 {
+		return nil, fmt.Errorf("thirstyflops: negative lifetime %v", years)
+	}
+
+	a, cached, err := e.annualFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	bd, err := cfg.EmbodiedBreakdown()
+	if err != nil {
+		return nil, err
+	}
+	f, err := cfg.LifetimeFrom(a, years)
+	if err != nil {
+		return nil, err
+	}
+	_, _, wi := a.WaterIntensity()
+
+	res := &AssessResult{
+		System: a.System,
+		Site:   cfg.Site.Name,
+		Region: cfg.Region.Name,
+		Seed:   cfg.Seed,
+		Year:   cfg.Year,
+		Years:  years,
+
+		EnergyKWh:    float64(a.Energy),
+		DirectL:      float64(a.Direct),
+		IndirectL:    float64(a.Indirect),
+		OperationalL: float64(a.Operational()),
+		DirectShare:  a.DirectShare(),
+		CarbonKg:     a.Carbon.Kilograms(),
+
+		WaterIntensity:    float64(wi),
+		AdjustedIntensity: float64(a.AdjustedWaterIntensity(cfg.Scarcity)),
+
+		EmbodiedL:      float64(bd.Total()),
+		LifetimeTotalL: float64(f.Total()),
+		EmbodiedShares: map[string]float64{},
+
+		Cached: cached,
+	}
+	for _, c := range embodied.Components() {
+		res.EmbodiedShares[c.String()] = bd.Share(c)
+	}
+
+	if req.Scenarios {
+		rs, err := cfg.ScenarioSweepFrom(a)
+		if err != nil {
+			return nil, err
+		}
+		res.Scenarios = rs
+	}
+	if req.Withdrawal {
+		discharge := Liters(float64(a.Direct) / 3)
+		w, err := core.ComputeWithdrawal(a.Operational(), core.DefaultWithdrawalParams(discharge))
+		if err != nil {
+			return nil, err
+		}
+		res.Withdrawal = &w
+	}
+	if req.IncludeSeries {
+		s := a.Hourly.Clone()
+		res.Series = &s
+	}
+	return res, nil
+}
+
+// AssessMany evaluates a batch of requests across the Engine's worker
+// pool, preserving order. Requests sharing a configuration simulate once.
+// Failed requests leave nil slots; the joined error reports every
+// failure.
+func (e *Engine) AssessMany(ctx context.Context, reqs []AssessRequest) ([]*AssessResult, error) {
+	results := make([]*AssessResult, len(reqs))
+	errs := make([]error, len(reqs))
+
+	workers := e.workers
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, err := e.Assess(ctx, reqs[i])
+				if err != nil {
+					errs[i] = fmt.Errorf("request %d: %w", i, err)
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+feed:
+	for i := range reqs {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			// Mark every request not yet handed to a worker, so nil
+			// result slots always pair with a reported error.
+			for j := i; j < len(reqs); j++ {
+				errs[j] = fmt.Errorf("request %d: %w", j, ctx.Err())
+			}
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return results, errors.Join(errs...)
+}
+
+// SweepRequest asks for the Fig. 14 energy-sourcing comparison across
+// systems. An empty Systems list sweeps all bundled systems.
+type SweepRequest struct {
+	Systems []string `json:"systems,omitempty"`
+	Seed    *uint64  `json:"seed,omitempty"`
+	Year    *int     `json:"year,omitempty"`
+}
+
+// SystemSweep is one system's scenario comparison.
+type SystemSweep struct {
+	System    string           `json:"system"`
+	Scenarios []ScenarioResult `json:"scenarios"`
+}
+
+// SweepResult aggregates a scenario sweep.
+type SweepResult struct {
+	Systems []SystemSweep `json:"systems"`
+}
+
+// Sweep compares the energy-sourcing scenarios for each requested system,
+// fanning out across the worker pool and reusing cached assessments.
+func (e *Engine) Sweep(ctx context.Context, req SweepRequest) (*SweepResult, error) {
+	names := req.Systems
+	if len(names) == 0 {
+		names = SystemNames()
+	}
+	reqs := make([]AssessRequest, len(names))
+	for i, n := range names {
+		reqs[i] = AssessRequest{System: n, Seed: req.Seed, Year: req.Year, Scenarios: true}
+	}
+	results, err := e.AssessMany(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := &SweepResult{Systems: make([]SystemSweep, len(results))}
+	for i, r := range results {
+		out.Systems[i] = SystemSweep{System: r.System, Scenarios: r.Scenarios}
+	}
+	return out, nil
+}
+
+// Water500Request parameterizes the efficiency ranking; Seed and Year
+// override the bundled configuration defaults for every system.
+type Water500Request struct {
+	Seed *uint64 `json:"seed,omitempty"`
+	Year *int    `json:"year,omitempty"`
+}
+
+// Water500Result carries the ranking, most water-efficient system first.
+type Water500Result struct {
+	Entries []Water500Entry `json:"entries"`
+}
+
+// Water500 ranks the bundled systems by operational water per unit of
+// delivered performance, assessing across the worker pool and reusing
+// cached assessments. Water500From returns the entries already sorted by
+// rank.
+func (e *Engine) Water500(ctx context.Context, req Water500Request) (*Water500Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfgs, err := core.AllConfigs()
+	if err != nil {
+		return nil, err
+	}
+	for i := range cfgs {
+		if req.Seed != nil {
+			cfgs[i].Seed = *req.Seed
+		}
+		if req.Year != nil {
+			cfgs[i].Year = *req.Year
+		}
+	}
+
+	annuals := make([]core.Annual, len(cfgs))
+	errs := make([]error, len(cfgs))
+	workers := e.workers
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				annuals[i], _, errs[i] = e.annualFor(cfgs[i])
+			}
+		}()
+	}
+	for i := range cfgs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+
+	entries, err := core.Water500From(cfgs, annuals)
+	if err != nil {
+		return nil, err
+	}
+	return &Water500Result{Entries: entries}, nil
+}

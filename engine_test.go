@@ -1,0 +1,375 @@
+package thirstyflops
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// marshalNormalized serializes a result with the cache marker cleared, so
+// first and repeat assessments of the same configuration compare equal.
+func marshalNormalized(t *testing.T, r *AssessResult) string {
+	t.Helper()
+	c := *r
+	c.Cached = false
+	raw, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+func TestEngineAssessBundled(t *testing.T) {
+	eng := NewEngine()
+	res, err := eng.Assess(context.Background(), AssessRequest{
+		System: "Frontier", Scenarios: true, Withdrawal: true, IncludeSeries: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.System != "Frontier" || res.Site != "Oak Ridge" || res.Region != "Tennessee" {
+		t.Errorf("metadata wrong: %+v", res)
+	}
+	if res.Years != DefaultLifetimeYears {
+		t.Errorf("years = %v, want default %d", res.Years, DefaultLifetimeYears)
+	}
+	if res.DirectL <= 0 || res.IndirectL <= 0 || res.EmbodiedL <= 0 || res.CarbonKg <= 0 {
+		t.Error("footprints missing")
+	}
+	if res.OperationalL != res.DirectL+res.IndirectL {
+		t.Error("operational != direct + indirect")
+	}
+	if res.LifetimeTotalL <= res.EmbodiedL {
+		t.Error("lifetime should exceed embodied alone")
+	}
+	if len(res.Scenarios) != 5 {
+		t.Errorf("scenario count = %d, want 5", len(res.Scenarios))
+	}
+	if res.Withdrawal == nil || res.Withdrawal.Gross <= 0 {
+		t.Error("withdrawal section missing")
+	}
+	if res.Series == nil || res.Series.Len() != 8760 {
+		t.Error("hourly series missing")
+	}
+	if err := res.Series.Validate(); err != nil {
+		t.Errorf("attached series invalid: %v", err)
+	}
+	var shares float64
+	for _, v := range res.EmbodiedShares {
+		shares += v
+	}
+	if shares < 0.99 || shares > 1.01 {
+		t.Errorf("embodied shares sum to %v", shares)
+	}
+	// The whole result survives a JSON round trip (the serving contract).
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back AssessResult
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.System != res.System || back.LifetimeTotalL != res.LifetimeTotalL {
+		t.Error("result mangled by JSON round trip")
+	}
+}
+
+func TestEngineMatchesDirectAssessment(t *testing.T) {
+	eng := NewEngine()
+	res, err := eng.Assess(context.Background(), AssessRequest{System: "Marconi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := SystemConfig("Marconi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := cfg.Assess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnergyKWh != float64(a.Energy) || res.DirectL != float64(a.Direct) ||
+		res.IndirectL != float64(a.Indirect) {
+		t.Error("engine result disagrees with direct Config.Assess")
+	}
+}
+
+func TestEngineCacheHit(t *testing.T) {
+	eng := NewEngine()
+	ctx := context.Background()
+	req := AssessRequest{System: "Polaris", Scenarios: true}
+
+	first, err := eng.Assess(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Error("first assessment reported cached")
+	}
+	second, err := eng.Assess(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Error("second assessment of the same config did not hit the cache")
+	}
+	st := eng.CacheStats()
+	if st.Misses != 1 || st.Hits != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 miss, 1 hit, 1 entry (no re-simulation)", st)
+	}
+	if marshalNormalized(t, first) != marshalNormalized(t, second) {
+		t.Error("cached result differs from the original")
+	}
+
+	// A different seed is a different configuration: a miss, not a hit.
+	seed := uint64(7)
+	third, err := eng.Assess(ctx, AssessRequest{System: "Polaris", Seed: &seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Cached {
+		t.Error("different seed served from cache")
+	}
+	if marshalNormalized(t, third) == marshalNormalized(t, first) {
+		t.Error("different seed produced an identical assessment")
+	}
+}
+
+func TestEngineCachedAssessmentIsFaster(t *testing.T) {
+	eng := NewEngine()
+	ctx := context.Background()
+	req := AssessRequest{System: "Fugaku"}
+
+	start := time.Now()
+	if _, err := eng.Assess(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	cold := time.Since(start)
+
+	const repeats = 5
+	start = time.Now()
+	for i := 0; i < repeats; i++ {
+		if _, err := eng.Assess(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm := time.Since(start) / repeats
+
+	if warm*2 >= cold {
+		t.Errorf("cached assessment not measurably faster: cold %v, warm %v", cold, warm)
+	}
+}
+
+func TestEngineCacheEviction(t *testing.T) {
+	eng := NewEngine(WithCache(1))
+	ctx := context.Background()
+	for _, sys := range []string{"Marconi", "Fugaku", "Marconi"} {
+		if _, err := eng.Assess(ctx, AssessRequest{System: sys}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.CacheStats()
+	// Fugaku evicted Marconi, so the third request misses again.
+	if st.Entries != 1 || st.Misses != 3 || st.Hits != 0 {
+		t.Errorf("stats = %+v, want 3 misses into a single-entry cache", st)
+	}
+
+	uncached := NewEngine(WithCache(0))
+	if _, err := uncached.Assess(ctx, AssessRequest{System: "Marconi"}); err != nil {
+		t.Fatal(err)
+	}
+	if st := uncached.CacheStats(); st.Entries != 0 {
+		t.Errorf("disabled cache stored %d entries", st.Entries)
+	}
+}
+
+func TestEngineAssessManyMatchesSequential(t *testing.T) {
+	// The worker-pool fan-out must return byte-identical results to
+	// one-at-a-time assessment. Run with -race to verify safety.
+	var reqs []AssessRequest
+	for _, sys := range SystemNames() {
+		for _, seed := range []uint64{1, 2} {
+			s := seed
+			reqs = append(reqs, AssessRequest{System: sys, Seed: &s, Scenarios: true})
+		}
+	}
+
+	ctx := context.Background()
+	sequential := NewEngine()
+	want := make([]string, len(reqs))
+	for i, req := range reqs {
+		res, err := sequential.Assess(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = marshalNormalized(t, res)
+	}
+
+	concurrent := NewEngine(WithWorkers(8))
+	results, err := concurrent.AssessMany(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(reqs) {
+		t.Fatalf("result count = %d, want %d", len(results), len(reqs))
+	}
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("result %d missing", i)
+		}
+		if got := marshalNormalized(t, res); got != want[i] {
+			t.Errorf("concurrent result %d differs from sequential", i)
+		}
+	}
+
+	// Duplicate requests collapse onto one simulation each.
+	dupes := NewEngine(WithWorkers(8))
+	same := make([]AssessRequest, 16)
+	for i := range same {
+		same[i] = AssessRequest{System: "Frontier"}
+	}
+	if _, err := dupes.AssessMany(ctx, same); err != nil {
+		t.Fatal(err)
+	}
+	if st := dupes.CacheStats(); st.Misses != 1 {
+		t.Errorf("16 identical requests simulated %d times, want 1", st.Misses)
+	}
+}
+
+func TestEngineAssessManyReportsPerRequestErrors(t *testing.T) {
+	eng := NewEngine()
+	results, err := eng.AssessMany(context.Background(), []AssessRequest{
+		{System: "Marconi"},
+		{System: "HAL9000"},
+	})
+	if err == nil {
+		t.Fatal("bad request slipped through")
+	}
+	if results[0] == nil || results[1] != nil {
+		t.Error("good request should succeed, bad request should leave a nil slot")
+	}
+}
+
+func TestEngineCustomDocument(t *testing.T) {
+	doc := ConfigDocument{}
+	raw := `{
+		"system": {
+			"name": "TestRig", "nodes": 8,
+			"cpu": {"catalog": "AMD EPYC 7532"}, "cpus_per_node": 2,
+			"dram_gb_per_node": 128, "peak_power_mw": 0.02, "pue": 1.3
+		},
+		"site_name": "Lemont", "region": "Illinois"
+	}`
+	if err := json.Unmarshal([]byte(raw), &doc); err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine()
+	res, err := eng.Assess(context.Background(), AssessRequest{Custom: &doc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.System != "TestRig" || res.Site != "Lemont" || res.OperationalL <= 0 {
+		t.Errorf("custom assessment wrong: %+v", res)
+	}
+}
+
+func TestEngineRequestValidation(t *testing.T) {
+	eng := NewEngine()
+	ctx := context.Background()
+	if _, err := eng.Assess(ctx, AssessRequest{}); err == nil {
+		t.Error("empty request accepted")
+	}
+	if _, err := eng.Assess(ctx, AssessRequest{System: "Marconi", Custom: &ConfigDocument{}}); err == nil {
+		t.Error("both system and custom accepted")
+	}
+	if _, err := eng.Assess(ctx, AssessRequest{System: "HAL9000"}); err == nil {
+		t.Error("unknown system accepted")
+	}
+	if _, err := eng.Assess(ctx, AssessRequest{System: "Marconi", Years: -1}); err == nil {
+		t.Error("negative lifetime accepted")
+	}
+}
+
+func TestEngineContextCancellation(t *testing.T) {
+	eng := NewEngine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Assess(ctx, AssessRequest{System: "Marconi"}); err == nil {
+		t.Error("canceled context accepted by Assess")
+	}
+	if _, err := eng.Water500(ctx, Water500Request{}); err == nil {
+		t.Error("canceled context accepted by Water500")
+	}
+}
+
+func TestEngineSweep(t *testing.T) {
+	eng := NewEngine()
+	res, err := eng.Sweep(context.Background(), SweepRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Systems) != 4 {
+		t.Fatalf("system count = %d, want all 4 bundled", len(res.Systems))
+	}
+	for _, s := range res.Systems {
+		if len(s.Scenarios) != 5 {
+			t.Errorf("%s: %d scenarios, want 5", s.System, len(s.Scenarios))
+		}
+	}
+	sub, err := eng.Sweep(context.Background(), SweepRequest{Systems: []string{"Fugaku"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Systems) != 1 || sub.Systems[0].System != "Fugaku" {
+		t.Errorf("filtered sweep wrong: %+v", sub.Systems)
+	}
+}
+
+func TestEngineWater500(t *testing.T) {
+	eng := NewEngine()
+	res, err := eng.Water500(context.Background(), Water500Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 4 || res.Entries[0].Rank != 1 {
+		t.Fatalf("ranking malformed: %+v", res.Entries)
+	}
+	// The ranking reuses the per-system assessments: 4 configs, 4 misses.
+	if st := eng.CacheStats(); st.Misses != 4 {
+		t.Errorf("misses = %d, want 4", st.Misses)
+	}
+	// Re-ranking is pure cache hits.
+	if _, err := eng.Water500(context.Background(), Water500Request{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.CacheStats(); st.Misses != 4 || st.Hits != 4 {
+		t.Errorf("stats after re-rank = %+v, want 4 misses and 4 hits", eng.CacheStats())
+	}
+}
+
+func BenchmarkEngineAssessCold(b *testing.B) {
+	req := AssessRequest{System: "Frontier"}
+	for i := 0; i < b.N; i++ {
+		// A cache-disabled engine simulates every time.
+		eng := NewEngine(WithCache(0))
+		if _, err := eng.Assess(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineAssessCached(b *testing.B) {
+	eng := NewEngine()
+	req := AssessRequest{System: "Frontier"}
+	if _, err := eng.Assess(context.Background(), req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Assess(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -48,7 +48,11 @@ func ExampleComputeWithdrawal() {
 func ExampleRankStartTimes() {
 	wi := []thirstyflops.LPerKWh{1, 5, 5, 5}
 	ci := []thirstyflops.GCO2PerKWh{500, 500, 100, 500}
-	opts, err := thirstyflops.RankStartTimes(10, 1, []int{0, 2}, wi, ci)
+	s, err := thirstyflops.SeriesFromIntensities(1, wi, make([]thirstyflops.LPerKWh, len(wi)), ci)
+	if err != nil {
+		panic(err)
+	}
+	opts, err := thirstyflops.RankStartTimes(10, 1, []int{0, 2}, s)
 	if err != nil {
 		panic(err)
 	}

@@ -44,16 +44,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	wi := annual.HourlyWaterIntensity()
-	ci := annual.CarbonSeries
-
-	// 3. Seven candidate start times across a July day.
+	// 3. Seven candidate start times across a July day, ranked directly
+	// against the assessed hourly timeline.
 	base := 195 * 24
 	candidates := make([]int, 7)
 	for i := range candidates {
 		candidates[i] = base + 4*i
 	}
-	opts, err := thirstyflops.RankStartTimes(perHour, durationHours, candidates, wi, ci)
+	opts, err := thirstyflops.RankStartTimes(perHour, durationHours, candidates, annual.Hourly)
 	if err != nil {
 		log.Fatal(err)
 	}

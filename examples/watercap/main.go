@@ -27,7 +27,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	meanHourly := float64(annual.Operational()) / float64(len(annual.EnergySeries))
+	meanHourly := float64(annual.Operational()) / float64(annual.Hourly.Len())
 	fmt.Printf("Marconi uncoordinated demand: %.0f L/h mean, %v over the year\n\n",
 		meanHourly, annual.Operational())
 
@@ -39,8 +39,7 @@ func main() {
 				DryMix:       thirstyflops.DefaultDryMix(),
 				AllowCurtail: curtail,
 			}
-			r, err := thirstyflops.RunWaterCap(policy, cfg.System.PUE,
-				annual.EnergySeries, annual.WUESeries, annual.EWFSeries, annual.CarbonSeries)
+			r, err := thirstyflops.RunWaterCap(policy, annual.Hourly)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -1,0 +1,3 @@
+module thirstyflops
+
+go 1.22

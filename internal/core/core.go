@@ -13,7 +13,6 @@
 package core
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 
@@ -21,6 +20,7 @@ import (
 	"thirstyflops/internal/energy"
 	"thirstyflops/internal/hardware"
 	"thirstyflops/internal/jobs"
+	"thirstyflops/internal/series"
 	"thirstyflops/internal/stats"
 	"thirstyflops/internal/units"
 	"thirstyflops/internal/weather"
@@ -99,17 +99,16 @@ func (c Config) Validate() error {
 	return c.Scarcity.Validate()
 }
 
-// Annual is one assessed year of operation: hourly series plus aggregate
-// footprints. All downstream figures draw from this struct.
+// Annual is one assessed year of operation: the typed hourly timeline
+// plus aggregate footprints. All downstream figures draw from this
+// struct.
 type Annual struct {
 	System string
-	PUE    units.PUE
 
-	// Hourly series (stats.HoursPerYear long).
-	EnergySeries []units.KWh        // IT energy per hour
-	WUESeries    []units.LPerKWh    // direct water intensity
-	EWFSeries    []units.LPerKWh    // grid energy water factor
-	CarbonSeries []units.GCO2PerKWh // grid carbon intensity
+	// Hourly is the aligned timeline (stats.HoursPerYear long) of IT
+	// energy, WUE, EWF, and carbon intensity; its PUE field carries the
+	// facility overhead used throughout the derived accounting.
+	Hourly series.Series
 
 	// Aggregates.
 	Energy   units.KWh // IT energy over the year
@@ -132,33 +131,25 @@ func (c Config) Assess() (Annual, error) {
 		return Annual{}, fmt.Errorf("core: substrate series lengths differ")
 	}
 
-	a := Annual{
-		System:       c.System.Name,
-		PUE:          c.System.PUE,
-		EnergySeries: make([]units.KWh, len(util)),
-		WUESeries:    make([]units.LPerKWh, len(util)),
-		EWFSeries:    make([]units.LPerKWh, len(util)),
-		CarbonSeries: make([]units.GCO2PerKWh, len(util)),
+	s, err := series.New(c.System.PUE, len(util))
+	if err != nil {
+		return Annual{}, fmt.Errorf("core: %w", err)
 	}
-	pue := float64(c.System.PUE)
-	var direct, indirect, carbon float64
 	for h := range util {
-		e := c.System.PowerAt(util[h]).EnergyOver(1)
-		w := c.Curve.At(wx[h].WetBulb)
-		a.EnergySeries[h] = e
-		a.WUESeries[h] = w
-		a.EWFSeries[h] = grid[h].EWF
-		a.CarbonSeries[h] = grid[h].Carbon
-
-		a.Energy += e
-		direct += float64(e) * float64(w)
-		indirect += float64(e) * pue * float64(grid[h].EWF)
-		carbon += float64(e) * pue * float64(grid[h].Carbon)
+		s.Energy[h] = c.System.PowerAt(util[h]).EnergyOver(1)
+		s.WUE[h] = c.Curve.At(wx[h].WetBulb)
+		s.EWF[h] = grid[h].EWF
+		s.Carbon[h] = grid[h].Carbon
 	}
-	a.Direct = units.Liters(direct)
-	a.Indirect = units.Liters(indirect)
-	a.Carbon = units.GramsCO2(carbon)
-	return a, nil
+	t := s.Totals()
+	return Annual{
+		System:   c.System.Name,
+		Hourly:   s,
+		Energy:   t.Energy,
+		Direct:   t.Direct,
+		Indirect: t.Indirect,
+		Carbon:   t.Carbon,
+	}, nil
 }
 
 // Operational is the total operational water footprint (Eq. 1's
@@ -178,30 +169,12 @@ func (a Annual) DirectShare() float64 {
 // WaterIntensity returns the annual-mean direct, indirect, and total water
 // intensity (Eq. 8), energy-unweighted as the paper plots them.
 func (a Annual) WaterIntensity() (direct, indirect, total units.LPerKWh) {
-	if len(a.WUESeries) == 0 {
-		return 0, 0, 0
-	}
-	var d, i float64
-	for h := range a.WUESeries {
-		d += float64(a.WUESeries[h])
-		i += float64(a.PUE) * float64(a.EWFSeries[h])
-	}
-	n := float64(len(a.WUESeries))
-	direct = units.LPerKWh(d / n)
-	indirect = units.LPerKWh(i / n)
-	return direct, indirect, direct + indirect
+	return a.Hourly.MeanWaterIntensity()
 }
 
 // MeanCarbonIntensity is the annual-mean grid carbon intensity.
 func (a Annual) MeanCarbonIntensity() units.GCO2PerKWh {
-	if len(a.CarbonSeries) == 0 {
-		return 0
-	}
-	var s float64
-	for _, v := range a.CarbonSeries {
-		s += float64(v)
-	}
-	return units.GCO2PerKWh(s / float64(len(a.CarbonSeries)))
+	return a.Hourly.MeanCarbonIntensity()
 }
 
 // AdjustedWaterIntensity applies the scarcity profile (Eq. 9, extended to
@@ -213,12 +186,11 @@ func (a Annual) AdjustedWaterIntensity(p wsi.Profile) units.LPerKWh {
 
 // HourlyWaterIntensity returns the WI(t) series (Eq. 8 per hour), the
 // input to the Fig. 13 start-time ranking.
+//
+// Deprecated: use a.Hourly.WaterIntensity(), or pass a.Hourly directly to
+// consumers that accept a series.Series.
 func (a Annual) HourlyWaterIntensity() []units.LPerKWh {
-	out := make([]units.LPerKWh, len(a.WUESeries))
-	for h := range out {
-		out[h] = a.WUESeries[h] + units.LPerKWh(float64(a.PUE)*float64(a.EWFSeries[h]))
-	}
-	return out
+	return a.Hourly.WaterIntensity()
 }
 
 // Monthly aggregates for the Fig. 11/12 time-series comparisons.
@@ -233,22 +205,22 @@ type Monthly struct {
 
 // Monthly reduces the hourly series to per-month aggregates.
 func (a Annual) Monthly() Monthly {
-	n := len(a.EnergySeries)
+	n := a.Hourly.Len()
 	e := make([]float64, n)
 	w := make([]float64, n)
 	wiD := make([]float64, n)
 	wiI := make([]float64, n)
 	ci := make([]float64, n)
-	pue := float64(a.PUE)
+	pue := float64(a.Hourly.PUE)
 	for h := 0; h < n; h++ {
-		eh := float64(a.EnergySeries[h])
-		d := float64(a.WUESeries[h])
-		i := pue * float64(a.EWFSeries[h])
+		eh := float64(a.Hourly.Energy[h])
+		d := float64(a.Hourly.WUE[h])
+		i := pue * float64(a.Hourly.EWF[h])
 		e[h] = eh
 		w[h] = eh * (d + i)
 		wiD[h] = d
 		wiI[h] = i
-		ci[h] = float64(a.CarbonSeries[h])
+		ci[h] = float64(a.Hourly.Carbon[h])
 	}
 	m := Monthly{
 		Energy:          scaleMonths(stats.MonthlyMeans(e)),
@@ -280,25 +252,14 @@ func (c Config) EmbodiedBreakdown() (embodied.Breakdown, error) {
 }
 
 // WriteSeriesCSV exports the assessed hourly series as CSV
-// (hour, energy_kwh, wue, ewf, wi, carbon) for external plotting.
+// (hour, energy_kwh, wue, ewf, wi, carbon) for external plotting: a
+// system-metadata comment followed by the Series emitter, so there is a
+// single source of truth for the row format.
 func (a Annual) WriteSeriesCSV(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "# system=%s pue=%.3f\n", a.System, float64(a.PUE)); err != nil {
+	if _, err := fmt.Fprintf(w, "# system=%s\n", a.System); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintln(bw, "hour,energy_kwh,wue_l_per_kwh,ewf_l_per_kwh,wi_l_per_kwh,carbon_g_per_kwh"); err != nil {
-		return err
-	}
-	pue := float64(a.PUE)
-	for h := range a.EnergySeries {
-		wi := float64(a.WUESeries[h]) + pue*float64(a.EWFSeries[h])
-		if _, err := fmt.Fprintf(bw, "%d,%.3f,%.4f,%.4f,%.4f,%.2f\n",
-			h, float64(a.EnergySeries[h]), float64(a.WUESeries[h]),
-			float64(a.EWFSeries[h]), wi, float64(a.CarbonSeries[h])); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
+	return a.Hourly.WriteCSV(w)
 }
 
 // Footprint is the complete Eq. 1 decomposition over a system lifetime.
@@ -319,12 +280,19 @@ func (f Footprint) Operational() units.Liters { return f.Direct + f.Indirect }
 // Lifetime assesses a full system life: one simulated year of operation
 // scaled to the given lifetime plus the one-time embodied footprint.
 func (c Config) Lifetime(years float64) (Footprint, error) {
-	if years <= 0 {
-		return Footprint{}, fmt.Errorf("core: non-positive lifetime")
-	}
 	a, err := c.Assess()
 	if err != nil {
 		return Footprint{}, err
+	}
+	return c.LifetimeFrom(a, years)
+}
+
+// LifetimeFrom scales an already-assessed year to the given lifetime and
+// adds the one-time embodied footprint, so cached assessments (the Engine
+// path) avoid re-simulation.
+func (c Config) LifetimeFrom(a Annual, years float64) (Footprint, error) {
+	if years <= 0 {
+		return Footprint{}, fmt.Errorf("core: non-positive lifetime")
 	}
 	b, err := c.EmbodiedBreakdown()
 	if err != nil {

@@ -46,8 +46,11 @@ func TestConfigForAllSystems(t *testing.T) {
 
 func TestAssessBasicIdentities(t *testing.T) {
 	a := mustAssess(t, "Frontier")
-	if len(a.EnergySeries) != stats.HoursPerYear {
-		t.Fatalf("series length = %d", len(a.EnergySeries))
+	if a.Hourly.Len() != stats.HoursPerYear {
+		t.Fatalf("series length = %d", a.Hourly.Len())
+	}
+	if err := a.Hourly.Validate(); err != nil {
+		t.Fatalf("assessed timeline invalid: %v", err)
 	}
 	if a.Energy <= 0 || a.Direct <= 0 || a.Indirect <= 0 || a.Carbon <= 0 {
 		t.Fatal("all aggregates must be positive")
@@ -58,8 +61,8 @@ func TestAssessBasicIdentities(t *testing.T) {
 	}
 	// Hourly re-integration matches the aggregate within float tolerance.
 	var direct float64
-	for h := range a.EnergySeries {
-		direct += float64(a.EnergySeries[h]) * float64(a.WUESeries[h])
+	for h := range a.Hourly.Energy {
+		direct += float64(a.Hourly.Energy[h]) * float64(a.Hourly.WUE[h])
 	}
 	if math.Abs(direct-float64(a.Direct)) > 1e-6*direct {
 		t.Error("hourly series do not integrate to the aggregate")
@@ -156,11 +159,11 @@ func TestWaterIntensityComposition(t *testing.T) {
 func TestHourlyWaterIntensity(t *testing.T) {
 	a := mustAssess(t, "Frontier")
 	wi := a.HourlyWaterIntensity()
-	if len(wi) != len(a.WUESeries) {
+	if len(wi) != a.Hourly.Len() {
 		t.Fatal("length mismatch")
 	}
 	h := 1234
-	want := float64(a.WUESeries[h]) + float64(a.PUE)*float64(a.EWFSeries[h])
+	want := float64(a.Hourly.WUE[h]) + float64(a.Hourly.PUE)*float64(a.Hourly.EWF[h])
 	if math.Abs(float64(wi[h])-want) > 1e-12 {
 		t.Errorf("WI[%d] = %v, want %v", h, wi[h], want)
 	}

@@ -19,18 +19,21 @@ func TestWriteSeriesCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	// metadata + header + 8760 rows.
-	if len(lines) != 2+stats.HoursPerYear {
-		t.Fatalf("line count = %d, want %d", len(lines), 2+stats.HoursPerYear)
+	// system metadata + pue metadata + header + 8760 rows.
+	if len(lines) != 3+stats.HoursPerYear {
+		t.Fatalf("line count = %d, want %d", len(lines), 3+stats.HoursPerYear)
 	}
 	if !strings.Contains(lines[0], "system=Polaris") {
-		t.Error("metadata missing")
+		t.Error("system metadata missing")
 	}
-	if !strings.HasPrefix(lines[1], "hour,energy_kwh") {
-		t.Errorf("header wrong: %q", lines[1])
+	if !strings.Contains(lines[1], "pue=") {
+		t.Error("pue metadata missing")
+	}
+	if !strings.HasPrefix(lines[2], "hour,energy_kwh") {
+		t.Errorf("header wrong: %q", lines[2])
 	}
 	// Every data row has 6 comma-separated fields.
-	for _, line := range lines[2:5] {
+	for _, line := range lines[3:6] {
 		if strings.Count(line, ",") != 5 {
 			t.Errorf("row has wrong arity: %q", line)
 		}
@@ -48,7 +51,7 @@ func TestTowerYearBalanceIntegration(t *testing.T) {
 	}
 	wx := cfg.Site.HourlyYear(cfg.Seed)
 	tower := wue.DefaultTower()
-	bal, err := tower.YearBalance(a.EnergySeries, cfg.System.PUE, weather.WetBulbSeries(wx))
+	bal, err := tower.YearBalance(a.Hourly.Energy, cfg.System.PUE, weather.WetBulbSeries(wx))
 	if err != nil {
 		t.Fatal(err)
 	}

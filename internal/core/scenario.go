@@ -31,6 +31,12 @@ func (c Config) ScenarioSweep() ([]ScenarioResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return c.ScenarioSweepFrom(a)
+}
+
+// ScenarioSweepFrom evaluates the scenarios against an already-assessed
+// year, so cached assessments (the Engine path) avoid re-simulation.
+func (c Config) ScenarioSweepFrom(a Annual) ([]ScenarioResult, error) {
 	baseWater := a.Operational()
 	baseCarbon := a.Carbon
 	if baseWater <= 0 || baseCarbon <= 0 {

@@ -13,20 +13,20 @@ import (
 // TOP500. Systems are ranked by operational water consumed per unit of
 // delivered performance; a scarcity-adjusted ranking sits alongside it.
 type Water500Entry struct {
-	System     string
-	RmaxPFLOPS float64
+	System     string  `json:"system"`
+	RmaxPFLOPS float64 `json:"rmax_pflops"`
 
-	AnnualWater   units.Liters // operational, one simulated year
-	AdjustedWater units.Liters // scaled by the site scarcity profile
+	AnnualWater   units.Liters `json:"annual_water_l"`   // operational, one simulated year
+	AdjustedWater units.Liters `json:"adjusted_water_l"` // scaled by the site scarcity profile
 
 	// WaterPerPF is annual litres per PFLOP/s of Rmax — the ranking key.
-	WaterPerPF float64
+	WaterPerPF float64 `json:"water_per_pflops"`
 	// LitersPerEFLOP is litres per exaFLOP of work, assuming the machine
 	// sustained Rmax for the year.
-	LitersPerEFLOP float64
+	LitersPerEFLOP float64 `json:"l_per_eflop"`
 
-	Rank         int // 1 = most water-efficient
-	AdjustedRank int // rank after scarcity weighting
+	Rank         int `json:"rank"`          // 1 = most water-efficient
+	AdjustedRank int `json:"adjusted_rank"` // rank after scarcity weighting
 }
 
 const secondsPerYear = 365 * 24 * 3600.0
@@ -38,15 +38,30 @@ func Water500() ([]Water500Entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	entries := make([]Water500Entry, 0, len(cfgs))
-	for _, c := range cfgs {
-		if c.System.RmaxPFLOPS <= 0 {
-			return nil, fmt.Errorf("core: %s has no Rmax for Water500", c.System.Name)
-		}
+	annuals := make([]Annual, len(cfgs))
+	for i, c := range cfgs {
 		a, err := c.Assess()
 		if err != nil {
 			return nil, err
 		}
+		annuals[i] = a
+	}
+	return Water500From(cfgs, annuals)
+}
+
+// Water500From builds the ranking from already-assessed years, so cached
+// assessments (the Engine path) avoid re-simulation. cfgs and annuals are
+// parallel.
+func Water500From(cfgs []Config, annuals []Annual) ([]Water500Entry, error) {
+	if len(cfgs) != len(annuals) {
+		return nil, fmt.Errorf("core: %d configs for %d assessments", len(cfgs), len(annuals))
+	}
+	entries := make([]Water500Entry, 0, len(cfgs))
+	for i, c := range cfgs {
+		if c.System.RmaxPFLOPS <= 0 {
+			return nil, fmt.Errorf("core: %s has no Rmax for Water500", c.System.Name)
+		}
+		a := annuals[i]
 		water := a.Operational()
 		adj := units.Liters(float64(water) * float64(c.Scarcity.Direct))
 		// Work delivered at sustained Rmax over the year, in exaFLOPs:

@@ -72,7 +72,7 @@ func WaterCap() (Output, error) {
 	if err != nil {
 		return Output{}, err
 	}
-	meanHourly := float64(a.Operational()) / float64(len(a.EnergySeries))
+	meanHourly := float64(a.Operational()) / float64(a.Hourly.Len())
 
 	var b strings.Builder
 	b.WriteString("== Water capping: coordinating cooling vs generation water (Takeaway 5) ==\n")
@@ -85,7 +85,7 @@ func WaterCap() (Output, error) {
 				DryMix:       watercap.DefaultDryMix(),
 				AllowCurtail: curtail,
 			}
-			r, err := watercap.Run(p, cfg.System.PUE, a.EnergySeries, a.WUESeries, a.EWFSeries, a.CarbonSeries)
+			r, err := watercap.Run(p, a.Hourly)
 			if err != nil {
 				return Output{}, err
 			}

@@ -26,8 +26,8 @@ func GreenSched() (Output, error) {
 	// Price the schedule against the July window (day 195 onward): summer
 	// cooling gives WI its strongest diurnal signal (Fig. 12).
 	const julyBase = 195 * 24
-	wi := a.HourlyWaterIntensity()[julyBase:]
-	ci := a.CarbonSeries[julyBase:]
+	wi := a.Hourly.WaterIntensity()[julyBase:]
+	ci := a.Hourly.Carbon[julyBase:]
 
 	// ~75 % offered load on the partition: slack shifting only moves jobs
 	// into cleaner hours when the queue is not saturated.

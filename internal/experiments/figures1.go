@@ -160,11 +160,11 @@ func Fig6() (Output, error) {
 		if err != nil {
 			return Output{}, err
 		}
-		ewf := make([]float64, len(a.EWFSeries))
-		wue := make([]float64, len(a.WUESeries))
+		ewf := make([]float64, a.Hourly.Len())
+		wue := make([]float64, a.Hourly.Len())
 		for i := range ewf {
-			ewf[i] = float64(a.EWFSeries[i])
-			wue[i] = float64(a.WUESeries[i])
+			ewf[i] = float64(a.Hourly.EWF[i])
+			wue[i] = float64(a.Hourly.WUE[i])
 		}
 		rows = append(rows, row{
 			name:   c.System.Name,

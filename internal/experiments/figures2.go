@@ -157,14 +157,11 @@ func Fig13() (Output, error) {
 	if err != nil {
 		return Output{}, err
 	}
-	wi := a.HourlyWaterIntensity()
-	ci := a.CarbonSeries
-
 	// Seven candidate start times across one summer day (hour-of-year
 	// base: July 15 ≈ day 195).
 	base := 195 * 24
 	candidates := []int{base, base + 4, base + 8, base + 12, base + 16, base + 20, base + 24}
-	opts, err := sched.RankStartTimes(perHour, durationHours, candidates, wi, ci)
+	opts, err := sched.RankStartTimes(perHour, durationHours, candidates, a.Hourly)
 	if err != nil {
 		return Output{}, err
 	}

@@ -59,8 +59,8 @@ func CenterFromConfig(cfg core.Config, headroomFraction float64) (Center, error)
 	return Center{
 		Name:       cfg.System.Name,
 		HeadroomKW: float64(cfg.System.PeakPower) / 1e3 * headroomFraction,
-		WI:         a.HourlyWaterIntensity(),
-		CI:         a.CarbonSeries,
+		WI:         a.Hourly.WaterIntensity(),
+		CI:         a.Hourly.Carbon,
 		WSI:        cfg.Scarcity.Direct,
 	}, nil
 }

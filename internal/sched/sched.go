@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"thirstyflops/internal/jobs"
+	"thirstyflops/internal/series"
 	"thirstyflops/internal/stats"
 	"thirstyflops/internal/units"
 )
@@ -293,13 +294,16 @@ type StartOption struct {
 }
 
 // RankStartTimes evaluates a job of the given duration and constant
-// per-hour energy at each candidate start hour against hourly water- and
-// carbon-intensity series, and ranks the candidates on both metrics.
-// The paper's Fig. 13 observation is that the two rankings disagree.
+// per-hour energy at each candidate start hour against the water- and
+// carbon-intensity channels of an hourly timeline, and ranks the
+// candidates on both metrics. The paper's Fig. 13 observation is that the
+// two rankings disagree. The job's energy is charged at the timeline's
+// total water intensity WI(t) = WUE + PUE·EWF and at the grid carbon
+// intensity; the timeline's own energy channel is not consulted.
 func RankStartTimes(energyPerHour units.KWh, durationHours int, candidates []int,
-	wi []units.LPerKWh, ci []units.GCO2PerKWh) ([]StartOption, error) {
-	if len(wi) != len(ci) {
-		return nil, fmt.Errorf("sched: intensity series lengths differ (%d vs %d)", len(wi), len(ci))
+	s series.Series) ([]StartOption, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
 	}
 	if durationHours <= 0 {
 		return nil, fmt.Errorf("sched: non-positive duration")
@@ -309,13 +313,13 @@ func RankStartTimes(energyPerHour units.KWh, durationHours int, candidates []int
 	}
 	out := make([]StartOption, len(candidates))
 	for k, c := range candidates {
-		if c < 0 || c+durationHours > len(wi) {
+		if c < 0 || c+durationHours > s.Len() {
 			return nil, fmt.Errorf("sched: candidate %d does not fit the series", c)
 		}
 		var w, g float64
 		for h := c; h < c+durationHours; h++ {
-			w += float64(wi[h]) * float64(energyPerHour)
-			g += float64(ci[h]) * float64(energyPerHour)
+			w += float64(s.WaterIntensityAt(h)) * float64(energyPerHour)
+			g += float64(s.Carbon[h]) * float64(energyPerHour)
 		}
 		out[k] = StartOption{Hour: c, Water: units.Liters(w), Carbon: units.GramsCO2(g)}
 	}

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"thirstyflops/internal/jobs"
+	"thirstyflops/internal/series"
 	"thirstyflops/internal/units"
 )
 
@@ -197,11 +198,20 @@ func TestSchedulerInvariantsProperty(t *testing.T) {
 	}
 }
 
+func intensitySeries(t *testing.T, wi []units.LPerKWh, ci []units.GCO2PerKWh) series.Series {
+	t.Helper()
+	s, err := series.FromIntensities(1, wi, make([]units.LPerKWh, len(wi)), ci)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func TestRankStartTimes(t *testing.T) {
 	// Water cheapest at hour 0; carbon cheapest at hour 2.
 	wi := []units.LPerKWh{1, 5, 5, 5}
 	ci := []units.GCO2PerKWh{500, 500, 100, 500}
-	opts, err := RankStartTimes(10, 1, []int{0, 1, 2}, wi, ci)
+	opts, err := RankStartTimes(10, 1, []int{0, 1, 2}, intensitySeries(t, wi, ci))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +233,7 @@ func TestRankStartTimes(t *testing.T) {
 func TestRankStartTimesMultiHour(t *testing.T) {
 	wi := []units.LPerKWh{1, 2, 3, 4}
 	ci := []units.GCO2PerKWh{4, 3, 2, 1}
-	opts, err := RankStartTimes(1, 2, []int{0, 2}, wi, ci)
+	opts, err := RankStartTimes(1, 2, []int{0, 2}, intensitySeries(t, wi, ci))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,19 +247,20 @@ func TestRankStartTimesMultiHour(t *testing.T) {
 }
 
 func TestRankStartTimesErrors(t *testing.T) {
-	wi := []units.LPerKWh{1, 2}
-	ci := []units.GCO2PerKWh{1, 2}
-	if _, err := RankStartTimes(1, 1, []int{5}, wi, ci); err == nil {
+	s := intensitySeries(t, []units.LPerKWh{1, 2}, []units.GCO2PerKWh{1, 2})
+	if _, err := RankStartTimes(1, 1, []int{5}, s); err == nil {
 		t.Error("out-of-range candidate accepted")
 	}
-	if _, err := RankStartTimes(1, 0, []int{0}, wi, ci); err == nil {
+	if _, err := RankStartTimes(1, 0, []int{0}, s); err == nil {
 		t.Error("zero duration accepted")
 	}
-	if _, err := RankStartTimes(-1, 1, []int{0}, wi, ci); err == nil {
+	if _, err := RankStartTimes(-1, 1, []int{0}, s); err == nil {
 		t.Error("negative energy accepted")
 	}
-	if _, err := RankStartTimes(1, 1, []int{0}, wi, ci[:1]); err == nil {
-		t.Error("mismatched series accepted")
+	torn := s
+	torn.Carbon = torn.Carbon[:1]
+	if _, err := RankStartTimes(1, 1, []int{0}, torn); err == nil {
+		t.Error("misaligned series accepted")
 	}
 }
 

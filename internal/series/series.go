@@ -1,0 +1,290 @@
+// Package series defines the typed hourly timeline that carries assessed
+// data across package boundaries. A Series keeps the four channels of one
+// simulated period — IT energy, direct water intensity (WUE), grid energy
+// water factor (EWF), and grid carbon intensity — aligned by construction,
+// together with the facility PUE that relates IT energy to facility
+// energy. Replacing the seed's loose parallel []float64-style slices with
+// one value eliminates the misaligned-length error class: a validated
+// Series cannot have channels of different lengths.
+package series
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"thirstyflops/internal/units"
+)
+
+// Series is one aligned hourly timeline. The zero value is an empty,
+// invalid series; build one with New, From, or FromIntensities.
+type Series struct {
+	// PUE converts the IT energy channel into facility energy for the
+	// indirect (Eq. 7) and carbon terms.
+	PUE units.PUE `json:"pue"`
+
+	Energy []units.KWh        `json:"energy_kwh"`       // IT energy per hour
+	WUE    []units.LPerKWh    `json:"wue_l_per_kwh"`    // direct water intensity
+	EWF    []units.LPerKWh    `json:"ewf_l_per_kwh"`    // grid energy water factor
+	Carbon []units.GCO2PerKWh `json:"carbon_g_per_kwh"` // grid carbon intensity
+}
+
+// New allocates an aligned series of n zeroed hours.
+func New(pue units.PUE, n int) (Series, error) {
+	if n < 0 {
+		return Series{}, fmt.Errorf("series: negative length %d", n)
+	}
+	s := Series{
+		PUE:    pue,
+		Energy: make([]units.KWh, n),
+		WUE:    make([]units.LPerKWh, n),
+		EWF:    make([]units.LPerKWh, n),
+		Carbon: make([]units.GCO2PerKWh, n),
+	}
+	if err := s.Validate(); err != nil {
+		return Series{}, err
+	}
+	return s, nil
+}
+
+// From assembles a series from existing channels, validating alignment.
+// The channels are used directly, not copied.
+func From(pue units.PUE, energy []units.KWh, wue, ewf []units.LPerKWh,
+	carbon []units.GCO2PerKWh) (Series, error) {
+	s := Series{PUE: pue, Energy: energy, WUE: wue, EWF: ewf, Carbon: carbon}
+	if err := s.Validate(); err != nil {
+		return Series{}, err
+	}
+	return s, nil
+}
+
+// FromIntensities assembles a series with a zeroed energy channel, for
+// intensity-only uses such as start-time ranking of a job whose energy is
+// supplied separately.
+func FromIntensities(pue units.PUE, wue, ewf []units.LPerKWh,
+	carbon []units.GCO2PerKWh) (Series, error) {
+	return From(pue, make([]units.KWh, len(wue)), wue, ewf, carbon)
+}
+
+// Len is the number of hours in the series.
+func (s Series) Len() int { return len(s.Energy) }
+
+// Validate checks the invariants: a physical PUE and four channels of
+// equal length.
+func (s Series) Validate() error {
+	if !s.PUE.Valid() {
+		return fmt.Errorf("series: PUE %v < 1", s.PUE)
+	}
+	n := len(s.Energy)
+	if len(s.WUE) != n || len(s.EWF) != n || len(s.Carbon) != n {
+		return fmt.Errorf("series: misaligned channels (energy %d, wue %d, ewf %d, carbon %d)",
+			n, len(s.WUE), len(s.EWF), len(s.Carbon))
+	}
+	return nil
+}
+
+// WaterIntensityAt is the total water intensity WI(t) of one hour
+// (Eq. 8): WUE + PUE·EWF.
+func (s Series) WaterIntensityAt(h int) units.LPerKWh {
+	return s.WUE[h] + units.LPerKWh(float64(s.PUE)*float64(s.EWF[h]))
+}
+
+// WaterIntensity materializes the WI(t) channel — the input to the
+// Fig. 13 start-time ranking.
+func (s Series) WaterIntensity() []units.LPerKWh {
+	out := make([]units.LPerKWh, s.Len())
+	for h := range out {
+		out[h] = s.WaterIntensityAt(h)
+	}
+	return out
+}
+
+// WaterAt is the operational water consumed in one hour: direct cooling
+// plus indirect generation water (Eqs. 6-7).
+func (s Series) WaterAt(h int) units.Liters {
+	return units.Liters(float64(s.Energy[h]) * float64(s.WaterIntensityAt(h)))
+}
+
+// CarbonAt is the operational carbon emitted in one hour, charged at
+// facility energy.
+func (s Series) CarbonAt(h int) units.GramsCO2 {
+	return units.GramsCO2(float64(s.Energy[h]) * float64(s.PUE) * float64(s.Carbon[h]))
+}
+
+// Totals aggregates the series into the Eq. 1 operational components.
+type Totals struct {
+	Energy   units.KWh      // IT energy
+	Direct   units.Liters   // E · WUE
+	Indirect units.Liters   // E · PUE · EWF
+	Carbon   units.GramsCO2 // E · PUE · CI
+}
+
+// Operational is direct plus indirect water.
+func (t Totals) Operational() units.Liters { return t.Direct + t.Indirect }
+
+// Totals integrates the full series.
+func (s Series) Totals() Totals {
+	var energy, direct, indirect, carbon float64
+	pue := float64(s.PUE)
+	for h := range s.Energy {
+		e := float64(s.Energy[h])
+		energy += e
+		direct += e * float64(s.WUE[h])
+		indirect += e * pue * float64(s.EWF[h])
+		carbon += e * pue * float64(s.Carbon[h])
+	}
+	return Totals{
+		Energy:   units.KWh(energy),
+		Direct:   units.Liters(direct),
+		Indirect: units.Liters(indirect),
+		Carbon:   units.GramsCO2(carbon),
+	}
+}
+
+// MeanWaterIntensity returns the annual-mean direct, indirect, and total
+// water intensity (Eq. 8), energy-unweighted as the paper plots them.
+func (s Series) MeanWaterIntensity() (direct, indirect, total units.LPerKWh) {
+	n := s.Len()
+	if n == 0 {
+		return 0, 0, 0
+	}
+	var d, i float64
+	pue := float64(s.PUE)
+	for h := 0; h < n; h++ {
+		d += float64(s.WUE[h])
+		i += pue * float64(s.EWF[h])
+	}
+	direct = units.LPerKWh(d / float64(n))
+	indirect = units.LPerKWh(i / float64(n))
+	return direct, indirect, direct + indirect
+}
+
+// MeanCarbonIntensity is the mean grid carbon intensity over the series.
+func (s Series) MeanCarbonIntensity() units.GCO2PerKWh {
+	n := s.Len()
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.Carbon {
+		sum += float64(v)
+	}
+	return units.GCO2PerKWh(sum / float64(n))
+}
+
+// Slice returns the aligned window [lo, hi) sharing the underlying
+// channels.
+func (s Series) Slice(lo, hi int) (Series, error) {
+	if lo < 0 || hi < lo || hi > s.Len() {
+		return Series{}, fmt.Errorf("series: window [%d, %d) outside 0..%d", lo, hi, s.Len())
+	}
+	return Series{
+		PUE:    s.PUE,
+		Energy: s.Energy[lo:hi],
+		WUE:    s.WUE[lo:hi],
+		EWF:    s.EWF[lo:hi],
+		Carbon: s.Carbon[lo:hi],
+	}, nil
+}
+
+// Clone deep-copies the series so the caller can mutate it freely.
+func (s Series) Clone() Series {
+	return Series{
+		PUE:    s.PUE,
+		Energy: append([]units.KWh(nil), s.Energy...),
+		WUE:    append([]units.LPerKWh(nil), s.WUE...),
+		EWF:    append([]units.LPerKWh(nil), s.EWF...),
+		Carbon: append([]units.GCO2PerKWh(nil), s.Carbon...),
+	}
+}
+
+// Equal reports whether two series are identical hour for hour.
+func (s Series) Equal(o Series) bool {
+	if s.PUE != o.PUE || s.Len() != o.Len() {
+		return false
+	}
+	for h := range s.Energy {
+		if s.Energy[h] != o.Energy[h] || s.WUE[h] != o.WUE[h] ||
+			s.EWF[h] != o.EWF[h] || s.Carbon[h] != o.Carbon[h] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- CSV round trip ---
+
+// WriteCSV emits the series as "hour,energy_kwh,wue,ewf,wi,carbon" rows
+// with a header comment carrying the PUE, compatible with external
+// plotting.
+func (s Series) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# pue=%.4f\n", float64(s.PUE)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(bw, "hour,energy_kwh,wue_l_per_kwh,ewf_l_per_kwh,wi_l_per_kwh,carbon_g_per_kwh"); err != nil {
+		return err
+	}
+	for h := range s.Energy {
+		if _, err := fmt.Fprintf(bw, "%d,%.3f,%.4f,%.4f,%.4f,%.2f\n",
+			h, float64(s.Energy[h]), float64(s.WUE[h]), float64(s.EWF[h]),
+			float64(s.WaterIntensityAt(h)), float64(s.Carbon[h])); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a series written by WriteCSV. The derived WI column is
+// ignored; it is recomputed from the stored channels on demand.
+func ReadCSV(r io.Reader) (Series, error) {
+	s := Series{PUE: 1}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		lineNo++
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "#"):
+			for _, field := range strings.Fields(strings.TrimPrefix(line, "#")) {
+				k, v, ok := strings.Cut(field, "=")
+				if !ok || k != "pue" {
+					continue
+				}
+				p, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return Series{}, fmt.Errorf("series: line %d: bad pue %q", lineNo, v)
+				}
+				s.PUE = units.PUE(p)
+			}
+		case strings.HasPrefix(line, "hour,"):
+			continue
+		default:
+			cols := strings.Split(line, ",")
+			if len(cols) != 6 {
+				return Series{}, fmt.Errorf("series: line %d: malformed row %q", lineNo, line)
+			}
+			vals := make([]float64, 4)
+			for i, col := range []int{1, 2, 3, 5} {
+				v, err := strconv.ParseFloat(cols[col], 64)
+				if err != nil {
+					return Series{}, fmt.Errorf("series: line %d: bad value %q", lineNo, cols[col])
+				}
+				vals[i] = v
+			}
+			s.Energy = append(s.Energy, units.KWh(vals[0]))
+			s.WUE = append(s.WUE, units.LPerKWh(vals[1]))
+			s.EWF = append(s.EWF, units.LPerKWh(vals[2]))
+			s.Carbon = append(s.Carbon, units.GCO2PerKWh(vals[3]))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Series{}, err
+	}
+	return s, s.Validate()
+}

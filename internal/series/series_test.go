@@ -1,0 +1,157 @@
+package series
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"thirstyflops/internal/units"
+)
+
+func sample() Series {
+	s, err := From(1.5,
+		[]units.KWh{10, 20, 30},
+		[]units.LPerKWh{1, 2, 3},
+		[]units.LPerKWh{4, 5, 6},
+		[]units.GCO2PerKWh{100, 200, 300})
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestFromValidatesAlignment(t *testing.T) {
+	if _, err := From(1.2, make([]units.KWh, 3), make([]units.LPerKWh, 2),
+		make([]units.LPerKWh, 3), make([]units.GCO2PerKWh, 3)); err == nil {
+		t.Fatal("misaligned channels accepted")
+	}
+	if _, err := From(0.9, nil, nil, nil, nil); err == nil {
+		t.Fatal("PUE < 1 accepted")
+	}
+	if _, err := New(1.1, -1); err == nil {
+		t.Fatal("negative length accepted")
+	}
+}
+
+func TestWaterIntensity(t *testing.T) {
+	s := sample()
+	// WI(0) = 1 + 1.5*4 = 7.
+	if got := float64(s.WaterIntensityAt(0)); math.Abs(got-7) > 1e-12 {
+		t.Errorf("WI(0) = %v, want 7", got)
+	}
+	wi := s.WaterIntensity()
+	if len(wi) != s.Len() || wi[0] != s.WaterIntensityAt(0) {
+		t.Errorf("materialized WI mismatch: %v", wi)
+	}
+}
+
+func TestTotals(t *testing.T) {
+	s := sample()
+	tot := s.Totals()
+	if float64(tot.Energy) != 60 {
+		t.Errorf("energy = %v, want 60", tot.Energy)
+	}
+	// Direct = 10*1 + 20*2 + 30*3 = 140.
+	if math.Abs(float64(tot.Direct)-140) > 1e-9 {
+		t.Errorf("direct = %v, want 140", tot.Direct)
+	}
+	// Indirect = 1.5*(10*4 + 20*5 + 30*6) = 1.5*320 = 480.
+	if math.Abs(float64(tot.Indirect)-480) > 1e-9 {
+		t.Errorf("indirect = %v, want 480", tot.Indirect)
+	}
+	if tot.Operational() != tot.Direct+tot.Indirect {
+		t.Error("operational != direct + indirect")
+	}
+	// Carbon = 1.5*(10*100 + 20*200 + 30*300) = 1.5*14000 = 21000.
+	if math.Abs(float64(tot.Carbon)-21000) > 1e-9 {
+		t.Errorf("carbon = %v, want 21000", tot.Carbon)
+	}
+	// Per-hour accessors agree with the integral.
+	var w, c float64
+	for h := 0; h < s.Len(); h++ {
+		w += float64(s.WaterAt(h))
+		c += float64(s.CarbonAt(h))
+	}
+	if math.Abs(w-float64(tot.Operational())) > 1e-9 || math.Abs(c-float64(tot.Carbon)) > 1e-9 {
+		t.Error("per-hour accessors disagree with Totals")
+	}
+}
+
+func TestMeans(t *testing.T) {
+	s := sample()
+	d, i, tot := s.MeanWaterIntensity()
+	if math.Abs(float64(d)-2) > 1e-12 {
+		t.Errorf("mean direct WI = %v, want 2", d)
+	}
+	if math.Abs(float64(i)-7.5) > 1e-12 {
+		t.Errorf("mean indirect WI = %v, want 7.5", i)
+	}
+	if tot != d+i {
+		t.Error("total != direct + indirect")
+	}
+	if math.Abs(float64(s.MeanCarbonIntensity())-200) > 1e-12 {
+		t.Errorf("mean CI = %v, want 200", s.MeanCarbonIntensity())
+	}
+}
+
+func TestSliceAndClone(t *testing.T) {
+	s := sample()
+	win, err := s.Slice(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win.Len() != 2 || win.Energy[0] != 20 || win.Carbon[1] != 300 {
+		t.Errorf("window wrong: %+v", win)
+	}
+	if _, err := s.Slice(2, 5); err == nil {
+		t.Error("out-of-range window accepted")
+	}
+	c := s.Clone()
+	if !c.Equal(s) {
+		t.Error("clone differs from original")
+	}
+	c.Energy[0] = 999
+	if s.Energy[0] == 999 {
+		t.Error("clone shares backing array")
+	}
+	if c.Equal(s) {
+		t.Error("Equal missed a mutated channel")
+	}
+}
+
+func TestFromIntensities(t *testing.T) {
+	s, err := FromIntensities(1,
+		[]units.LPerKWh{1, 5}, []units.LPerKWh{0, 0}, []units.GCO2PerKWh{9, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || s.Energy[0] != 0 {
+		t.Errorf("intensity-only series wrong: %+v", s)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := sample()
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PUE != s.PUE || got.Len() != s.Len() {
+		t.Fatalf("round trip shape: %+v", got)
+	}
+	for h := 0; h < s.Len(); h++ {
+		if math.Abs(float64(got.Energy[h]-s.Energy[h])) > 1e-3 ||
+			math.Abs(float64(got.WUE[h]-s.WUE[h])) > 1e-4 ||
+			math.Abs(float64(got.EWF[h]-s.EWF[h])) > 1e-4 ||
+			math.Abs(float64(got.Carbon[h]-s.Carbon[h])) > 1e-2 {
+			t.Errorf("hour %d differs after round trip", h)
+		}
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("0,1,2\n")); err == nil {
+		t.Error("malformed row accepted")
+	}
+}

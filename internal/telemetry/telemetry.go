@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 
+	"thirstyflops/internal/series"
 	"thirstyflops/internal/stats"
 	"thirstyflops/internal/units"
 )
@@ -72,6 +73,35 @@ func (l PowerLog) MonthlyEnergy() []units.KWh {
 		out[m] = units.KWh(monthsMeans[m] * monthHours[m])
 	}
 	return out
+}
+
+// Series combines the measured power log with modeled intensity channels
+// into an aligned hourly timeline: the typed value that crosses package
+// boundaries instead of loose parallel slices. The intensity channels
+// must cover every logged hour.
+func (l PowerLog) Series(pue units.PUE, wue, ewf []units.LPerKWh,
+	carbon []units.GCO2PerKWh) (series.Series, error) {
+	if err := l.Validate(); err != nil {
+		return series.Series{}, err
+	}
+	s, err := series.From(pue, l.HourlyEnergy(), wue, ewf, carbon)
+	if err != nil {
+		return series.Series{}, fmt.Errorf("telemetry: %s: %w", l.System, err)
+	}
+	return s, nil
+}
+
+// FromSeries extracts the energy channel of a timeline back into a power
+// log (hourly samples, so kWh and kW are numerically 1:1000 with W).
+func FromSeries(system string, year int, s series.Series) (PowerLog, error) {
+	if err := s.Validate(); err != nil {
+		return PowerLog{}, fmt.Errorf("telemetry: %w", err)
+	}
+	l := PowerLog{System: system, Year: year, Samples: make([]units.Watts, s.Len())}
+	for i, e := range s.Energy {
+		l.Samples[i] = units.Watts(float64(e) * 1e3)
+	}
+	return l, l.Validate()
 }
 
 // MeanPower is the average IT draw over the log.

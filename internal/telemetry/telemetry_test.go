@@ -164,3 +164,64 @@ func TestJSONRoundTrip(t *testing.T) {
 		t.Error("invalid log accepted after JSON decode")
 	}
 }
+
+func TestPowerLogToSeries(t *testing.T) {
+	l := sampleLog()
+	n := len(l.Samples)
+	wue := make([]units.LPerKWh, n)
+	ewf := make([]units.LPerKWh, n)
+	carbon := make([]units.GCO2PerKWh, n)
+	for i := range wue {
+		wue[i], ewf[i], carbon[i] = 2, 3, 400
+	}
+	s, err := l.Series(1.5, wue, ewf, carbon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != n || s.PUE != 1.5 {
+		t.Fatalf("series shape wrong: %+v", s)
+	}
+	// 1000 W over one hour is 1 kWh.
+	if math.Abs(float64(s.Energy[0])-1) > 1e-12 {
+		t.Errorf("energy[0] = %v, want 1 kWh", s.Energy[0])
+	}
+	if s.Totals().Energy != l.Energy() {
+		t.Error("series energy disagrees with log energy")
+	}
+
+	// Misaligned intensity channels are rejected at construction.
+	if _, err := l.Series(1.5, wue[:2], ewf, carbon); err == nil {
+		t.Error("misaligned intensity channels accepted")
+	}
+	bad := PowerLog{System: "x", Samples: []units.Watts{-1}}
+	if _, err := bad.Series(1.5, wue[:1], ewf[:1], carbon[:1]); err == nil {
+		t.Error("invalid log converted")
+	}
+}
+
+func TestPowerLogFromSeries(t *testing.T) {
+	l := sampleLog()
+	n := len(l.Samples)
+	s, err := l.Series(1.2,
+		make([]units.LPerKWh, n), make([]units.LPerKWh, n), make([]units.GCO2PerKWh, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromSeries(l.System, l.Year, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.System != l.System || back.Year != l.Year || len(back.Samples) != n {
+		t.Fatalf("round trip shape wrong: %+v", back)
+	}
+	for i := range back.Samples {
+		if math.Abs(float64(back.Samples[i]-l.Samples[i])) > 1e-9 {
+			t.Errorf("sample %d = %v, want %v", i, back.Samples[i], l.Samples[i])
+		}
+	}
+	torn := s
+	torn.WUE = torn.WUE[:1]
+	if _, err := FromSeries("x", 2023, torn); err == nil {
+		t.Error("misaligned series accepted")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"thirstyflops/internal/energy"
+	"thirstyflops/internal/series"
 	"thirstyflops/internal/units"
 )
 
@@ -87,33 +88,29 @@ func (r Result) CarbonCostPct() float64 {
 	return 100 * (float64(r.Carbon) - float64(r.BaselineCarbon)) / float64(r.BaselineCarbon)
 }
 
-// Run coordinates one period. The series are parallel hourly inputs: IT
-// energy, direct intensity (WUE), grid EWF, and grid carbon intensity;
-// pue converts IT to facility energy.
-func Run(p Policy, pue units.PUE,
-	energySeries []units.KWh, wueSeries, ewfSeries []units.LPerKWh,
-	carbonSeries []units.GCO2PerKWh) (Result, error) {
+// Run coordinates one period over an assessed hourly timeline: the IT
+// energy, direct intensity (WUE), grid EWF, and grid carbon intensity
+// channels arrive aligned by construction, and the timeline's PUE
+// converts IT to facility energy.
+func Run(p Policy, s series.Series) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
-	if !pue.Valid() {
-		return Result{}, fmt.Errorf("watercap: invalid PUE %v", pue)
-	}
-	n := len(energySeries)
-	if len(wueSeries) != n || len(ewfSeries) != n || len(carbonSeries) != n {
-		return Result{}, fmt.Errorf("watercap: series lengths differ")
+	if err := s.Validate(); err != nil {
+		return Result{}, fmt.Errorf("watercap: %w", err)
 	}
 	dryEWF := float64(p.DryMix.EWF(nil))
 	dryCI := float64(p.DryMix.CarbonIntensity(nil))
-	pueF := float64(pue)
+	pueF := float64(s.PUE)
 	cap := float64(p.HourlyCap)
 
+	n := s.Len()
 	res := Result{Hours: make([]Hour, n)}
 	for h := 0; h < n; h++ {
-		e := float64(energySeries[h])
-		wue := float64(wueSeries[h])
-		ewf := float64(ewfSeries[h])
-		ci := float64(carbonSeries[h])
+		e := float64(s.Energy[h])
+		wue := float64(s.WUE[h])
+		ewf := float64(s.EWF[h])
+		ci := float64(s.Carbon[h])
 
 		baseWater := e * (wue + pueF*ewf)
 		baseCarbon := e * pueF * ci

@@ -7,18 +7,19 @@ import (
 
 	"thirstyflops/internal/core"
 	"thirstyflops/internal/energy"
+	"thirstyflops/internal/series"
 	"thirstyflops/internal/units"
 )
 
-func flatSeries(n int, e, w, f, c float64) ([]units.KWh, []units.LPerKWh, []units.LPerKWh, []units.GCO2PerKWh) {
-	es := make([]units.KWh, n)
-	ws := make([]units.LPerKWh, n)
-	fs := make([]units.LPerKWh, n)
-	cs := make([]units.GCO2PerKWh, n)
-	for i := 0; i < n; i++ {
-		es[i], ws[i], fs[i], cs[i] = units.KWh(e), units.LPerKWh(w), units.LPerKWh(f), units.GCO2PerKWh(c)
+func flatSeries(n int, pue, e, w, f, c float64) series.Series {
+	s, err := series.New(units.PUE(pue), n)
+	if err != nil {
+		panic(err)
 	}
-	return es, ws, fs, cs
+	for i := 0; i < n; i++ {
+		s.Energy[i], s.WUE[i], s.EWF[i], s.Carbon[i] = units.KWh(e), units.LPerKWh(w), units.LPerKWh(f), units.GCO2PerKWh(c)
+	}
+	return s
 }
 
 func TestPolicyValidate(t *testing.T) {
@@ -35,10 +36,10 @@ func TestPolicyValidate(t *testing.T) {
 }
 
 func TestNoInterventionUnderBudget(t *testing.T) {
-	es, ws, fs, cs := flatSeries(24, 100, 1, 1, 400)
+	s := flatSeries(24, 1.2, 100, 1, 1, 400)
 	// Demand: 100*(1+1.2*1) = 220 L/h, cap at 1000 → untouched.
 	p := Policy{HourlyCap: 1000, DryMix: DefaultDryMix()}
-	r, err := Run(p, 1.2, es, ws, fs, cs)
+	r, err := Run(p, s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,9 +57,9 @@ func TestNoInterventionUnderBudget(t *testing.T) {
 func TestMixShiftHitsCapExactly(t *testing.T) {
 	// Demand 100*(2 + 1.0*8) = 1000 L/h; dry EWF ≈ 0.662 → full shift
 	// would give 100*(2+0.662) = 266; cap 600 → partial shift expected.
-	es, ws, fs, cs := flatSeries(10, 100, 2, 8, 100)
+	s := flatSeries(10, 1.0, 100, 2, 8, 100)
 	p := Policy{HourlyCap: 600, DryMix: DefaultDryMix()}
-	r, err := Run(p, 1.0, es, ws, fs, cs)
+	r, err := Run(p, s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,9 +82,9 @@ func TestMixShiftHitsCapExactly(t *testing.T) {
 func TestShiftRaisesCarbon(t *testing.T) {
 	// Hydro-heavy baseline (low carbon, high water): shifting to gas/wind
 	// must save water and cost carbon — the Takeaway 5 tension.
-	es, ws, fs, cs := flatSeries(10, 100, 2, 10, 50)
+	s := flatSeries(10, 1.0, 100, 2, 10, 50)
 	p := Policy{HourlyCap: 700, DryMix: DefaultDryMix()}
-	r, err := Run(p, 1.0, es, ws, fs, cs)
+	r, err := Run(p, s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,9 +98,9 @@ func TestShiftRaisesCarbon(t *testing.T) {
 
 func TestDeficitWhenUnreachable(t *testing.T) {
 	// Cooling alone busts the cap: 100*5 = 500 L from WUE with a 300 cap.
-	es, ws, fs, cs := flatSeries(5, 100, 5, 1, 400)
+	s := flatSeries(5, 1.0, 100, 5, 1, 400)
 	p := Policy{HourlyCap: 300, DryMix: DefaultDryMix()}
-	r, err := Run(p, 1.0, es, ws, fs, cs)
+	r, err := Run(p, s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,9 +116,9 @@ func TestDeficitWhenUnreachable(t *testing.T) {
 }
 
 func TestCurtailmentFitsCap(t *testing.T) {
-	es, ws, fs, cs := flatSeries(5, 100, 5, 1, 400)
+	s := flatSeries(5, 1.0, 100, 5, 1, 400)
 	p := Policy{HourlyCap: 300, DryMix: DefaultDryMix(), AllowCurtail: true}
-	r, err := Run(p, 1.0, es, ws, fs, cs)
+	r, err := Run(p, s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,9 +138,9 @@ func TestCurtailmentFitsCap(t *testing.T) {
 func TestDryMixWorseThanGridNoShift(t *testing.T) {
 	// If the grid is already drier than the dry mix, shifting never helps:
 	// expect deficits, not shifts.
-	es, ws, fs, cs := flatSeries(5, 100, 1, 0.1, 400)
+	s := flatSeries(5, 1.0, 100, 1, 0.1, 400)
 	p := Policy{HourlyCap: 50, DryMix: DefaultDryMix()}
-	r, err := Run(p, 1.0, es, ws, fs, cs)
+	r, err := Run(p, s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,15 +153,19 @@ func TestDryMixWorseThanGridNoShift(t *testing.T) {
 }
 
 func TestRunRejectsBadInput(t *testing.T) {
-	es, ws, fs, cs := flatSeries(3, 1, 1, 1, 1)
+	s := flatSeries(3, 1.2, 1, 1, 1, 1)
 	p := Policy{HourlyCap: 10, DryMix: DefaultDryMix()}
-	if _, err := Run(p, 0.5, es, ws, fs, cs); err == nil {
+	bad := s
+	bad.PUE = 0.5
+	if _, err := Run(p, bad); err == nil {
 		t.Error("invalid PUE accepted")
 	}
-	if _, err := Run(p, 1.2, es, ws[:2], fs, cs); err == nil {
-		t.Error("mismatched series accepted")
+	torn := s
+	torn.WUE = torn.WUE[:2]
+	if _, err := Run(p, torn); err == nil {
+		t.Error("misaligned series accepted")
 	}
-	if _, err := Run(Policy{}, 1.2, es, ws, fs, cs); err == nil {
+	if _, err := Run(Policy{}, s); err == nil {
 		t.Error("invalid policy accepted")
 	}
 }
@@ -173,9 +178,9 @@ func TestCoordinationNeverWorseProperty(t *testing.T) {
 		e := 1 + float64(eRaw%500)
 		w := 0.1 + float64(wRaw%10)
 		fEWF := 0.1 + float64(fRaw%15)
-		es, ws, fs, cs := flatSeries(6, e, w, fEWF, 300)
+		s := flatSeries(6, 1.1, e, w, fEWF, 300)
 		p := Policy{HourlyCap: units.Liters(cap), DryMix: DefaultDryMix(), AllowCurtail: true}
-		r, err := Run(p, 1.1, es, ws, fs, cs)
+		r, err := Run(p, s)
 		if err != nil {
 			return false
 		}
@@ -205,9 +210,9 @@ func TestWaterCapOnAssessedSystem(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	meanHourly := float64(a.Operational()) / float64(len(a.EnergySeries))
+	meanHourly := float64(a.Operational()) / float64(a.Hourly.Len())
 	p := Policy{HourlyCap: units.Liters(meanHourly * 0.8), DryMix: DefaultDryMix()}
-	r, err := Run(p, cfg.System.PUE, a.EnergySeries, a.WUESeries, a.EWFSeries, a.CarbonSeries)
+	r, err := Run(p, a.Hourly)
 	if err != nil {
 		t.Fatal(err)
 	}

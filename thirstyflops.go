@@ -2,13 +2,29 @@
 // footprint framework (SC '25): modeling and analysis of the embodied and
 // operational water consumption of HPC systems.
 //
-// The package re-exports the assembled toolkit:
+// The primary entry point is the Engine, a concurrency-safe assessment
+// service that memoizes the deterministic per-Config simulation (weather,
+// grid, and demand are pure functions of Config, Seed, and Year) and
+// answers JSON-serializable requests:
+//
+//	eng := thirstyflops.NewEngine(thirstyflops.WithWorkers(8))
+//	res, err := eng.Assess(ctx, thirstyflops.AssessRequest{System: "Frontier"})
+//
+// Engine.AssessMany fans a batch out across a worker pool, Engine.Sweep
+// compares energy-sourcing scenarios, and Engine.Water500 ranks the
+// bundled systems by water per unit of delivered performance. The
+// cmd/thirstyflopsd daemon serves the same request/result model over
+// HTTP. Hourly data crosses the API as the typed Series timeline, whose
+// four channels (IT energy, WUE, EWF, carbon intensity) are aligned by
+// construction.
+//
+// The remainder of the package re-exports the assembled toolkit:
 //
 //   - SystemConfig wires one of the paper's four supercomputers (Marconi,
 //     Fugaku, Polaris, Frontier) to its climatology, grid region, cooling
 //     curve, demand model, and scarcity profile.
-//   - Config.Assess simulates a year of operation and returns hourly
-//     series plus the direct/indirect water and carbon aggregates.
+//   - Config.Assess simulates a year of operation and returns the hourly
+//     Series plus the direct/indirect water and carbon aggregates.
 //   - Config.EmbodiedBreakdown evaluates the Eq. 2-5 embodied model.
 //   - Config.ScenarioSweep compares energy-sourcing scenarios (100 % coal,
 //     100 % nuclear, clean and water-intensive renewables).
@@ -17,11 +33,18 @@
 //   - NewMiniAMR provides the parallel AMR stencil mini-app used as the
 //     reference workload.
 //
-// Custom systems, sites, and grids can be assembled from the exported
-// types; see examples/ for runnable walkthroughs.
+// One-shot top-level helpers that predate the Engine (Water500,
+// RunWaterCap, ...) remain as thin wrappers over a package-default Engine;
+// new code should construct an Engine and hold on to it. Custom systems,
+// sites, and grids can be assembled from the exported types or loaded
+// from JSON documents (ConfigDocument); see examples/ for runnable
+// walkthroughs.
 package thirstyflops
 
 import (
+	"context"
+
+	"thirstyflops/internal/configio"
 	"thirstyflops/internal/core"
 	"thirstyflops/internal/embodied"
 	"thirstyflops/internal/energy"
@@ -31,6 +54,7 @@ import (
 	"thirstyflops/internal/miniamr"
 	"thirstyflops/internal/sched"
 	"thirstyflops/internal/sensitivity"
+	"thirstyflops/internal/series"
 	"thirstyflops/internal/telemetry"
 	"thirstyflops/internal/units"
 	"thirstyflops/internal/upgrade"
@@ -66,6 +90,31 @@ type (
 	WSI = units.WSI
 )
 
+// --- Hourly timeline ---
+
+// Series is the typed hourly timeline carrying aligned IT energy, WUE,
+// EWF, and carbon-intensity channels plus the facility PUE. It is the
+// only form in which hourly data crosses the API.
+type Series = series.Series
+
+// SeriesTotals aggregates a Series into the Eq. 1 operational components.
+type SeriesTotals = series.Totals
+
+// NewSeries allocates an aligned zeroed timeline.
+func NewSeries(pue PUE, n int) (Series, error) { return series.New(pue, n) }
+
+// SeriesFrom assembles a timeline from existing channels, validating
+// alignment.
+func SeriesFrom(pue PUE, energy []KWh, wue, ewf []LPerKWh, carbon []GCO2PerKWh) (Series, error) {
+	return series.From(pue, energy, wue, ewf, carbon)
+}
+
+// SeriesFromIntensities assembles an intensity-only timeline (zero energy
+// channel) for uses like start-time ranking.
+func SeriesFromIntensities(pue PUE, wue, ewf []LPerKWh, carbon []GCO2PerKWh) (Series, error) {
+	return series.FromIntensities(pue, wue, ewf, carbon)
+}
+
 // --- Core assessment ---
 
 // Core model types.
@@ -91,6 +140,14 @@ type (
 	// Withdrawal is the derived withdrawal accounting.
 	Withdrawal = core.Withdrawal
 )
+
+// ConfigDocument is the JSON document shape describing a custom system,
+// site, and grid — the serializable counterpart of Config used by
+// AssessRequest and the configio loader.
+type ConfigDocument = configio.Document
+
+// BuildConfig assembles a validated Config from a parsed document.
+func BuildConfig(doc ConfigDocument) (Config, error) { return configio.Build(doc) }
 
 // SystemConfig returns the full paper configuration for one of the four
 // Table 1 systems: "Marconi", "Fugaku", "Polaris", or "Frontier".
@@ -311,10 +368,10 @@ func EASYBackfill(trace []Job, nodes int) (SchedResult, error) {
 }
 
 // RankStartTimes scores candidate start hours of a fixed-energy job
-// against hourly water and carbon intensity series (Fig. 13).
+// against the intensity channels of an hourly timeline (Fig. 13).
 func RankStartTimes(energyPerHour KWh, durationHours int, candidates []int,
-	wi []LPerKWh, ci []GCO2PerKWh) ([]StartOption, error) {
-	return sched.RankStartTimes(energyPerHour, durationHours, candidates, wi, ci)
+	s Series) ([]StartOption, error) {
+	return sched.RankStartTimes(energyPerHour, durationHours, candidates, s)
 }
 
 // RankingsDisagree reports whether water-best and carbon-best starts
@@ -350,15 +407,23 @@ type (
 func DefaultDryMix() Mix { return watercap.DefaultDryMix() }
 
 // RunWaterCap coordinates a constrained hourly water budget between
-// cooling and generation for parallel hourly series.
-func RunWaterCap(p WaterCapPolicy, pue PUE, energySeries []KWh,
-	wueSeries, ewfSeries []LPerKWh, carbonSeries []GCO2PerKWh) (WaterCapResult, error) {
-	return watercap.Run(p, pue, energySeries, wueSeries, ewfSeries, carbonSeries)
+// cooling and generation over an assessed hourly timeline.
+func RunWaterCap(p WaterCapPolicy, s Series) (WaterCapResult, error) {
+	return watercap.Run(p, s)
 }
 
 // Water500 ranks the bundled systems by operational water per unit of
 // delivered performance.
-func Water500() ([]Water500Entry, error) { return core.Water500() }
+//
+// Deprecated: use Engine.Water500, which reuses cached assessments and
+// honors a context.
+func Water500() ([]Water500Entry, error) {
+	res, err := DefaultEngine().Water500(context.Background(), Water500Request{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Entries, nil
+}
 
 // --- Geo-distributed shifting (Takeaway 7) ---
 

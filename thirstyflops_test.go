@@ -209,9 +209,9 @@ func TestFacadeWaterCap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mean := float64(a.Operational()) / float64(len(a.EnergySeries))
+	mean := float64(a.Operational()) / float64(a.Hourly.Len())
 	p := WaterCapPolicy{HourlyCap: Liters(mean * 0.8), DryMix: DefaultDryMix()}
-	r, err := RunWaterCap(p, cfg.System.PUE, a.EnergySeries, a.WUESeries, a.EWFSeries, a.CarbonSeries)
+	r, err := RunWaterCap(p, a.Hourly)
 	if err != nil {
 		t.Fatal(err)
 	}
