@@ -1,0 +1,22 @@
+# Convenience targets mirroring CI. The bench target runs the gated core
+# benchmark set with -benchmem and fails on large regressions against the
+# committed BENCH_PR2.json baseline (generous time ratio for machine
+# variance, tight allocation ratio because allocation counts are
+# deterministic).
+
+GATED_BENCHES = ^(BenchmarkEngineAssessCold|BenchmarkEngineAssessColdIsolated|BenchmarkEngineAssessCached|BenchmarkConfigFingerprint|BenchmarkAssessYear|BenchmarkFCFS|BenchmarkEASYBackfill|BenchmarkStartTimeRanking|BenchmarkStartTimeRankingFullYear|BenchmarkWUECurveSeries|BenchmarkWUECurveTable|BenchmarkWeatherYear|BenchmarkGridYear)$$
+
+.PHONY: build test race bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -run '^$$' -bench '$(GATED_BENCHES)' -benchmem -benchtime=500ms -count=1 . \
+		| go run ./cmd/benchcheck -baseline BENCH_PR2.json

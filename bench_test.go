@@ -81,9 +81,20 @@ func BenchmarkGridYear(b *testing.B) {
 func BenchmarkWUECurveSeries(b *testing.B) {
 	curve := wue.DefaultCurve()
 	wbs := weather.WetBulbSeries(weather.Kobe().HourlyYear(1))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = curve.Series(wbs)
+	}
+}
+
+func BenchmarkWUECurveTable(b *testing.B) {
+	tab := wue.DefaultCurve().Tabulate(50)
+	wbs := weather.WetBulbSeries(weather.Kobe().HourlyYear(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tab.Series(wbs)
 	}
 }
 
@@ -106,11 +117,24 @@ func BenchmarkScenarioSweep(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := cfg.ScenarioSweep(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func BenchmarkConfigFingerprint(b *testing.B) {
+	cfg, err := core.ConfigFor("Frontier")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cfg.Fingerprint()
 	}
 }
 
@@ -133,6 +157,7 @@ func BenchmarkEASYBackfill(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sched.EASYBackfill(trace, 256); err != nil {
@@ -146,6 +171,7 @@ func BenchmarkFCFS(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sched.FCFS(trace, 256); err != nil {
@@ -164,9 +190,38 @@ func BenchmarkStartTimeRanking(b *testing.B) {
 		b.Fatal(err)
 	}
 	candidates := []int{0, 4, 8, 12, 16, 20, 24}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sched.RankStartTimes(0.5, 4, candidates, a.Hourly); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStartTimeRankingFullYear sweeps every feasible start hour of a
+// year at 24 h duration — the workload the prefix-sum/sliding-window
+// kernels exist for. The seed implementation evaluated this in
+// O(candidates × duration); this must stay ≥10x faster (see
+// BENCH_PR2.json's before/after record).
+func BenchmarkStartTimeRankingFullYear(b *testing.B) {
+	cfg, err := core.ConfigFor("Frontier")
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := cfg.Assess()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const dur = 24
+	candidates := make([]int, a.Hourly.Len()-dur+1)
+	for i := range candidates {
+		candidates[i] = i
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.RankStartTimes(0.5, dur, candidates, a.Hourly); err != nil {
 			b.Fatal(err)
 		}
 	}

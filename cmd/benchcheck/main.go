@@ -1,0 +1,151 @@
+// Command benchcheck gates benchmark regressions: it reads `go test
+// -bench -benchmem` output on stdin, compares every benchmark named in a
+// committed baseline file (BENCH_PR2.json), and exits non-zero when a
+// benchmark slowed down or allocates beyond the configured ratios. Time
+// ratios are generous (machines differ); allocation counts are
+// deterministic, so their ratio is tight.
+//
+// Usage:
+//
+//	go test -run '^$' -bench <core set> -benchmem . | benchcheck -baseline BENCH_PR2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed benchmark record.
+type Baseline struct {
+	Note            string                 `json:"note"`
+	Machine         string                 `json:"machine"`
+	TimeRatioLimit  float64                `json:"time_ratio_limit"`
+	AllocRatioLimit float64                `json:"alloc_ratio_limit"`
+	Benchmarks      map[string]BenchRecord `json:"benchmarks"`
+}
+
+// BenchRecord is one benchmark's committed numbers. SeedNsOp records the
+// pre-optimization (PR 2 seed) timing for the README's before/after
+// story; it does not participate in gating.
+type BenchRecord struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op"`
+	AllocsOp float64 `json:"allocs_op"`
+	SeedNsOp float64 `json:"seed_ns_op,omitempty"`
+}
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name     string
+	NsOp     float64
+	BOp      float64
+	AllocsOp float64
+}
+
+// benchLine matches `BenchmarkName-8   123   456.7 ns/op   89 B/op   10 allocs/op`;
+// the -benchmem columns are optional in general bench output.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
+// parse extracts benchmark results from go test output, echoing every
+// line to w so the tool is transparent in CI logs.
+func parse(r io.Reader, w io.Writer) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(w, line)
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		res := Result{Name: m[1]}
+		res.NsOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			res.BOp, _ = strconv.ParseFloat(m[3], 64)
+			res.AllocsOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+// check compares results against the baseline and returns the violations.
+func check(b Baseline, results []Result) []string {
+	timeLimit := b.TimeRatioLimit
+	if timeLimit <= 0 {
+		timeLimit = 4
+	}
+	allocLimit := b.AllocRatioLimit
+	if allocLimit <= 0 {
+		allocLimit = 1.35
+	}
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	var violations []string
+	for name, rec := range b.Benchmarks {
+		got, ok := byName[name]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s: missing from bench output (renamed or deleted?)", name))
+			continue
+		}
+		if rec.NsOp > 0 && got.NsOp > rec.NsOp*timeLimit {
+			violations = append(violations,
+				fmt.Sprintf("%s: %.0f ns/op exceeds baseline %.0f ns/op by more than %.1fx",
+					name, got.NsOp, rec.NsOp, timeLimit))
+		}
+		// Allocation counts are deterministic: a tight ratio plus a tiny
+		// absolute slack for benchmarks with near-zero counts.
+		if got.AllocsOp > rec.AllocsOp*allocLimit+2 {
+			violations = append(violations,
+				fmt.Sprintf("%s: %.0f allocs/op exceeds baseline %.0f allocs/op (limit %.2fx+2)",
+					name, got.AllocsOp, rec.AllocsOp, allocLimit))
+		}
+	}
+	return violations
+}
+
+func run(baselinePath string, in io.Reader, out io.Writer) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("benchcheck: bad baseline %s: %w", baselinePath, err)
+	}
+	results, err := parse(in, out)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("benchcheck: no benchmark results on stdin")
+	}
+	if violations := check(base, results); len(violations) > 0 {
+		return fmt.Errorf("benchcheck: %d regression(s):\n  %s",
+			len(violations), strings.Join(violations, "\n  "))
+	}
+	fmt.Fprintf(out, "benchcheck: %d benchmarks within baseline %s\n",
+		len(base.Benchmarks), baselinePath)
+	return nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_PR2.json", "committed baseline file")
+	flag.Parse()
+	if err := run(*baseline, os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

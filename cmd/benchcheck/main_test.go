@@ -1,0 +1,101 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: thirstyflops
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEngineAssessCold   	    9405	    129478 ns/op	  301550 B/op	      39 allocs/op
+BenchmarkFCFS-8             	   13736	     86568.5 ns/op	  197752 B/op	       6 allocs/op
+BenchmarkWetBulbStull       	 1000000	       105.2 ns/op
+PASS
+ok  	thirstyflops	13.943s
+`
+
+func TestParse(t *testing.T) {
+	var echo strings.Builder
+	results, err := parse(strings.NewReader(sampleOutput), &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+	cold := results[0]
+	if cold.Name != "BenchmarkEngineAssessCold" || cold.NsOp != 129478 ||
+		cold.BOp != 301550 || cold.AllocsOp != 39 {
+		t.Errorf("cold parsed wrong: %+v", cold)
+	}
+	// The -cpu suffix is stripped so names match the baseline.
+	if results[1].Name != "BenchmarkFCFS" || results[1].NsOp != 86568.5 {
+		t.Errorf("fcfs parsed wrong: %+v", results[1])
+	}
+	// Lines without -benchmem columns still parse their timing.
+	if results[2].AllocsOp != 0 || results[2].NsOp != 105.2 {
+		t.Errorf("stull parsed wrong: %+v", results[2])
+	}
+	if !strings.Contains(echo.String(), "PASS") {
+		t.Error("input not echoed")
+	}
+}
+
+func baseline() Baseline {
+	return Baseline{
+		TimeRatioLimit:  2.0,
+		AllocRatioLimit: 1.2,
+		Benchmarks: map[string]BenchRecord{
+			"BenchmarkEngineAssessCold": {NsOp: 130000, AllocsOp: 39},
+		},
+	}
+}
+
+func TestCheckPasses(t *testing.T) {
+	v := check(baseline(), []Result{
+		{Name: "BenchmarkEngineAssessCold", NsOp: 150000, AllocsOp: 39},
+		{Name: "BenchmarkUnrelated", NsOp: 1},
+	})
+	if len(v) != 0 {
+		t.Errorf("violations on a healthy run: %v", v)
+	}
+}
+
+func TestCheckCatchesTimeRegression(t *testing.T) {
+	v := check(baseline(), []Result{
+		{Name: "BenchmarkEngineAssessCold", NsOp: 400000, AllocsOp: 39},
+	})
+	if len(v) != 1 || !strings.Contains(v[0], "ns/op") {
+		t.Errorf("time regression missed: %v", v)
+	}
+}
+
+func TestCheckCatchesAllocRegression(t *testing.T) {
+	v := check(baseline(), []Result{
+		{Name: "BenchmarkEngineAssessCold", NsOp: 130000, AllocsOp: 80},
+	})
+	if len(v) != 1 || !strings.Contains(v[0], "allocs/op") {
+		t.Errorf("alloc regression missed: %v", v)
+	}
+}
+
+func TestCheckCatchesMissingBenchmark(t *testing.T) {
+	v := check(baseline(), []Result{{Name: "BenchmarkSomethingElse", NsOp: 1}})
+	if len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Errorf("missing benchmark not reported: %v", v)
+	}
+}
+
+func TestCheckAllowsSmallAbsoluteAllocSlack(t *testing.T) {
+	b := Baseline{Benchmarks: map[string]BenchRecord{
+		"BenchmarkZeroAlloc": {NsOp: 100, AllocsOp: 0},
+	}}
+	if v := check(b, []Result{{Name: "BenchmarkZeroAlloc", NsOp: 100, AllocsOp: 2}}); len(v) != 0 {
+		t.Errorf("2 allocs over a 0 baseline should pass the +2 slack: %v", v)
+	}
+	if v := check(b, []Result{{Name: "BenchmarkZeroAlloc", NsOp: 100, AllocsOp: 3}}); len(v) != 1 {
+		t.Errorf("3 allocs over a 0 baseline should fail: %v", v)
+	}
+}

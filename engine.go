@@ -2,17 +2,16 @@ package thirstyflops
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 
+	"thirstyflops/internal/cache"
 	"thirstyflops/internal/configio"
 	"thirstyflops/internal/core"
 	"thirstyflops/internal/embodied"
+	"thirstyflops/internal/fingerprint"
 )
 
 // Engine is a reusable, concurrency-safe assessment session. The yearly
@@ -22,30 +21,25 @@ import (
 // handlers — simulate once and share the result. An Engine is cheap
 // enough to create per process and is safe for use from multiple
 // goroutines; the zero value is not usable, construct one with NewEngine.
+//
+// The memo is split into power-of-two shards selected by a fingerprint
+// prefix. Each shard carries its own mutex and an O(1) doubly-linked LRU,
+// so concurrent requests for different configurations do not serialize on
+// a single cache lock and a hit never pays a linear recency scan.
 type Engine struct {
 	workers    int
 	maxEntries int
-
-	mu      sync.Mutex
-	entries map[string]*cacheEntry
-	order   []string // fingerprints in recency order, oldest first
-	hits    uint64
-	misses  uint64
-}
-
-// cacheEntry memoizes one configuration's assessment. The sync.Once
-// collapses concurrent first requests into a single simulation.
-type cacheEntry struct {
-	once   sync.Once
-	annual core.Annual
-	err    error
+	shardHint  int
+	shards     []*cache.Cache[fingerprint.Key, core.Annual]
 }
 
 // Option configures an Engine.
 type Option func(*Engine)
 
-// WithCache bounds the number of memoized assessments (default 64).
-// Oldest-touched entries are evicted first. n <= 0 disables caching.
+// WithCache bounds the total number of memoized assessments (default 64).
+// Least-recently-touched entries are evicted first. The bound is
+// apportioned across the cache shards, so the effective capacity is n
+// rounded down to a multiple of the shard count. n <= 0 disables caching.
 func WithCache(n int) Option {
 	return func(e *Engine) { e.maxEntries = n }
 }
@@ -60,15 +54,49 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// defaultShards is the shard-count ceiling: enough to relieve contention
+// at typical serving parallelism without fragmenting small caches.
+const defaultShards = 8
+
+// WithShards overrides the cache shard count (default min(8, capacity/4),
+// at least 1). The value is clamped to a power of two no larger than the
+// cache capacity, so the capacity bound is always honored.
+func WithShards(n int) Option {
+	return func(e *Engine) { e.shardHint = n }
+}
+
+// shardCount resolves the effective power-of-two shard count.
+func (e *Engine) shardCount() int {
+	limit := e.maxEntries
+	hint := e.shardHint
+	if hint <= 0 {
+		// Keep at least 4 entries per shard so sharding never costs
+		// meaningful capacity at small cache sizes.
+		hint = min(defaultShards, limit/4)
+	}
+	n := 1
+	for n*2 <= min(hint, limit) {
+		n *= 2
+	}
+	return n
+}
+
 // NewEngine builds an assessment session.
 func NewEngine(opts ...Option) *Engine {
 	e := &Engine{
 		workers:    runtime.GOMAXPROCS(0),
 		maxEntries: 64,
-		entries:    map[string]*cacheEntry{},
 	}
 	for _, o := range opts {
 		o(e)
+	}
+	if e.maxEntries > 0 {
+		shards := e.shardCount()
+		perShard := e.maxEntries / shards
+		e.shards = make([]*cache.Cache[fingerprint.Key, core.Annual], shards)
+		for i := range e.shards {
+			e.shards[i] = cache.New[fingerprint.Key, core.Annual](perShard)
+		}
 	}
 	return e
 }
@@ -92,70 +120,32 @@ type CacheStats struct {
 	Entries int    `json:"entries"`
 }
 
-// CacheStats returns a snapshot of the cache counters.
+// CacheStats returns a snapshot of the cache counters, aggregated across
+// shards.
 func (e *Engine) CacheStats() CacheStats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return CacheStats{Hits: e.hits, Misses: e.misses, Entries: len(e.entries)}
-}
-
-// fingerprint derives the cache key: the SHA-256 of the canonical JSON
-// encoding of the Config. Every field that feeds the simulation (system,
-// site, region, curve, demand, seed, year) participates, so distinct
-// configurations cannot collide and identical ones always hit.
-func fingerprint(cfg Config) (string, error) {
-	raw, err := json.Marshal(cfg)
-	if err != nil {
-		return "", fmt.Errorf("thirstyflops: config not fingerprintable: %w", err)
+	var out CacheStats
+	for _, sh := range e.shards {
+		s := sh.Stats()
+		out.Hits += s.Hits
+		out.Misses += s.Misses
+		out.Entries += s.Entries
 	}
-	sum := sha256.Sum256(raw)
-	return hex.EncodeToString(sum[:]), nil
+	return out
 }
 
 // annualFor returns the memoized assessment of cfg, simulating at most
 // once per fingerprint. The second return reports whether the result was
-// served from cache.
+// served from cache. The fingerprint (core.Config.Fingerprint) streams a
+// canonical binary encoding through a pooled hasher, so the cached path
+// allocates nothing for key derivation.
 func (e *Engine) annualFor(cfg Config) (core.Annual, bool, error) {
 	if e.maxEntries <= 0 {
 		a, err := cfg.Assess()
 		return a, false, err
 	}
-	key, err := fingerprint(cfg)
-	if err != nil {
-		return core.Annual{}, false, err
-	}
-
-	e.mu.Lock()
-	ent, cached := e.entries[key]
-	if cached {
-		e.hits++
-		e.touchLocked(key)
-	} else {
-		e.misses++
-		ent = &cacheEntry{}
-		e.entries[key] = ent
-		e.order = append(e.order, key)
-		for len(e.entries) > e.maxEntries {
-			oldest := e.order[0]
-			e.order = e.order[1:]
-			delete(e.entries, oldest)
-		}
-	}
-	e.mu.Unlock()
-
-	ent.once.Do(func() { ent.annual, ent.err = cfg.Assess() })
-	return ent.annual, cached, ent.err
-}
-
-// touchLocked moves key to the most-recent end of the eviction order.
-func (e *Engine) touchLocked(key string) {
-	for i, k := range e.order {
-		if k == key {
-			copy(e.order[i:], e.order[i+1:])
-			e.order[len(e.order)-1] = key
-			return
-		}
-	}
+	key := cfg.Fingerprint()
+	shard := e.shards[key.Shard(len(e.shards))]
+	return shard.Get(key, cfg.Assess)
 }
 
 // --- Request/result model ---
@@ -276,7 +266,7 @@ func (e *Engine) Assess(ctx context.Context, req AssessRequest) (*AssessResult, 
 	if err != nil {
 		return nil, err
 	}
-	f, err := cfg.LifetimeFrom(a, years)
+	f, err := cfg.LifetimeFromBreakdown(a, bd, years)
 	if err != nil {
 		return nil, err
 	}
@@ -479,8 +469,19 @@ func (e *Engine) Water500(ctx context.Context, req Water500Request) (*Water500Re
 			}
 		}()
 	}
+feed:
 	for i := range cfgs {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			// Mark every config not yet handed to a worker, so nil
+			// annual slots always pair with a reported error and the
+			// feeder can never block on a drained pool.
+			for j := i; j < len(cfgs); j++ {
+				errs[j] = fmt.Errorf("system %s: %w", cfgs[j].System.Name, ctx.Err())
+			}
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()

@@ -3,21 +3,32 @@ package thirstyflops
 import (
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 )
 
-// marshalNormalized serializes a result with the cache marker cleared, so
-// first and repeat assessments of the same configuration compare equal.
-func marshalNormalized(t *testing.T, r *AssessResult) string {
-	t.Helper()
+// marshalNormalizedErr serializes a result with the cache marker cleared,
+// so first and repeat assessments of the same configuration compare
+// equal. The error-returning form is safe to call off the test goroutine
+// (t.Fatal must not run on worker goroutines).
+func marshalNormalizedErr(r *AssessResult) (string, error) {
 	c := *r
 	c.Cached = false
 	raw, err := json.Marshal(c)
+	return string(raw), err
+}
+
+// marshalNormalized is the fatal-on-error form for the test goroutine.
+func marshalNormalized(t *testing.T, r *AssessResult) string {
+	t.Helper()
+	s, err := marshalNormalizedErr(r)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return string(raw)
+	return s
 }
 
 func TestEngineAssessBundled(t *testing.T) {
@@ -349,12 +360,183 @@ func TestEngineWater500(t *testing.T) {
 	}
 }
 
+func TestEngineShardedCacheConcurrentEviction(t *testing.T) {
+	// Hammer a small sharded cache with more distinct configurations
+	// than it can hold from many goroutines (run with -race): the entry
+	// count must respect the bound and every result must stay correct.
+	eng := NewEngine(WithCache(16), WithShards(4), WithWorkers(8))
+	ctx := context.Background()
+
+	want := map[uint64]string{}
+	for seed := uint64(0); seed < 24; seed++ {
+		s := seed
+		res, err := eng.Assess(ctx, AssessRequest{System: "Marconi", Seed: &s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[seed] = marshalNormalized(t, res)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				seed := uint64((w*7 + i) % 24)
+				s := seed
+				res, err := eng.Assess(ctx, AssessRequest{System: "Marconi", Seed: &s})
+				if err != nil {
+					t.Errorf("seed %d: %v", seed, err)
+					return
+				}
+				got, err := marshalNormalizedErr(res)
+				if err != nil {
+					t.Errorf("seed %d: %v", seed, err)
+					return
+				}
+				if got != want[seed] {
+					t.Errorf("seed %d: concurrent result diverged", seed)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := eng.CacheStats(); st.Entries > 16 {
+		t.Errorf("entries %d exceed the WithCache(16) bound", st.Entries)
+	}
+}
+
+func TestEngineLRUOrderingAcrossHits(t *testing.T) {
+	// Single shard, capacity 2: touching the oldest entry must protect
+	// it from the next eviction (the O(1) list must preserve exact LRU
+	// semantics, not just bounded size).
+	eng := NewEngine(WithCache(2), WithShards(1))
+	ctx := context.Background()
+	assess := func(sys string) {
+		t.Helper()
+		if _, err := eng.Assess(ctx, AssessRequest{System: sys}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assess("Marconi") // miss
+	assess("Fugaku")  // miss
+	assess("Marconi") // hit: Fugaku becomes the eviction candidate
+	assess("Polaris") // miss: evicts Fugaku
+	assess("Marconi") // must still be resident
+	st := eng.CacheStats()
+	if st.Misses != 3 || st.Hits != 2 {
+		t.Errorf("stats = %+v, want 3 misses and 2 hits (LRU protected the touched entry)", st)
+	}
+	assess("Fugaku") // evicted above: a fourth miss
+	if st := eng.CacheStats(); st.Misses != 4 {
+		t.Errorf("misses = %d, want 4 (Fugaku was evicted)", st.Misses)
+	}
+}
+
+func TestEngineWater500Cancellation(t *testing.T) {
+	eng := NewEngine(WithWorkers(1))
+	ctx, cancel := context.WithCancel(context.Background())
+
+	// Warm one entry, then cancel mid-flight: the feeder must not block
+	// and every nil slot must pair with a reported error.
+	if _, err := eng.Water500(context.Background(), Water500Request{}); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	res, err := eng.Water500(ctx, Water500Request{})
+	if err == nil {
+		t.Fatal("canceled Water500 returned no error")
+	}
+	if res != nil {
+		t.Error("canceled Water500 returned a partial result")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+}
+
+func TestEngineShardOptionBounds(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range []struct{ cacheN, shards int }{
+		{1, 16}, {3, 8}, {64, 64}, {64, 0}, {5, -1},
+	} {
+		eng := NewEngine(WithCache(tc.cacheN), WithShards(tc.shards))
+		for _, sys := range SystemNames() {
+			if _, err := eng.Assess(ctx, AssessRequest{System: sys}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if st := eng.CacheStats(); st.Entries > tc.cacheN {
+			t.Errorf("WithCache(%d) WithShards(%d): %d entries exceed bound",
+				tc.cacheN, tc.shards, st.Entries)
+		}
+	}
+}
+
+func TestEngineFingerprintDistinguishesRequests(t *testing.T) {
+	// Distinct custom documents must never share cache entries (the
+	// streaming fingerprint covers every simulated field).
+	eng := NewEngine()
+	ctx := context.Background()
+	mk := func(pue float64) *ConfigDocument {
+		raw := fmt.Sprintf(`{
+			"system": {
+				"name": "Rig", "nodes": 8,
+				"cpu": {"catalog": "AMD EPYC 7532"}, "cpus_per_node": 2,
+				"dram_gb_per_node": 128, "peak_power_mw": 0.02, "pue": %v
+			},
+			"site_name": "Lemont", "region": "Illinois"
+		}`, pue)
+		var doc ConfigDocument
+		if err := json.Unmarshal([]byte(raw), &doc); err != nil {
+			t.Fatal(err)
+		}
+		return &doc
+	}
+	a, err := eng.Assess(ctx, AssessRequest{Custom: mk(1.2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.Assess(ctx, AssessRequest{Custom: mk(1.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Cached {
+		t.Error("different PUE served from cache")
+	}
+	if a.IndirectL == b.IndirectL {
+		t.Error("PUE change did not alter the assessment")
+	}
+}
+
+// BenchmarkEngineAssessCold is the production cold path: the Engine's
+// assessment cache is disabled so the hourly combination loop runs every
+// time, but the substrate layer (weather/grid/demand years, pure
+// functions of identity and seed) is shared across iterations — exactly
+// what a sweep over systems × scenarios pays per new configuration.
 func BenchmarkEngineAssessCold(b *testing.B) {
 	req := AssessRequest{System: "Frontier"}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		// A cache-disabled engine simulates every time.
 		eng := NewEngine(WithCache(0))
 		if _, err := eng.Assess(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineAssessColdIsolated defeats both the Engine cache and the
+// substrate layer with a fresh seed per iteration: the full generator
+// cost, the absolute worst case.
+func BenchmarkEngineAssessColdIsolated(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := NewEngine(WithCache(0))
+		seed := uint64(i) + 1
+		if _, err := eng.Assess(context.Background(), AssessRequest{System: "Frontier", Seed: &seed}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -366,10 +548,38 @@ func BenchmarkEngineAssessCached(b *testing.B) {
 	if _, err := eng.Assess(context.Background(), req); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.Assess(context.Background(), req); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkEngineAssessCachedParallel measures the cached path under
+// concurrent load across distinct configurations — the contention the
+// sharded cache exists to relieve.
+func BenchmarkEngineAssessCachedParallel(b *testing.B) {
+	eng := NewEngine(WithCache(64))
+	ctx := context.Background()
+	seeds := [8]uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	for i := range seeds {
+		s := seeds[i]
+		if _, err := eng.Assess(ctx, AssessRequest{System: "Frontier", Seed: &s}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			s := seeds[i&7]
+			i++
+			if _, err := eng.Assess(ctx, AssessRequest{System: "Frontier", Seed: &s}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

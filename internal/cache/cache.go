@@ -1,0 +1,117 @@
+// Package cache provides the memoization primitive shared by the Engine's
+// sharded assessment cache and the substrate layer: a mutex-guarded map
+// with an intrusive doubly-linked LRU list (O(1) touch and eviction, no
+// linear scans) and singleflight semantics — concurrent first requests
+// for a key collapse into a single computation via a per-entry sync.Once.
+package cache
+
+import "sync"
+
+// entry is one memoized value threaded on the LRU list. The zero list
+// position is maintained by Cache; prev/next are protected by Cache.mu,
+// while val/err are published by once.
+type entry[K comparable, V any] struct {
+	key        K
+	once       sync.Once
+	val        V
+	err        error
+	prev, next *entry[K, V]
+}
+
+// Cache is a bounded LRU memo. The zero value is not usable; construct
+// with New. All methods are safe for concurrent use.
+type Cache[K comparable, V any] struct {
+	mu      sync.Mutex
+	max     int
+	entries map[K]*entry[K, V]
+	// head/tail sentinels: head.next is most recent, tail.prev is the
+	// eviction candidate.
+	head, tail *entry[K, V]
+	hits       uint64
+	misses     uint64
+}
+
+// New builds a cache holding at most max entries. max <= 0 disables
+// memoization: Get always recomputes.
+func New[K comparable, V any](max int) *Cache[K, V] {
+	c := &Cache[K, V]{
+		max:     max,
+		entries: make(map[K]*entry[K, V]),
+		head:    &entry[K, V]{},
+		tail:    &entry[K, V]{},
+	}
+	c.head.next = c.tail
+	c.tail.prev = c.head
+	return c
+}
+
+// unlink removes e from the LRU list.
+func (c *Cache[K, V]) unlink(e *entry[K, V]) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+// pushFront inserts e as the most recently used entry.
+func (c *Cache[K, V]) pushFront(e *entry[K, V]) {
+	e.prev = c.head
+	e.next = c.head.next
+	c.head.next.prev = e
+	c.head.next = e
+}
+
+// Get returns the memoized value for key, computing it at most once per
+// residency. The second return reports whether the value was served from
+// cache (true even if the caller ends up waiting for a computation
+// started by another goroutine). compute runs outside the cache lock.
+func (c *Cache[K, V]) Get(key K, compute func() (V, error)) (V, bool, error) {
+	if c.max <= 0 {
+		v, err := compute()
+		return v, false, err
+	}
+	c.mu.Lock()
+	e, cached := c.entries[key]
+	if cached {
+		c.hits++
+		c.unlink(e)
+		c.pushFront(e)
+	} else {
+		c.misses++
+		e = &entry[K, V]{key: key}
+		c.entries[key] = e
+		c.pushFront(e)
+		for len(c.entries) > c.max {
+			oldest := c.tail.prev
+			c.unlink(oldest)
+			delete(c.entries, oldest.key)
+		}
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = compute() })
+	return e.val, cached, e.err
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	Hits    uint64
+	Misses  uint64
+	Entries int
+}
+
+// Stats returns the current counters.
+func (c *Cache[K, V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+}
+
+// Keys returns the resident keys from most to least recently used — the
+// eviction order reversed. Intended for tests asserting LRU behavior.
+func (c *Cache[K, V]) Keys() []K {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]K, 0, len(c.entries))
+	for e := c.head.next; e != c.tail; e = e.next {
+		out = append(out, e.key)
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetMemoizes(t *testing.T) {
+	c := New[string, int](4)
+	calls := 0
+	compute := func() (int, error) { calls++; return 42, nil }
+
+	v, cached, err := c.Get("a", compute)
+	if err != nil || v != 42 || cached {
+		t.Fatalf("first Get = (%d, %v, %v)", v, cached, err)
+	}
+	v, cached, err = c.Get("a", compute)
+	if err != nil || v != 42 || !cached {
+		t.Fatalf("second Get = (%d, %v, %v), want cached", v, cached, err)
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1", calls)
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestGetMemoizesErrors(t *testing.T) {
+	c := New[string, int](4)
+	calls := 0
+	boom := func() (int, error) { calls++; return 0, fmt.Errorf("boom") }
+	if _, _, err := c.Get("k", boom); err == nil {
+		t.Fatal("error swallowed")
+	}
+	if _, cached, err := c.Get("k", boom); err == nil || !cached {
+		t.Fatal("cached error not replayed")
+	}
+	if calls != 1 {
+		t.Errorf("failed compute ran %d times, want 1 (errors memoized)", calls)
+	}
+}
+
+func TestLRUOrderAndEviction(t *testing.T) {
+	c := New[string, int](2)
+	get := func(k string) {
+		t.Helper()
+		if _, _, err := c.Get(k, func() (int, error) { return len(k), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get("a")
+	get("b")
+	get("a") // touch a: b is now the eviction candidate
+	get("c") // evicts b
+	keys := c.Keys()
+	if len(keys) != 2 || keys[0] != "c" || keys[1] != "a" {
+		t.Fatalf("keys after eviction = %v, want [c a]", keys)
+	}
+	get("b") // miss again: b was evicted
+	if s := c.Stats(); s.Misses != 4 || s.Hits != 1 {
+		t.Errorf("stats = %+v, want 4 misses 1 hit", s)
+	}
+}
+
+func TestDisabledCache(t *testing.T) {
+	c := New[string, int](0)
+	calls := 0
+	for i := 0; i < 3; i++ {
+		v, cached, err := c.Get("k", func() (int, error) { calls++; return 7, nil })
+		if err != nil || v != 7 || cached {
+			t.Fatalf("disabled Get = (%d, %v, %v)", v, cached, err)
+		}
+	}
+	if calls != 3 {
+		t.Errorf("disabled cache memoized: %d calls", calls)
+	}
+	if s := c.Stats(); s.Entries != 0 {
+		t.Errorf("disabled cache stored entries: %+v", s)
+	}
+}
+
+func TestSingleflight(t *testing.T) {
+	c := New[string, int](4)
+	var calls atomic.Int32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			v, _, err := c.Get("k", func() (int, error) {
+				calls.Add(1)
+				return 99, nil
+			})
+			if err != nil || v != 99 {
+				t.Errorf("Get = (%d, %v)", v, err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Errorf("concurrent first requests computed %d times, want 1", n)
+	}
+}
+
+func TestConcurrentChurn(t *testing.T) {
+	// Hammer a small cache from many goroutines (run with -race): the
+	// entry count must never exceed the bound and every Get must return
+	// the value its key computes.
+	c := New[int, int](8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := (w + i) % 32
+				v, _, err := c.Get(k, func() (int, error) { return k * 10, nil })
+				if err != nil || v != k*10 {
+					t.Errorf("Get(%d) = (%d, %v)", k, v, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := c.Stats(); s.Entries > 8 {
+		t.Errorf("entries %d exceed bound 8", s.Entries)
+	}
+}

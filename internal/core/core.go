@@ -18,10 +18,12 @@ import (
 
 	"thirstyflops/internal/embodied"
 	"thirstyflops/internal/energy"
+	"thirstyflops/internal/fingerprint"
 	"thirstyflops/internal/hardware"
 	"thirstyflops/internal/jobs"
 	"thirstyflops/internal/series"
 	"thirstyflops/internal/stats"
+	"thirstyflops/internal/substrate"
 	"thirstyflops/internal/units"
 	"thirstyflops/internal/weather"
 	"thirstyflops/internal/wsi"
@@ -120,14 +122,19 @@ type Annual struct {
 // Assess simulates one year: site weather drives WUE, the regional grid
 // drives EWF and carbon intensity, the demand model drives energy, and
 // the paper's equations combine them hour by hour.
+//
+// The substrate years are pure functions of (identity, seed) and are
+// memoized across Configs by internal/substrate, so a sweep that shares a
+// site, region, curve, or demand model generates each year once; the
+// values copied into the result are bit-identical to direct generation.
 func (c Config) Assess() (Annual, error) {
 	if err := c.Validate(); err != nil {
 		return Annual{}, err
 	}
-	wx := c.Site.HourlyYear(c.Seed)
-	grid := c.Region.HourlyYear(c.Seed)
-	util := c.Demand.UtilizationYear(c.Seed)
-	if len(wx) != len(grid) || len(grid) != len(util) {
+	wueYr := substrate.WUEYear(c.Curve, c.Site, c.Seed)
+	grid := substrate.GridYear(c.Region, c.Seed)
+	util := substrate.UtilizationYear(c.Demand, c.Seed)
+	if len(wueYr) != len(grid.EWF) || len(grid.EWF) != len(util) {
 		return Annual{}, fmt.Errorf("core: substrate series lengths differ")
 	}
 
@@ -137,10 +144,10 @@ func (c Config) Assess() (Annual, error) {
 	}
 	for h := range util {
 		s.Energy[h] = c.System.PowerAt(util[h]).EnergyOver(1)
-		s.WUE[h] = c.Curve.At(wx[h].WetBulb)
-		s.EWF[h] = grid[h].EWF
-		s.Carbon[h] = grid[h].Carbon
 	}
+	copy(s.WUE, wueYr)
+	copy(s.EWF, grid.EWF)
+	copy(s.Carbon, grid.Carbon)
 	t := s.Totals()
 	return Annual{
 		System:   c.System.Name,
@@ -150,6 +157,28 @@ func (c Config) Assess() (Annual, error) {
 		Indirect: t.Indirect,
 		Carbon:   t.Carbon,
 	}, nil
+}
+
+// Fingerprint derives the configuration's cache key: a canonical binary
+// encoding of every field that feeds the simulation (system, site,
+// region, curve, demand, embodied, scarcity, seed, year) streamed through
+// a pooled SHA-256, replacing the per-request JSON marshalling the Engine
+// used to pay. Distinct configurations cannot collide and identical ones
+// always hit.
+func (c Config) Fingerprint() fingerprint.Key {
+	h := fingerprint.New()
+	c.System.Fingerprint(h)
+	c.Site.Fingerprint(h)
+	c.Region.Fingerprint(h)
+	c.Curve.Fingerprint(h)
+	c.Demand.Fingerprint(h)
+	c.Embodied.Fingerprint(h)
+	c.Scarcity.Fingerprint(h)
+	h.Uint64(c.Seed)
+	h.Int(c.Year)
+	key := h.Sum()
+	h.Release()
+	return key
 }
 
 // Operational is the total operational water footprint (Eq. 1's
@@ -291,12 +320,19 @@ func (c Config) Lifetime(years float64) (Footprint, error) {
 // adds the one-time embodied footprint, so cached assessments (the Engine
 // path) avoid re-simulation.
 func (c Config) LifetimeFrom(a Annual, years float64) (Footprint, error) {
-	if years <= 0 {
-		return Footprint{}, fmt.Errorf("core: non-positive lifetime")
-	}
 	b, err := c.EmbodiedBreakdown()
 	if err != nil {
 		return Footprint{}, err
+	}
+	return c.LifetimeFromBreakdown(a, b, years)
+}
+
+// LifetimeFromBreakdown scales an assessed year using an already-computed
+// embodied breakdown, so callers that need both (the Engine's request
+// path) derive the breakdown once.
+func (c Config) LifetimeFromBreakdown(a Annual, b embodied.Breakdown, years float64) (Footprint, error) {
+	if years <= 0 {
+		return Footprint{}, fmt.Errorf("core: non-positive lifetime")
 	}
 	return Footprint{
 		System:   c.System.Name,

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestFingerprintDeterministicAndDistinct(t *testing.T) {
+	a, err := ConfigFor("Frontier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ConfigFor("Frontier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical configs fingerprint differently")
+	}
+	cfgs, err := AllConfigs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]string{}
+	for _, c := range cfgs {
+		k := fmt.Sprintf("%x", c.Fingerprint())
+		if prev, ok := seen[k]; ok {
+			t.Errorf("%s and %s collided", prev, c.System.Name)
+		}
+		seen[k] = c.System.Name
+	}
+}
+
+// TestFingerprintCoversEveryField walks the Config structure with
+// reflection, perturbs each leaf field (and each slice length and map) in
+// isolation, and asserts the fingerprint changes. This is the completeness
+// guard for the hand-written Fingerprint encoders: adding a Config (or
+// nested) field without teaching the encoder about it fails here.
+func TestFingerprintCoversEveryField(t *testing.T) {
+	base, err := ConfigFor("Frontier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseKey := base.Fingerprint()
+
+	var walk func(path string, v reflect.Value)
+	perturbLeaf := func(path string, mutate func(cfg *Config)) {
+		t.Helper()
+		fresh, err := ConfigFor("Frontier")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(&fresh)
+		if fresh.Fingerprint() == baseKey {
+			t.Errorf("perturbing %s did not change the fingerprint", path)
+		}
+	}
+
+	// navigate re-resolves the same path on a fresh Config so each
+	// perturbation works on independent memory (maps and slices would
+	// otherwise alias the shared base).
+	var navigate func(root reflect.Value, steps []func(reflect.Value) reflect.Value) reflect.Value
+	navigate = func(root reflect.Value, steps []func(reflect.Value) reflect.Value) reflect.Value {
+		v := root
+		for _, s := range steps {
+			v = s(v)
+		}
+		return v
+	}
+
+	var steps []func(reflect.Value) reflect.Value
+	walk = func(path string, v reflect.Value) {
+		switch v.Kind() {
+		case reflect.Struct:
+			for i := 0; i < v.NumField(); i++ {
+				if v.Type().Field(i).PkgPath != "" {
+					continue // unexported: not part of the identity
+				}
+				i := i
+				steps = append(steps, func(x reflect.Value) reflect.Value { return x.Field(i) })
+				walk(path+"."+v.Type().Field(i).Name, v.Field(i))
+				steps = steps[:len(steps)-1]
+			}
+		case reflect.Slice:
+			captured := append([]func(reflect.Value) reflect.Value(nil), steps...)
+			perturbLeaf(path+"(len)", func(cfg *Config) {
+				sl := navigate(reflect.ValueOf(cfg).Elem(), captured)
+				sl.Set(reflect.Append(sl, reflect.Zero(sl.Type().Elem())))
+			})
+			if v.Len() > 0 {
+				steps = append(steps, func(x reflect.Value) reflect.Value { return x.Index(0) })
+				walk(path+"[0]", v.Index(0))
+				steps = steps[:len(steps)-1]
+			}
+		case reflect.Map:
+			captured := append([]func(reflect.Value) reflect.Value(nil), steps...)
+			perturbLeaf(path+"(map)", func(cfg *Config) {
+				m := navigate(reflect.ValueOf(cfg).Elem(), captured)
+				if m.IsNil() {
+					m.Set(reflect.MakeMap(m.Type()))
+				}
+				keys := m.MapKeys()
+				if len(keys) > 0 {
+					k := keys[0]
+					old := m.MapIndex(k).Float()
+					nv := reflect.New(m.Type().Elem()).Elem()
+					nv.SetFloat(old + 1)
+					m.SetMapIndex(k, nv)
+					return
+				}
+				k := reflect.Zero(m.Type().Key())
+				nv := reflect.New(m.Type().Elem()).Elem()
+				nv.SetFloat(1)
+				m.SetMapIndex(k, nv)
+			})
+		case reflect.String:
+			captured := append([]func(reflect.Value) reflect.Value(nil), steps...)
+			perturbLeaf(path, func(cfg *Config) {
+				f := navigate(reflect.ValueOf(cfg).Elem(), captured)
+				f.SetString(f.String() + "~")
+			})
+		case reflect.Float64:
+			captured := append([]func(reflect.Value) reflect.Value(nil), steps...)
+			perturbLeaf(path, func(cfg *Config) {
+				f := navigate(reflect.ValueOf(cfg).Elem(), captured)
+				f.SetFloat(f.Float() + 1)
+			})
+		case reflect.Int, reflect.Int64:
+			captured := append([]func(reflect.Value) reflect.Value(nil), steps...)
+			perturbLeaf(path, func(cfg *Config) {
+				f := navigate(reflect.ValueOf(cfg).Elem(), captured)
+				f.SetInt(f.Int() + 1)
+			})
+		case reflect.Uint64:
+			captured := append([]func(reflect.Value) reflect.Value(nil), steps...)
+			perturbLeaf(path, func(cfg *Config) {
+				f := navigate(reflect.ValueOf(cfg).Elem(), captured)
+				f.SetUint(f.Uint() + 1)
+			})
+		case reflect.Bool:
+			captured := append([]func(reflect.Value) reflect.Value(nil), steps...)
+			perturbLeaf(path, func(cfg *Config) {
+				f := navigate(reflect.ValueOf(cfg).Elem(), captured)
+				f.SetBool(!f.Bool())
+			})
+		default:
+			t.Fatalf("unhandled kind %v at %s: extend the walker", v.Kind(), path)
+		}
+	}
+	walk("Config", reflect.ValueOf(base))
+}

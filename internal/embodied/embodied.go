@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 
+	"thirstyflops/internal/fingerprint"
 	"thirstyflops/internal/hardware"
 	"thirstyflops/internal/units"
 )
@@ -133,6 +134,12 @@ type Params struct {
 // DefaultParams returns the Table 2 defaults.
 func DefaultParams() Params {
 	return Params{Yield: DefaultYield, FabEWF: DefaultFabEWF}
+}
+
+// Fingerprint writes both embodied parameters.
+func (p Params) Fingerprint(h *fingerprint.Hasher) {
+	h.Float(p.Yield)
+	h.Float(float64(p.FabEWF))
 }
 
 // Validate checks the parameters.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"thirstyflops/internal/fingerprint"
 	"thirstyflops/internal/stats"
 	"thirstyflops/internal/units"
 )
@@ -76,6 +77,47 @@ func (r Region) Validate() error {
 		return fmt.Errorf("energy: region %s: hydro seasonality %v out of range", r.Name, r.HydroSeasonality)
 	}
 	return nil
+}
+
+// Fingerprint writes every field that shapes the simulated grid year.
+// Map-valued fields (mix shares and overrides) are written in AllSources
+// order so the encoding is canonical regardless of map iteration order.
+func (r Region) Fingerprint(h *fingerprint.Hasher) {
+	h.String(r.Name)
+	h.String(r.Country)
+	fingerprintMix(h, r.Base)
+	h.Float(r.HydroSeasonality)
+	h.Float(r.HydroPeakDay)
+	h.Float(r.HydroNoise)
+	h.Float(r.SolarSeasonality)
+	h.Float(r.WindNoise)
+	h.Int(int(r.Balancer))
+	h.Len(len(r.EWFOverrides))
+	for _, s := range AllSources() {
+		if v, ok := r.EWFOverrides[s]; ok {
+			h.Int(int(s))
+			h.Float(float64(v))
+		}
+	}
+	h.Len(len(r.CarbonOverrides))
+	for _, s := range AllSources() {
+		if v, ok := r.CarbonOverrides[s]; ok {
+			h.Int(int(s))
+			h.Float(float64(v))
+		}
+	}
+	h.Float(r.HydroEvapSummerBoost)
+}
+
+// fingerprintMix writes a mix's shares in stable source order.
+func fingerprintMix(h *fingerprint.Hasher, m Mix) {
+	h.Len(len(m))
+	for _, s := range AllSources() {
+		if v, ok := m[s]; ok {
+			h.Int(int(s))
+			h.Float(v)
+		}
+	}
 }
 
 // solarDailyMean is the day-average of max(0, cos(...)) daylight shaping,

@@ -1,0 +1,110 @@
+package fingerprint
+
+import (
+	"math"
+	"testing"
+)
+
+func sumOf(write func(h *Hasher)) Key {
+	h := New()
+	defer h.Release()
+	write(h)
+	return h.Sum()
+}
+
+func TestDeterministic(t *testing.T) {
+	a := sumOf(func(h *Hasher) { h.String("x"); h.Float(1.5); h.Int(-3) })
+	b := sumOf(func(h *Hasher) { h.String("x"); h.Float(1.5); h.Int(-3) })
+	if a != b {
+		t.Error("identical writes produced different keys")
+	}
+}
+
+func TestFieldSensitivity(t *testing.T) {
+	base := sumOf(func(h *Hasher) { h.String("x"); h.Float(1.5); h.Bool(true) })
+	for name, write := range map[string]func(h *Hasher){
+		"string":  func(h *Hasher) { h.String("y"); h.Float(1.5); h.Bool(true) },
+		"float":   func(h *Hasher) { h.String("x"); h.Float(1.6); h.Bool(true) },
+		"bool":    func(h *Hasher) { h.String("x"); h.Float(1.5); h.Bool(false) },
+		"missing": func(h *Hasher) { h.String("x"); h.Float(1.5) },
+	} {
+		if sumOf(write) == base {
+			t.Errorf("%s change did not alter the key", name)
+		}
+	}
+}
+
+func TestStringLengthPrefixPreventsAmbiguity(t *testing.T) {
+	a := sumOf(func(h *Hasher) { h.String("ab"); h.String("c") })
+	b := sumOf(func(h *Hasher) { h.String("a"); h.String("bc") })
+	if a == b {
+		t.Error(`"ab"+"c" and "a"+"bc" collided`)
+	}
+}
+
+func TestFloatBitPatterns(t *testing.T) {
+	zero := sumOf(func(h *Hasher) { h.Float(0) })
+	negZero := sumOf(func(h *Hasher) { h.Float(math.Copysign(0, -1)) })
+	if zero == negZero {
+		t.Error("0 and -0 collided; fingerprints are bit-pattern-exact")
+	}
+}
+
+func TestShardInRange(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 64, 512} {
+		k := sumOf(func(h *Hasher) { h.Uint64(uint64(n)) })
+		if s := k.Shard(n); s < 0 || s >= n {
+			t.Errorf("Shard(%d) = %d out of range", n, s)
+		}
+	}
+}
+
+func TestShardReachesEveryIndexBeyondOneByte(t *testing.T) {
+	// With shard counts above 256 the fold must still reach indices a
+	// single key byte never could.
+	const n = 512
+	seen := make(map[int]bool)
+	for i := 0; i < 8192; i++ {
+		i := i
+		k := sumOf(func(h *Hasher) { h.Int(i) })
+		seen[k.Shard(n)] = true
+	}
+	if len(seen) < n*9/10 {
+		t.Errorf("8192 keys covered only %d of %d shards", len(seen), n)
+	}
+	high := false
+	for s := range seen {
+		if s >= 256 {
+			high = true
+			break
+		}
+	}
+	if !high {
+		t.Error("no shard index above 255 was ever produced")
+	}
+}
+
+func TestPoolReuseStartsClean(t *testing.T) {
+	h := New()
+	h.String("leftover state")
+	h.Release()
+	a := sumOf(func(h *Hasher) { h.Int(1) })
+	b := sumOf(func(h *Hasher) { h.Int(1) })
+	if a != b {
+		t.Error("pooled hasher leaked state between uses")
+	}
+}
+
+func BenchmarkHasherSmall(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := New()
+		h.String("Frontier")
+		for f := 0; f < 24; f++ {
+			h.Float(float64(f) * 1.5)
+		}
+		h.Uint64(42)
+		_ = h.Sum()
+		h.Release()
+	}
+}

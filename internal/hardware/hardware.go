@@ -7,6 +7,7 @@ package hardware
 import (
 	"fmt"
 
+	"thirstyflops/internal/fingerprint"
 	"thirstyflops/internal/units"
 )
 
@@ -235,6 +236,55 @@ type System struct {
 	// IdleFraction is the fraction of peak drawn at zero utilization.
 	IdleFraction float64
 	PUE          units.PUE
+}
+
+// Fingerprint writes every field of the system definition, recursing
+// through the node, processor, die, fab, and storage structures.
+func (s System) Fingerprint(h *fingerprint.Hasher) {
+	h.String(s.Name)
+	h.String(s.Operator)
+	h.String(s.SiteName)
+	h.String(s.Region)
+	h.Int(s.StartYear)
+	h.Int(s.Nodes)
+	s.Node.Fingerprint(h)
+	h.Len(len(s.Storage))
+	for _, p := range s.Storage {
+		h.String(p.Name)
+		h.Int(int(p.Kind))
+		h.Float(float64(p.Capacity))
+	}
+	h.Float(float64(s.PeakPower))
+	h.Float(s.RmaxPFLOPS)
+	h.Float(s.IdleFraction)
+	h.Float(float64(s.PUE))
+}
+
+// Fingerprint writes the node's hardware complement.
+func (n Node) Fingerprint(h *fingerprint.Hasher) {
+	h.Int(n.CPUs)
+	n.CPU.Fingerprint(h)
+	h.Int(n.GPUs)
+	n.GPU.Fingerprint(h)
+	h.Float(float64(n.DRAMGB))
+	h.Float(float64(n.OverheadW))
+}
+
+// Fingerprint writes the processor package definition.
+func (p Processor) Fingerprint(h *fingerprint.Hasher) {
+	h.String(p.Name)
+	h.Int(int(p.Kind))
+	h.Len(len(p.Dies))
+	for _, d := range p.Dies {
+		h.Float(float64(d.Area))
+		h.Float(float64(d.Node))
+		h.Int(d.Count)
+	}
+	h.Float(float64(p.TDP))
+	h.String(p.Fab.Name)
+	h.String(p.Fab.Site)
+	h.Float(float64(p.HBMGB))
+	h.Int(p.ICCount)
 }
 
 // Validate checks the system definition.

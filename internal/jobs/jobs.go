@@ -11,6 +11,7 @@ import (
 	"math"
 	"sort"
 
+	"thirstyflops/internal/fingerprint"
 	"thirstyflops/internal/hardware"
 	"thirstyflops/internal/stats"
 	"thirstyflops/internal/telemetry"
@@ -49,6 +50,17 @@ func (d DemandModel) Validate() error {
 		return fmt.Errorf("jobs: negative noise")
 	}
 	return nil
+}
+
+// Fingerprint writes every field that shapes the utilization year.
+func (d DemandModel) Fingerprint(h *fingerprint.Hasher) {
+	h.Float(d.Mean)
+	h.Float(d.DailySwing)
+	h.Float(d.WeeklySwing)
+	h.Float(d.CycleSwing)
+	h.Float(d.NoiseStd)
+	h.Float(d.Floor)
+	h.Float(d.Cap)
 }
 
 // UtilizationYear generates one year of hourly utilization.

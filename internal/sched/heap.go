@@ -1,0 +1,57 @@
+package sched
+
+// runEvent is one running job on the event heap: when it ends and how
+// many nodes it releases.
+type runEvent struct {
+	end   float64
+	width int
+}
+
+// endHeap is a typed min-heap of running-job end times. Implementing the
+// sift operations directly on the concrete element type (rather than
+// through container/heap's interface{} Push/Pop) removes a boxing
+// allocation per scheduling event in both FCFS and EASY backfilling.
+type endHeap []runEvent
+
+// push inserts an event.
+func (h *endHeap) push(e runEvent) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].end <= s[i].end {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest-ending event. It panics on an
+// empty heap, like container/heap.
+func (h *endHeap) pop() runEvent {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && s[right].end < s[left].end {
+			least = right
+		}
+		if s[i].end <= s[least].end {
+			break
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+	return top
+}

@@ -7,9 +7,10 @@
 package sched
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"runtime"
+	"slices"
 	"sort"
 
 	"thirstyflops/internal/jobs"
@@ -107,7 +108,9 @@ func ValidatePlacements(trace []jobs.Job, placements []Placement, nodes int) err
 
 // FCFS runs strict first-come-first-served scheduling: jobs start in
 // submission order, each at the earliest instant enough nodes are free,
-// and no job overtakes an earlier one.
+// and no job overtakes an earlier one. Completions are tracked on a
+// min-heap of end times, so each job costs O(log jobs) instead of
+// rescanning every previously placed job per probe.
 func FCFS(trace []jobs.Job, nodes int) (Result, error) {
 	if nodes <= 0 {
 		return Result{}, fmt.Errorf("sched: non-positive node pool")
@@ -115,11 +118,8 @@ func FCFS(trace []jobs.Job, nodes int) (Result, error) {
 	queue := append([]jobs.Job(nil), trace...)
 	jobs.SortBySubmit(queue)
 
-	type running struct {
-		end   float64
-		width int
-	}
-	var active []running
+	run := make(endHeap, 0, 64)
+	free := nodes
 	placements := make([]Placement, 0, len(queue))
 	// FCFS also cannot start a job before its predecessor started.
 	prevStart := 0.0
@@ -128,50 +128,22 @@ func FCFS(trace []jobs.Job, nodes int) (Result, error) {
 			return Result{}, fmt.Errorf("sched: job %d wants %d nodes on a %d-node machine", j.ID, j.Nodes, nodes)
 		}
 		t := math.Max(j.SubmitHour, prevStart)
-		for {
-			free := nodes
-			next := math.Inf(1)
-			for _, r := range active {
-				if r.end > t {
-					free -= r.width
-					if r.end < next {
-						next = r.end
-					}
-				}
-			}
-			if free >= j.Nodes {
-				break
-			}
-			t = next
+		for len(run) > 0 && run[0].end <= t {
+			free += run.pop().width
+		}
+		// Completions pop in end order, so advancing t to each popped
+		// end reproduces the earliest instant enough nodes are free.
+		for free < j.Nodes {
+			done := run.pop()
+			t = done.end
+			free += done.width
 		}
 		placements = append(placements, Placement{Job: j, Start: t, End: t + j.Hours})
-		active = append(active, running{end: t + j.Hours, width: j.Nodes})
+		run.push(runEvent{end: t + j.Hours, width: j.Nodes})
+		free -= j.Nodes
 		prevStart = t
 	}
 	return computeMetrics(placements, nodes), nil
-}
-
-// endHeap is a min-heap of running-job end times with widths.
-type endHeap []struct {
-	end   float64
-	width int
-}
-
-func (h endHeap) Len() int           { return len(h) }
-func (h endHeap) Less(a, b int) bool { return h[a].end < h[b].end }
-func (h endHeap) Swap(a, b int)      { h[a], h[b] = h[b], h[a] }
-func (h *endHeap) Push(x interface{}) {
-	*h = append(*h, x.(struct {
-		end   float64
-		width int
-	}))
-}
-func (h *endHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
 }
 
 // EASYBackfill runs EASY backfilling: the queue head receives a
@@ -189,19 +161,16 @@ func EASYBackfill(trace []jobs.Job, nodes int) (Result, error) {
 		}
 	}
 
-	var run endHeap
-	heap.Init(&run)
+	run := make(endHeap, 0, 64)
 	free := nodes
 	var queue []jobs.Job
+	var scratch endHeap // reused sorted copy of run, one per schedule pass
 	placements := make([]Placement, 0, len(pending))
 	t := 0.0
 
 	start := func(j jobs.Job, now float64) {
 		placements = append(placements, Placement{Job: j, Start: now, End: now + j.Hours})
-		heap.Push(&run, struct {
-			end   float64
-			width int
-		}{now + j.Hours, j.Nodes})
+		run.push(runEvent{now + j.Hours, j.Nodes})
 		free -= j.Nodes
 	}
 
@@ -216,8 +185,18 @@ func EASYBackfill(trace []jobs.Job, nodes int) (Result, error) {
 		}
 		// Head is blocked: find its shadow time and spare nodes.
 		head := queue[0]
-		ends := append(endHeap(nil), run...)
-		sort.Slice(ends, func(a, b int) bool { return ends[a].end < ends[b].end })
+		ends := append(scratch[:0], run...)
+		scratch = ends
+		slices.SortFunc(ends, func(a, b runEvent) int {
+			switch {
+			case a.end < b.end:
+				return -1
+			case a.end > b.end:
+				return 1
+			default:
+				return 0
+			}
+		})
 		avail := free
 		shadow := math.Inf(1)
 		spare := 0
@@ -249,13 +228,13 @@ func EASYBackfill(trace []jobs.Job, nodes int) (Result, error) {
 	}
 
 	i := 0
-	for i < len(pending) || len(queue) > 0 || run.Len() > 0 {
+	for i < len(pending) || len(queue) > 0 || len(run) > 0 {
 		// Next event: a submission or a completion.
 		nextSubmit, nextEnd := math.Inf(1), math.Inf(1)
 		if i < len(pending) {
 			nextSubmit = pending[i].SubmitHour
 		}
-		if run.Len() > 0 {
+		if len(run) > 0 {
 			nextEnd = run[0].end
 		}
 		if math.IsInf(nextSubmit, 1) && math.IsInf(nextEnd, 1) {
@@ -269,12 +248,8 @@ func EASYBackfill(trace []jobs.Job, nodes int) (Result, error) {
 			}
 		} else {
 			t = nextEnd
-			for run.Len() > 0 && run[0].end <= t {
-				done := heap.Pop(&run).(struct {
-					end   float64
-					width int
-				})
-				free += done.width
+			for len(run) > 0 && run[0].end <= t {
+				free += run.pop().width
 			}
 		}
 		schedule(t)
@@ -300,6 +275,10 @@ type StartOption struct {
 // two rankings disagree. The job's energy is charged at the timeline's
 // total water intensity WI(t) = WUE + PUE·EWF and at the grid carbon
 // intensity; the timeline's own energy channel is not consulted.
+//
+// Window costs come from one O(n) prefix-sum pass over the series, so
+// each candidate is scored in O(1) regardless of duration — a sweep over
+// all 8760 start hours of a year costs the same as a handful.
 func RankStartTimes(energyPerHour units.KWh, durationHours int, candidates []int,
 	s series.Series) ([]StartOption, error) {
 	if err := s.Validate(); err != nil {
@@ -308,34 +287,171 @@ func RankStartTimes(energyPerHour units.KWh, durationHours int, candidates []int
 	if durationHours <= 0 {
 		return nil, fmt.Errorf("sched: non-positive duration")
 	}
+	if durationHours > s.Len() {
+		// Also the overflow guard: with duration bounded by the series
+		// length, every c > s.Len()-durationHours comparison below is
+		// subtraction on in-range ints and cannot wrap.
+		return nil, fmt.Errorf("sched: duration %d exceeds the %d-hour series", durationHours, s.Len())
+	}
 	if energyPerHour < 0 {
 		return nil, fmt.Errorf("sched: negative energy")
 	}
+	energy := float64(energyPerHour)
 	out := make([]StartOption, len(candidates))
-	for k, c := range candidates {
-		if c < 0 || c+durationHours > s.Len() {
-			return nil, fmt.Errorf("sched: candidate %d does not fit the series", c)
+	waters := make([]float64, len(candidates))
+	carbons := make([]float64, len(candidates))
+	switch {
+	case len(candidates) > 1 && contiguous(candidates):
+		// Dense sweep (the full-year case): slide one window per channel
+		// across the series, O(1) amortized per candidate with no prefix
+		// arrays. The two channels (window pass plus ordering) are
+		// independent, so they pipeline on separate goroutines when the
+		// set is large enough to amortize a goroutine and more than one
+		// CPU is available.
+		c0, c1 := candidates[0], candidates[len(candidates)-1]
+		if c0 < 0 {
+			return nil, fmt.Errorf("sched: candidate %d does not fit the series", c0)
 		}
-		var w, g float64
-		for h := c; h < c+durationHours; h++ {
-			w += float64(s.WaterIntensityAt(h)) * float64(energyPerHour)
-			g += float64(s.Carbon[h]) * float64(energyPerHour)
+		if c1 > s.Len()-durationHours {
+			return nil, fmt.Errorf("sched: candidate %d does not fit the series", c1)
 		}
-		out[k] = StartOption{Hour: c, Water: units.Liters(w), Carbon: units.GramsCO2(g)}
+		carbonPass := func() []int32 {
+			carb := s.Carbon
+			var ci float64
+			for h := c0; h < c0+durationHours; h++ {
+				ci += float64(carb[h])
+			}
+			carbons[0] = ci * energy
+			for k := 1; k < len(candidates); k++ {
+				c := candidates[k]
+				ci += float64(carb[c+durationHours-1]) - float64(carb[c-1])
+				carbons[k] = ci * energy
+			}
+			return stats.Order(carbons)
+		}
+		waterPass := func() []int32 {
+			wue, ewf := s.WUE, s.EWF
+			pue := float64(s.PUE)
+			var wi float64
+			for h := c0; h < c0+durationHours; h++ {
+				wi += float64(wue[h]) + pue*float64(ewf[h])
+			}
+			waters[0] = wi * energy
+			for k := 1; k < len(candidates); k++ {
+				c := candidates[k]
+				in, drop := c+durationHours-1, c-1
+				wi += float64(wue[in]) + pue*float64(ewf[in]) -
+					float64(wue[drop]) - pue*float64(ewf[drop])
+				waters[k] = wi * energy
+			}
+			return stats.Order(waters)
+		}
+		var wOrd, cOrd []int32
+		if len(candidates) >= parallelRankThreshold && runtime.GOMAXPROCS(0) > 1 {
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				cOrd = carbonPass()
+			}()
+			wOrd = waterPass()
+			<-done
+		} else {
+			wOrd, cOrd = waterPass(), carbonPass()
+		}
+		// Invert each permutation into a compact rank array first: the
+		// random writes then land in a small int32 slice rather than
+		// striding across the much larger result array.
+		wRank := make([]int32, len(wOrd))
+		cRank := make([]int32, len(cOrd))
+		for r, i := range wOrd {
+			wRank[i] = int32(r + 1)
+		}
+		for r, i := range cOrd {
+			cRank[i] = int32(r + 1)
+		}
+		for k := range out {
+			o := &out[k]
+			o.Hour = candidates[k]
+			o.Water = units.Liters(waters[k])
+			o.Carbon = units.GramsCO2(carbons[k])
+			o.WaterRank = int(wRank[k])
+			o.CarbonRank = int(cRank[k])
+		}
+		return out, nil
+	case len(candidates)*durationHours > s.Len():
+		// Scattered but heavy: one O(series) prefix-sum pass, then O(1)
+		// per candidate regardless of duration.
+		cum := s.Cumulative()
+		for k, c := range candidates {
+			if c < 0 || c > s.Len()-durationHours {
+				return nil, fmt.Errorf("sched: candidate %d does not fit the series", c)
+			}
+			waters[k] = cum.WaterIntensitySum(c, c+durationHours) * energy
+			carbons[k] = cum.CarbonSum(c, c+durationHours) * energy
+		}
+	default:
+		// Few candidates: the direct evaluation is cheaper than any
+		// precomputation over the full series.
+		for k, c := range candidates {
+			if c < 0 || c > s.Len()-durationHours {
+				return nil, fmt.Errorf("sched: candidate %d does not fit the series", c)
+			}
+			var wi, ci float64
+			for h := c; h < c+durationHours; h++ {
+				wi += float64(s.WaterIntensityAt(h))
+				ci += float64(s.Carbon[h])
+			}
+			waters[k] = wi * energy
+			carbons[k] = ci * energy
+		}
 	}
-	waters := make([]float64, len(out))
-	carbons := make([]float64, len(out))
-	for k, o := range out {
-		waters[k] = float64(o.Water)
-		carbons[k] = float64(o.Carbon)
+	for k := range out {
+		out[k] = StartOption{
+			Hour:   candidates[k],
+			Water:  units.Liters(waters[k]),
+			Carbon: units.GramsCO2(carbons[k]),
+		}
 	}
-	for k, r := range stats.Ranks(waters) {
+	waterRanks, carbonRanks := rankBoth(waters, carbons)
+	for k, r := range waterRanks {
 		out[k].WaterRank = r
 	}
-	for k, r := range stats.Ranks(carbons) {
+	for k, r := range carbonRanks {
 		out[k].CarbonRank = r
 	}
 	return out, nil
+}
+
+// contiguous reports whether the candidates form an ascending run of
+// consecutive hours — the dense-sweep pattern the sliding window serves.
+func contiguous(candidates []int) bool {
+	for k := 1; k < len(candidates); k++ {
+		if candidates[k] != candidates[k-1]+1 {
+			return false
+		}
+	}
+	return true
+}
+
+// parallelRankThreshold is the candidate count below which spawning a
+// goroutine to pipeline the two cost channels costs more than it saves.
+const parallelRankThreshold = 2048
+
+// rankBoth ranks the two cost channels, concurrently when the candidate
+// set is large enough for a goroutine to pay for itself and more than one
+// CPU is available.
+func rankBoth(waters, carbons []float64) (waterRanks, carbonRanks []int) {
+	if len(waters) < parallelRankThreshold || runtime.GOMAXPROCS(0) == 1 {
+		return stats.Ranks(waters), stats.Ranks(carbons)
+	}
+	done := make(chan struct{})
+	go func() {
+		carbonRanks = stats.Ranks(carbons)
+		close(done)
+	}()
+	waterRanks = stats.Ranks(waters)
+	<-done
+	return waterRanks, carbonRanks
 }
 
 // RankingsDisagree reports whether the water-best and carbon-best start

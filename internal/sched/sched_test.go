@@ -320,3 +320,164 @@ func TestEmptyTrace(t *testing.T) {
 		t.Error("EASY of empty trace should be empty and error-free")
 	}
 }
+
+// TestRankStartTimesPathEquivalence pins the three evaluation strategies
+// (direct windows, prefix sums, sliding window) to the same answers: the
+// dense full sweep, a scattered heavy set, and a sparse set must agree on
+// every rank and on costs within floating-point accumulation tolerance.
+func TestRankStartTimesPathEquivalence(t *testing.T) {
+	const n, dur = 600, 24
+	wi := make([]units.LPerKWh, n)
+	ci := make([]units.GCO2PerKWh, n)
+	for h := 0; h < n; h++ {
+		wi[h] = units.LPerKWh(1 + 0.5*math.Sin(float64(h)/7) + 0.01*float64(h%13))
+		ci[h] = units.GCO2PerKWh(300 + 100*math.Cos(float64(h)/11) + float64(h%7))
+	}
+	s := intensitySeries(t, wi, ci)
+
+	dense := make([]int, n-dur+1)
+	for i := range dense {
+		dense[i] = i
+	}
+	// The same candidates shuffled out of contiguity exercise the
+	// prefix-sum path; re-sorting its output restores comparability.
+	scattered := make([]int, len(dense))
+	for i := range scattered {
+		scattered[i] = (i*7 + 3) % len(dense)
+	}
+
+	fromDense, err := RankStartTimes(2, dur, dense, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromScattered, err := RankStartTimes(2, dur, scattered, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byHour := make(map[int]StartOption, len(fromScattered))
+	for _, o := range fromScattered {
+		byHour[o.Hour] = o
+	}
+	for _, d := range fromDense {
+		o, ok := byHour[d.Hour]
+		if !ok {
+			t.Fatalf("hour %d missing from scattered result", d.Hour)
+		}
+		if o.WaterRank != d.WaterRank || o.CarbonRank != d.CarbonRank {
+			t.Fatalf("hour %d: ranks diverge between paths: %+v vs %+v", d.Hour, o, d)
+		}
+		if math.Abs(float64(o.Water-d.Water)) > 1e-6 || math.Abs(float64(o.Carbon-d.Carbon)) > 1e-6 {
+			t.Fatalf("hour %d: costs diverge between paths", d.Hour)
+		}
+	}
+
+	// A sparse subset (direct path) must agree with the dense sweep on
+	// relative order.
+	sparse := []int{0, 100, 200, 300, 400, 500}
+	fromSparse, err := RankStartTimes(2, dur, sparse, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range fromSparse {
+		if math.Abs(float64(o.Water-byHour[o.Hour].Water)) > 1e-6 {
+			t.Fatalf("hour %d: direct path cost diverges", o.Hour)
+		}
+	}
+}
+
+func TestRankStartTimesOverflowGuard(t *testing.T) {
+	s := intensitySeries(t,
+		[]units.LPerKWh{1, 2, 3, 4},
+		[]units.GCO2PerKWh{1, 2, 3, 4})
+	// A duration near MaxInt must error cleanly in every path, not wrap
+	// the bounds arithmetic into a panic or silent zero-cost result.
+	if _, err := RankStartTimes(1, math.MaxInt, []int{0, 1}, s); err == nil {
+		t.Error("MaxInt duration accepted (dense path)")
+	}
+	if _, err := RankStartTimes(1, math.MaxInt, []int{0, 2}, s); err == nil {
+		t.Error("MaxInt duration accepted (direct path)")
+	}
+	// A candidate near MaxInt with a small duration must also error.
+	if _, err := RankStartTimes(1, 2, []int{math.MaxInt - 1}, s); err == nil {
+		t.Error("MaxInt candidate accepted")
+	}
+	if _, err := RankStartTimes(1, 5, []int{0}, s); err == nil {
+		t.Error("duration longer than the series accepted")
+	}
+}
+
+func TestRankStartTimesDenseErrors(t *testing.T) {
+	s := intensitySeries(t,
+		[]units.LPerKWh{1, 2, 3, 4, 5, 6},
+		[]units.GCO2PerKWh{1, 2, 3, 4, 5, 6})
+	// A contiguous run falling off the series end must error, not panic.
+	if _, err := RankStartTimes(1, 3, []int{2, 3, 4, 5}, s); err == nil {
+		t.Error("dense out-of-range candidates accepted")
+	}
+	if _, err := RankStartTimes(1, 2, []int{-2, -1, 0, 1}, s); err == nil {
+		t.Error("dense negative candidates accepted")
+	}
+}
+
+// TestFCFSHeapMatchesReferenceScan cross-checks the heap-based FCFS
+// against a brute-force reference on random traces: identical placements,
+// not just valid ones.
+func TestFCFSHeapMatchesReferenceScan(t *testing.T) {
+	reference := func(trace []jobs.Job, nodes int) []Placement {
+		queue := append([]jobs.Job(nil), trace...)
+		jobs.SortBySubmit(queue)
+		type running struct {
+			end   float64
+			width int
+		}
+		var active []running
+		var placements []Placement
+		prevStart := 0.0
+		for _, j := range queue {
+			tt := math.Max(j.SubmitHour, prevStart)
+			for {
+				free := nodes
+				next := math.Inf(1)
+				for _, r := range active {
+					if r.end > tt {
+						free -= r.width
+						if r.end < next {
+							next = r.end
+						}
+					}
+				}
+				if free >= j.Nodes {
+					break
+				}
+				tt = next
+			}
+			placements = append(placements, Placement{Job: j, Start: tt, End: tt + j.Hours})
+			active = append(active, running{end: tt + j.Hours, width: j.Nodes})
+			prevStart = tt
+		}
+		return placements
+	}
+
+	for seed := uint64(0); seed < 8; seed++ {
+		p := jobs.TraceParams{Hours: 72, ArrivalPerHour: 5, MeanHours: 3,
+			SigmaHours: 1, MaxNodes: 48, NodePowerW: 1500}
+		trace, err := jobs.GenerateTrace(p, seed)
+		if err != nil || len(trace) == 0 {
+			t.Fatal(err)
+		}
+		got, err := FCFS(trace, 48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := reference(trace, 48)
+		if len(got.Placements) != len(want) {
+			t.Fatalf("seed %d: placement counts differ", seed)
+		}
+		for i := range want {
+			g, w := got.Placements[i], want[i]
+			if g.Job.ID != w.Job.ID || g.Start != w.Start || g.End != w.End {
+				t.Fatalf("seed %d: placement %d differs: %+v vs %+v", seed, i, g, w)
+			}
+		}
+	}
+}

@@ -174,6 +174,47 @@ func (s Series) MeanCarbonIntensity() units.GCO2PerKWh {
 	return units.GCO2PerKWh(sum / float64(n))
 }
 
+// Cumulative is the prefix-sum view of a series' intensity channels:
+// index h holds the sum over hours [0, h), so any window sum is two loads
+// and a subtraction. Build one with Series.Cumulative when evaluating
+// many windows (start-time ranking, slack shifting); the O(n) build
+// amortizes across O(1) window queries.
+type Cumulative struct {
+	WaterIntensity []float64 // prefix sums of WI(t) = WUE + PUE·EWF, L/kWh
+	Carbon         []float64 // prefix sums of grid carbon intensity, g/kWh
+}
+
+// Cumulative computes the prefix sums of the water- and carbon-intensity
+// channels.
+func (s Series) Cumulative() Cumulative {
+	n := s.Len()
+	c := Cumulative{
+		WaterIntensity: make([]float64, n+1),
+		Carbon:         make([]float64, n+1),
+	}
+	pue := float64(s.PUE)
+	for h := 0; h < n; h++ {
+		c.WaterIntensity[h+1] = c.WaterIntensity[h] + float64(s.WUE[h]) + pue*float64(s.EWF[h])
+		c.Carbon[h+1] = c.Carbon[h] + float64(s.Carbon[h])
+	}
+	return c
+}
+
+// Len is the number of hours covered by the prefix sums.
+func (c Cumulative) Len() int { return len(c.WaterIntensity) - 1 }
+
+// WaterIntensitySum returns the summed water intensity over hours
+// [lo, hi) in O(1).
+func (c Cumulative) WaterIntensitySum(lo, hi int) float64 {
+	return c.WaterIntensity[hi] - c.WaterIntensity[lo]
+}
+
+// CarbonSum returns the summed carbon intensity over hours [lo, hi) in
+// O(1).
+func (c Cumulative) CarbonSum(lo, hi int) float64 {
+	return c.Carbon[hi] - c.Carbon[lo]
+}
+
 // Slice returns the aligned window [lo, hi) sharing the underlying
 // channels.
 func (s Series) Slice(lo, hi int) (Series, error) {

@@ -155,3 +155,58 @@ func TestCSVRoundTrip(t *testing.T) {
 		t.Error("malformed row accepted")
 	}
 }
+
+func TestCumulativeWindowSums(t *testing.T) {
+	s, err := From(1.5,
+		[]units.KWh{1, 1, 1, 1},
+		[]units.LPerKWh{1, 2, 3, 4},
+		[]units.LPerKWh{2, 2, 2, 2},
+		[]units.GCO2PerKWh{10, 20, 30, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Cumulative()
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", c.Len())
+	}
+	// WI(t) = WUE + 1.5·2 = WUE + 3 → {4, 5, 6, 7}.
+	if got := c.WaterIntensitySum(0, 4); got != 22 {
+		t.Errorf("full water sum = %v, want 22", got)
+	}
+	if got := c.WaterIntensitySum(1, 3); got != 11 {
+		t.Errorf("window water sum = %v, want 11", got)
+	}
+	if got := c.CarbonSum(1, 4); got != 90 {
+		t.Errorf("carbon window = %v, want 90", got)
+	}
+	if got := c.WaterIntensitySum(2, 2); got != 0 {
+		t.Errorf("empty window = %v, want 0", got)
+	}
+}
+
+func TestCumulativeMatchesDirectSums(t *testing.T) {
+	s, err := New(1.3, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < s.Len(); h++ {
+		s.Energy[h] = units.KWh(1 + h%5)
+		s.WUE[h] = units.LPerKWh(0.05 + 0.37*float64(h%17))
+		s.EWF[h] = units.LPerKWh(1.1 + 0.21*float64(h%11))
+		s.Carbon[h] = units.GCO2PerKWh(200 + 13*float64(h%23))
+	}
+	c := s.Cumulative()
+	for _, w := range [][2]int{{0, 200}, {13, 14}, {50, 150}, {199, 200}} {
+		var wi, ci float64
+		for h := w[0]; h < w[1]; h++ {
+			wi += float64(s.WaterIntensityAt(h))
+			ci += float64(s.Carbon[h])
+		}
+		if got := c.WaterIntensitySum(w[0], w[1]); math.Abs(got-wi) > 1e-9*math.Abs(wi)+1e-12 {
+			t.Errorf("window %v: water %v vs direct %v", w, got, wi)
+		}
+		if got := c.CarbonSum(w[0], w[1]); math.Abs(got-ci) > 1e-9*math.Abs(ci)+1e-12 {
+			t.Errorf("window %v: carbon %v vs direct %v", w, got, ci)
+		}
+	}
+}

@@ -8,6 +8,7 @@ package stats
 
 import (
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -159,16 +160,122 @@ func ArgMax(xs []float64) int {
 // Ranks returns the 1-based ascending rank of every element (rank 1 = the
 // smallest value). Ties are broken by position.
 func Ranks(xs []float64) []int {
-	idx := make([]int, len(xs))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
 	ranks := make([]int, len(xs))
-	for r, i := range idx {
+	for r, i := range Order(xs) {
 		ranks[i] = r + 1
 	}
 	return ranks
+}
+
+// Order returns the indices of xs in ascending stable order: xs[ord[0]]
+// is the smallest element and ties keep their original relative order, so
+// ord[r] is the element of rank r+1. Callers that consume the permutation
+// directly (start-time ranking) skip the ranks array Ranks materializes.
+//
+// The common inputs — window sums over smooth seasonal series — are close
+// to uniformly distributed, so the order comes from a stable bucket sort:
+// one counting pass distributes indices into n equal-width buckets and a
+// bounded insertion sort orders each bucket, linear time in practice.
+// Distributions the buckets cannot split (heavy skew, ties everywhere,
+// non-finite values) fall back to a comparison sort with identical tie
+// semantics.
+func Order(xs []float64) []int32 {
+	n := len(xs)
+	if n < 64 {
+		return orderBySort(xs)
+	}
+	lo, hi := xs[0], xs[0]
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	// Non-finite inputs take the fallback: any NaN element propagates
+	// into the running sum (NaN never updates lo/hi, so the scale alone
+	// cannot detect it, and float-to-int conversion of NaN is
+	// implementation-defined — MinInt on amd64 but 0 on arm64, which
+	// would silently mis-bucket). Infinities zero or poison the scale. A
+	// finite sum overflow also falls back, which is merely slower.
+	if math.IsNaN(sum) || math.IsInf(sum, 0) {
+		return orderBySort(xs)
+	}
+	// A zero or non-finite scale means an all-equal input.
+	scale := float64(n-1) / (hi - lo)
+	if math.IsNaN(scale) || math.IsInf(scale, 0) || scale <= 0 {
+		return orderBySort(xs)
+	}
+
+	// Stable counting distribution of indices into n buckets. counts is
+	// offset by one so that after distribution counts[b] is the end of
+	// bucket b's run and counts[b-1] its start, avoiding a second offsets
+	// array; scattering int32 indices rather than value/index pairs keeps
+	// the working set small.
+	counts := make([]int32, n+2)
+	for _, v := range xs {
+		b := int((v-lo)*scale) + 1
+		if uint(b) > uint(n) {
+			return orderBySort(xs)
+		}
+		counts[b]++
+	}
+	for b := 1; b <= n; b++ {
+		counts[b] += counts[b-1]
+	}
+	sorted := make([]int32, n)
+	for i, v := range xs {
+		b := int((v - lo) * scale)
+		sorted[counts[b]] = int32(i)
+		counts[b]++
+	}
+
+	// Stable insertion sort within each bucket; a bucket too large means
+	// the distribution defeated the bucketing, so fall back wholesale.
+	const maxBucket = 48
+	prevEnd := int32(0)
+	for b := 0; b < n; b++ {
+		s, e := prevEnd, counts[b]
+		prevEnd = e
+		if e-s > maxBucket {
+			return orderBySort(xs)
+		}
+		for i := s + 1; i < e; i++ {
+			p := sorted[i]
+			pv := xs[p]
+			j := i - 1
+			for j >= s && xs[sorted[j]] > pv {
+				sorted[j+1] = sorted[j]
+				j--
+			}
+			sorted[j+1] = p
+		}
+	}
+	return sorted
+}
+
+// orderBySort is the comparison-sort path: a concrete-typed stable sort
+// of indices, preserving Order's break-ties-by-position contract.
+func orderBySort(xs []float64) []int32 {
+	idx := make([]int32, len(xs))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	slices.SortStableFunc(idx, func(a, b int32) int {
+		va, vb := xs[a], xs[b]
+		switch {
+		case va < vb:
+			return -1
+		case va > vb:
+			return 1
+		default:
+			return 0
+		}
+	})
+	return idx
 }
 
 // MonthlyMeans aggregates an hourly year-long series (8760 values, or 8784

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -380,5 +381,84 @@ func TestRanksPermutationProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestOrderMatchesComparisonSort(t *testing.T) {
+	// The bucket path (n >= 64) must agree with the reference sort on
+	// smooth data, adversarial skew, duplicates, and non-finite values.
+	cases := map[string][]float64{
+		"smooth":  make([]float64, 500),
+		"skewed":  make([]float64, 500),
+		"ties":    make([]float64, 500),
+		"nan-inf": make([]float64, 100),
+	}
+	for i := range cases["smooth"] {
+		cases["smooth"][i] = math.Sin(float64(i)/9) + float64(i%13)/7
+	}
+	for i := range cases["skewed"] {
+		cases["skewed"][i] = math.Exp(float64(i) / 25) // heavy tail
+	}
+	for i := range cases["ties"] {
+		cases["ties"][i] = float64(i % 5)
+	}
+	for i := range cases["nan-inf"] {
+		cases["nan-inf"][i] = float64(i)
+	}
+	cases["nan-inf"][17] = math.NaN()
+	cases["nan-inf"][42] = math.Inf(1)
+	cases["nan-inf"][77] = math.Inf(-1)
+	// One lone NaN among otherwise well-spread finite values: lo/hi and
+	// the bucket scale stay valid, so only the NaN sum guard forces the
+	// fallback — int(NaN) is implementation-defined (0 on arm64) and
+	// must never pick a bucket.
+	cases["nan-only"] = make([]float64, 500)
+	for i := range cases["nan-only"] {
+		cases["nan-only"][i] = float64(i % 97)
+	}
+	cases["nan-only"][123] = math.NaN()
+
+	for name, xs := range cases {
+		got := Ranks(xs)
+		// Reference: stable selection of ascending order by (value, index).
+		n := len(xs)
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+		want := make([]int, n)
+		for r, i := range idx {
+			want[i] = r + 1
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: rank[%d] = %d, want %d", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRanksLargeInputOrderAgreement(t *testing.T) {
+	rng := NewRNG(99)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormMeanStd(0, 10)
+	}
+	got := Ranks(xs)
+	seen := make([]bool, len(xs)+1)
+	for _, r := range got {
+		if r < 1 || r > len(xs) || seen[r] {
+			t.Fatalf("ranks are not a permutation: %d", r)
+		}
+		seen[r] = true
+	}
+	// Rank order must agree with value order.
+	for i := range xs {
+		for j := i + 1; j < len(xs) && j < i+5; j++ {
+			if xs[i] < xs[j] && got[i] > got[j] {
+				t.Fatalf("rank inversion between %d and %d", i, j)
+			}
+		}
 	}
 }

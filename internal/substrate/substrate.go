@@ -1,0 +1,163 @@
+// Package substrate memoizes the deterministic generator years that feed
+// every assessment: site wet-bulb weather, grid water/carbon signals, and
+// demand utilization — each a pure function of (identity, seed) — plus
+// the WUE series, which pre-tabulates the cooling curve over the cached
+// weather so the 8760-iteration assessment loop copies values instead of
+// re-evaluating the piecewise curve.
+//
+// The caches exist because the Engine's cold path pays the full substrate
+// generation on every new configuration, yet a sweep over 4 systems × N
+// scenarios (or seeds × sensitivity variants) re-derives the same
+// site/region/demand years over and over: with this layer each year is
+// generated once per process and shared.
+//
+// Returned slices are shared cache state: callers must treat them as
+// read-only. core.Config.Assess copies the values into a fresh Series, so
+// no cached slice escapes to API consumers.
+package substrate
+
+import (
+	"sync"
+
+	"thirstyflops/internal/cache"
+	"thirstyflops/internal/energy"
+	"thirstyflops/internal/fingerprint"
+	"thirstyflops/internal/jobs"
+	"thirstyflops/internal/units"
+	"thirstyflops/internal/weather"
+	"thirstyflops/internal/wue"
+)
+
+// DefaultCapacity bounds each substrate cache. A cached year costs
+// ~70-140 KB, so the default layer tops out around 25 MB.
+const DefaultCapacity = 64
+
+// weather.Site, wue.Curve, and jobs.DemandModel are comparable value
+// structs, so they key their caches directly; energy.Region carries maps
+// and is keyed by its canonical fingerprint instead.
+type (
+	wetBulbKey struct {
+		site weather.Site
+		seed uint64
+	}
+	wueKey struct {
+		curve wue.Curve
+		site  weather.Site
+		seed  uint64
+	}
+	gridKey struct {
+		region fingerprint.Key
+		seed   uint64
+	}
+	utilKey struct {
+		demand jobs.DemandModel
+		seed   uint64
+	}
+)
+
+// GridSignals is the compact projection of a simulated grid year that the
+// assessment loop consumes: the EWF and carbon-intensity channels without
+// the per-hour mix maps (which dominate the generation cost and would
+// dominate the cache footprint).
+type GridSignals struct {
+	EWF    []units.LPerKWh
+	Carbon []units.GCO2PerKWh
+}
+
+type caches struct {
+	wetBulb *cache.Cache[wetBulbKey, []units.Celsius]
+	wueYear *cache.Cache[wueKey, []units.LPerKWh]
+	grid    *cache.Cache[gridKey, GridSignals]
+	util    *cache.Cache[utilKey, []float64]
+}
+
+var (
+	mu    sync.RWMutex
+	layer = newCaches(DefaultCapacity)
+)
+
+func newCaches(capacity int) *caches {
+	return &caches{
+		wetBulb: cache.New[wetBulbKey, []units.Celsius](capacity),
+		wueYear: cache.New[wueKey, []units.LPerKWh](capacity),
+		grid:    cache.New[gridKey, GridSignals](capacity),
+		util:    cache.New[utilKey, []float64](capacity),
+	}
+}
+
+func current() *caches {
+	mu.RLock()
+	defer mu.RUnlock()
+	return layer
+}
+
+// SetCapacity rebuilds the caches with a new per-cache bound, dropping
+// all memoized years. capacity <= 0 disables the layer: every call
+// recomputes (the bit-identity reference path used by equivalence tests).
+func SetCapacity(capacity int) {
+	mu.Lock()
+	defer mu.Unlock()
+	layer = newCaches(capacity)
+}
+
+// Stats aggregates hit/miss/entry counts across the four caches.
+func Stats() cache.Stats {
+	c := current()
+	var out cache.Stats
+	for _, s := range []cache.Stats{
+		c.wetBulb.Stats(), c.wueYear.Stats(), c.grid.Stats(), c.util.Stats(),
+	} {
+		out.Hits += s.Hits
+		out.Misses += s.Misses
+		out.Entries += s.Entries
+	}
+	return out
+}
+
+// WetBulbYear returns the memoized wet-bulb series of (site, seed).
+func WetBulbYear(s weather.Site, seed uint64) []units.Celsius {
+	v, _, _ := current().wetBulb.Get(wetBulbKey{s, seed}, func() ([]units.Celsius, error) {
+		return weather.WetBulbSeries(s.HourlyYear(seed)), nil
+	})
+	return v
+}
+
+// WUEYear returns the memoized hourly WUE series of (curve, site, seed):
+// the curve evaluated exactly (Curve.At) over the cached wet-bulb year,
+// so repeated assessments look values up instead of re-evaluating the
+// piecewise curve 8760 times.
+func WUEYear(c wue.Curve, s weather.Site, seed uint64) []units.LPerKWh {
+	v, _, _ := current().wueYear.Get(wueKey{c, s, seed}, func() ([]units.LPerKWh, error) {
+		return c.Series(WetBulbYear(s, seed)), nil
+	})
+	return v
+}
+
+// GridYear returns the memoized EWF/carbon signals of (region, seed).
+func GridYear(r energy.Region, seed uint64) GridSignals {
+	h := fingerprint.New()
+	r.Fingerprint(h)
+	key := gridKey{region: h.Sum(), seed: seed}
+	h.Release()
+	v, _, _ := current().grid.Get(key, func() (GridSignals, error) {
+		hours := r.HourlyYear(seed)
+		g := GridSignals{
+			EWF:    make([]units.LPerKWh, len(hours)),
+			Carbon: make([]units.GCO2PerKWh, len(hours)),
+		}
+		for i, hr := range hours {
+			g.EWF[i] = hr.EWF
+			g.Carbon[i] = hr.Carbon
+		}
+		return g, nil
+	})
+	return v
+}
+
+// UtilizationYear returns the memoized utilization series of (model, seed).
+func UtilizationYear(d jobs.DemandModel, seed uint64) []float64 {
+	v, _, _ := current().util.Get(utilKey{d, seed}, func() ([]float64, error) {
+		return d.UtilizationYear(seed), nil
+	})
+	return v
+}

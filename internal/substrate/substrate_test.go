@@ -1,0 +1,136 @@
+package substrate
+
+import (
+	"testing"
+
+	"thirstyflops/internal/energy"
+	"thirstyflops/internal/jobs"
+	"thirstyflops/internal/weather"
+	"thirstyflops/internal/wue"
+)
+
+// reset restores the default layer after a test that resizes it.
+func reset(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() { SetCapacity(DefaultCapacity) })
+	SetCapacity(DefaultCapacity)
+}
+
+func TestWetBulbYearMatchesDirect(t *testing.T) {
+	reset(t)
+	site := weather.OakRidge()
+	got := WetBulbYear(site, 42)
+	want := weather.WetBulbSeries(site.HourlyYear(42))
+	if len(got) != len(want) {
+		t.Fatalf("length %d vs %d", len(got), len(want))
+	}
+	for h := range got {
+		if got[h] != want[h] {
+			t.Fatalf("hour %d: %v != %v (must be bit-identical)", h, got[h], want[h])
+		}
+	}
+}
+
+func TestWUEYearMatchesDirect(t *testing.T) {
+	reset(t)
+	site, curve := weather.Bologna(), wue.DefaultCurve()
+	got := WUEYear(curve, site, 7)
+	want := curve.Series(weather.WetBulbSeries(site.HourlyYear(7)))
+	for h := range got {
+		if got[h] != want[h] {
+			t.Fatalf("hour %d: %v != %v", h, got[h], want[h])
+		}
+	}
+}
+
+func TestGridYearMatchesDirect(t *testing.T) {
+	reset(t)
+	region := energy.Italy()
+	got := GridYear(region, 42)
+	hours := region.HourlyYear(42)
+	if len(got.EWF) != len(hours) || len(got.Carbon) != len(hours) {
+		t.Fatal("length mismatch")
+	}
+	for h := range hours {
+		if got.EWF[h] != hours[h].EWF || got.Carbon[h] != hours[h].Carbon {
+			t.Fatalf("hour %d: signals differ", h)
+		}
+	}
+}
+
+func TestUtilizationYearMatchesDirect(t *testing.T) {
+	reset(t)
+	d := jobs.DefaultDemand()
+	got := UtilizationYear(d, 3)
+	want := d.UtilizationYear(3)
+	for h := range got {
+		if got[h] != want[h] {
+			t.Fatalf("hour %d: %v != %v", h, got[h], want[h])
+		}
+	}
+}
+
+func TestMemoization(t *testing.T) {
+	reset(t)
+	site := weather.Kobe()
+	before := Stats()
+	a := WetBulbYear(site, 1)
+	b := WetBulbYear(site, 1)
+	if &a[0] != &b[0] {
+		t.Error("repeated request did not share the cached slice")
+	}
+	after := Stats()
+	if hits := after.Hits - before.Hits; hits != 1 {
+		t.Errorf("hits = %d, want 1", hits)
+	}
+	// A different seed is a different year.
+	c := WetBulbYear(site, 2)
+	if &a[0] == &c[0] {
+		t.Error("different seed shared a cached year")
+	}
+}
+
+func TestDistinctRegionsWithSameNameDoNotCollide(t *testing.T) {
+	reset(t)
+	a := energy.Italy()
+	b := energy.Italy()
+	b.HydroSeasonality = 0 // same name, different physics
+	ga, gb := GridYear(a, 42), GridYear(b, 42)
+	same := true
+	for h := range ga.EWF {
+		if ga.EWF[h] != gb.EWF[h] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("regions differing only in parameters shared a cache entry")
+	}
+}
+
+func TestDisabledLayerRecomputes(t *testing.T) {
+	reset(t)
+	SetCapacity(0)
+	site := weather.Lemont()
+	a := WetBulbYear(site, 1)
+	b := WetBulbYear(site, 1)
+	if &a[0] == &b[0] {
+		t.Error("disabled layer still shared slices")
+	}
+	for h := range a {
+		if a[h] != b[h] {
+			t.Fatal("disabled layer changed values")
+		}
+	}
+}
+
+func TestWUEYearDependsOnCurve(t *testing.T) {
+	reset(t)
+	site := weather.OakRidge()
+	a := WUEYear(wue.DefaultCurve(), site, 42)
+	hot := wue.Curve{Floor: 0.1, Cutoff: 0, Coeff: 0.05, Cap: 20}
+	b := WUEYear(hot, site, 42)
+	if a[4000] == b[4000] {
+		t.Error("different curves returned the same WUE year")
+	}
+}

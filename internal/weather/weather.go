@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"thirstyflops/internal/fingerprint"
 	"thirstyflops/internal/stats"
 	"thirstyflops/internal/units"
 )
@@ -130,6 +131,21 @@ func (s Site) Validate() error {
 		return fmt.Errorf("weather: %s: negative noise std", s.Name)
 	}
 	return nil
+}
+
+// Fingerprint writes every field that shapes the generated climatology.
+func (s Site) Fingerprint(h *fingerprint.Hasher) {
+	h.String(s.Name)
+	h.String(s.Country)
+	h.Float(s.Lat)
+	h.Float(s.Lon)
+	h.Float(float64(s.MeanTemp))
+	h.Float(float64(s.SeasonalAmp))
+	h.Float(float64(s.DiurnalAmp))
+	h.Float(float64(s.MeanRH))
+	h.Float(s.SeasonalRHAmp)
+	h.Float(s.WarmestDay)
+	h.Float(s.NoiseStd)
 }
 
 // HourlyYear generates a deterministic 8760-hour weather series for the

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"thirstyflops/internal/fingerprint"
 	"thirstyflops/internal/stats"
 	"thirstyflops/internal/units"
 )
@@ -80,6 +81,18 @@ type PowerPlant struct {
 type Profile struct {
 	Direct units.WSI
 	Plants []PowerPlant
+}
+
+// Fingerprint writes the scarcity context: the direct factor and every
+// feeding plant in declaration order.
+func (p Profile) Fingerprint(h *fingerprint.Hasher) {
+	h.Float(float64(p.Direct))
+	h.Len(len(p.Plants))
+	for _, pl := range p.Plants {
+		h.String(pl.Name)
+		h.Float(float64(pl.WSI))
+		h.Float(pl.Share)
+	}
 }
 
 // Validate checks the profile: non-negative factors and plant shares that
