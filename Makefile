@@ -1,12 +1,16 @@
-# Convenience targets mirroring CI. The bench target runs the gated core
-# benchmark set with -benchmem and fails on large regressions against the
-# committed BENCH_PR2.json baseline (generous time ratio for machine
-# variance, tight allocation ratio because allocation counts are
-# deterministic).
+# Convenience targets mirroring CI. The bench targets run the gated
+# benchmark sets with -benchmem and fail on large regressions against the
+# committed baselines (generous time ratio for machine variance, tight
+# allocation ratio because allocation counts are near-deterministic):
+# bench-core gates the modeling hot paths against BENCH_PR2.json,
+# bench-daemon gates the thirstyflopsd HTTP serving path (concurrent
+# /assess throughput, live assess, NDJSON ingest) against BENCH_PR3.json.
 
 GATED_BENCHES = ^(BenchmarkEngineAssessCold|BenchmarkEngineAssessColdIsolated|BenchmarkEngineAssessCached|BenchmarkConfigFingerprint|BenchmarkAssessYear|BenchmarkFCFS|BenchmarkEASYBackfill|BenchmarkStartTimeRanking|BenchmarkStartTimeRankingFullYear|BenchmarkWUECurveSeries|BenchmarkWUECurveTable|BenchmarkWeatherYear|BenchmarkGridYear)$$
 
-.PHONY: build test race bench
+GATED_DAEMON_BENCHES = ^(BenchmarkDaemonAssess|BenchmarkDaemonAssessLive|BenchmarkDaemonIngest)$$
+
+.PHONY: build test race bench bench-core bench-daemon
 
 build:
 	go build ./...
@@ -17,6 +21,12 @@ test:
 race:
 	go test -race ./...
 
-bench:
+bench: bench-core bench-daemon
+
+bench-core:
 	go test -run '^$$' -bench '$(GATED_BENCHES)' -benchmem -benchtime=500ms -count=1 . \
 		| go run ./cmd/benchcheck -baseline BENCH_PR2.json
+
+bench-daemon:
+	go test -run '^$$' -bench '$(GATED_DAEMON_BENCHES)' -benchmem -benchtime=500ms -count=1 ./cmd/thirstyflopsd \
+		| go run ./cmd/benchcheck -baseline BENCH_PR3.json

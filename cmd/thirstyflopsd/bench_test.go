@@ -1,0 +1,106 @@
+package main
+
+// Load benchmarks of the serving path itself — the ROADMAP's
+// "thirstyflopsd load benchmark" extension. They exercise the daemon
+// through real HTTP round trips (httptest server, keep-alive client,
+// parallel requesters) so the measured cost includes routing, JSON
+// codecs, and the Engine behind them. The numbers are recorded in
+// BENCH_PR3.json and gated by `make bench` via cmd/benchcheck.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"thirstyflops"
+)
+
+// benchServer starts the daemon mux with a warm live stream, mirroring
+// main()'s wiring.
+func benchServer(b *testing.B) (*httptest.Server, *thirstyflops.Engine) {
+	b.Helper()
+	stream, err := thirstyflops.NewStream("", 0, 336)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := thirstyflops.NewEngine(thirstyflops.WithLiveStream(stream))
+	ts := httptest.NewServer(newMux(eng))
+	b.Cleanup(ts.Close)
+	return ts, eng
+}
+
+func do(b *testing.B, client *http.Client, method, url, body string) {
+	var r io.Reader
+	if body != "" {
+		r = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("%s %s: status %d", method, url, resp.StatusCode)
+	}
+}
+
+// BenchmarkDaemonAssess is the headline serving number: concurrent
+// cached /assess throughput over real HTTP.
+func BenchmarkDaemonAssess(b *testing.B) {
+	ts, _ := benchServer(b)
+	do(b, ts.Client(), http.MethodPost, ts.URL+"/assess", `{"system": "Frontier"}`) // warm the memo
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := ts.Client()
+		for pb.Next() {
+			do(b, client, http.MethodPost, ts.URL+"/assess", `{"system": "Frontier"}`)
+		}
+	})
+}
+
+// BenchmarkDaemonAssessLive measures the observed-demand path: live
+// splice served from the epoch-keyed cache.
+func BenchmarkDaemonAssessLive(b *testing.B) {
+	ts, eng := benchServer(b)
+	for h := 0; h < 24; h++ {
+		if _, err := eng.Ingest(thirstyflops.Sample{Hour: h, Power: 2.1e7}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	url := ts.URL + "/assess?system=Frontier&source=live"
+	do(b, ts.Client(), http.MethodGet, url, "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := ts.Client()
+		for pb.Next() {
+			do(b, client, http.MethodGet, url, "")
+		}
+	})
+}
+
+// BenchmarkDaemonIngest measures NDJSON batch ingestion: one POST of 24
+// hourly samples per op, epoch advancing every time.
+func BenchmarkDaemonIngest(b *testing.B) {
+	ts, _ := benchServer(b)
+	var batch strings.Builder
+	for h := 0; h < 24; h++ {
+		fmt.Fprintf(&batch, "{\"hour\":%d,\"power_w\":2.1e7}\n", h)
+	}
+	body := batch.String()
+	client := ts.Client()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		do(b, client, http.MethodPost, ts.URL+"/ingest", body)
+	}
+}

@@ -6,13 +6,20 @@
 // Endpoints:
 //
 //	POST /assess    AssessRequest  -> AssessResult
+//	GET  /assess                   -> AssessResult (system/source/seed/year query params)
 //	POST /sweep     SweepRequest   -> SweepResult
 //	GET  /water500                 -> Water500Result (seed/year query params)
+//	POST /ingest    Sample | [Sample] | NDJSON -> ingest summary (live telemetry)
 //	GET  /healthz                  -> liveness plus cache statistics
+//	GET  /livez                    -> live-stream coverage and ingestion lag
+//
+// Live path: POST observed power samples to /ingest, then GET
+// /assess?system=Frontier&source=live to assess against the observed
+// window spliced over the simulated year.
 //
 // Usage:
 //
-//	thirstyflopsd -addr :8080 -workers 8 -cache 256
+//	thirstyflopsd -addr :8080 -workers 8 -cache 256 -live-window 336
 package main
 
 import (
@@ -24,9 +31,11 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -35,16 +44,27 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "assessment fan-out width (0 = GOMAXPROCS)")
-		cache   = flag.Int("cache", 256, "max memoized assessments (0 disables)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "assessment fan-out width (0 = GOMAXPROCS)")
+		cache      = flag.Int("cache", 256, "max memoized assessments (0 disables)")
+		liveWindow = flag.Int("live-window", 336, "hours of live telemetry retained for source=live (0 disables /ingest)")
+		liveSystem = flag.String("live-system", "", "system the live stream observes (empty accepts any)")
+		liveYear   = flag.Int("live-year", 0, "assessment year the live stream is pinned to (0 accepts any)")
 	)
 	flag.Parse()
 
-	eng := thirstyflops.NewEngine(
+	opts := []thirstyflops.Option{
 		thirstyflops.WithWorkers(*workers),
 		thirstyflops.WithCache(*cache),
-	)
+	}
+	if *liveWindow > 0 {
+		stream, err := thirstyflops.NewStream(*liveSystem, *liveYear, *liveWindow)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, thirstyflops.WithLiveStream(stream))
+	}
+	eng := thirstyflops.NewEngine(opts...)
 	srv := &http.Server{
 		Addr:         *addr,
 		Handler:      newMux(eng),
@@ -86,7 +106,9 @@ func newMux(eng *thirstyflops.Engine) *http.ServeMux {
 	mux.HandleFunc("/assess", s.handleAssess)
 	mux.HandleFunc("/sweep", s.handleSweep)
 	mux.HandleFunc("/water500", s.handleWater500)
+	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/livez", s.handleLivez)
 	return mux
 }
 
@@ -122,12 +144,30 @@ func decodeBody(r *http.Request, v any) error {
 }
 
 func (s *server) handleAssess(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("POST an AssessRequest"))
+	var req thirstyflops.AssessRequest
+	switch r.Method {
+	case http.MethodPost:
+		if err := decodeBody(r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	case http.MethodGet:
+		// GET builds the request from query parameters, so live checks
+		// are one curl: /assess?system=Frontier&source=live.
+	default:
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST an AssessRequest or GET with query parameters"))
 		return
 	}
-	var req thirstyflops.AssessRequest
-	if err := decodeBody(r, &req); err != nil {
+	// Query parameters override the body for both methods.
+	q := r.URL.Query()
+	if v := q.Get("system"); v != "" {
+		req.System = v
+	}
+	if v := q.Get("source"); v != "" {
+		req.Source = v
+	}
+	var err error
+	if req.Seed, req.Year, err = seedYearOverrides(q, req.Seed, req.Year); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -137,6 +177,93 @@ func (s *server) handleAssess(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// seedYearOverrides applies the seed/year query parameters shared by the
+// /assess and /water500 handlers on top of any body-supplied values.
+func seedYearOverrides(q url.Values, seed *uint64, year *int) (*uint64, *int, error) {
+	if v := q.Get("seed"); v != "" {
+		s, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad seed %q", v)
+		}
+		seed = &s
+	}
+	if v := q.Get("year"); v != "" {
+		y, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad year %q", v)
+		}
+		year = &y
+	}
+	return seed, year, nil
+}
+
+// ingestBody is the POST /ingest response: per-batch accounting plus the
+// stream epoch after the batch, which a client can compare against the
+// `live.epoch` of subsequent assessments.
+type ingestBody struct {
+	Accepted int      `json:"accepted"`
+	Rejected int      `json:"rejected"`
+	Epoch    uint64   `json:"epoch"`
+	Errors   []string `json:"errors,omitempty"`
+}
+
+// maxIngestErrors bounds the per-sample error list echoed to the client;
+// maxIngestBytes bounds the request body (generous for a full year of
+// NDJSON samples).
+const (
+	maxIngestErrors = 8
+	maxIngestBytes  = 16 << 20
+)
+
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST samples as JSON, a JSON array, or NDJSON"))
+		return
+	}
+	stream := s.engine.LiveStream()
+	if stream == nil {
+		writeError(w, http.StatusServiceUnavailable, errors.New("live ingestion disabled (start with -live-window > 0)"))
+		return
+	}
+	// MaxBytesReader bounds the body in bytes — the decoder's sample
+	// count limit alone would still buffer one arbitrarily large token.
+	samples, err := thirstyflops.DecodeSamples(http.MaxBytesReader(w, r.Body, maxIngestBytes), 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	accepted, err := s.engine.Ingest(samples...)
+	body := ingestBody{
+		Accepted: accepted,
+		Rejected: len(samples) - accepted,
+		Epoch:    stream.Epoch(),
+	}
+	if err != nil {
+		for _, line := range strings.Split(err.Error(), "\n") {
+			if len(body.Errors) == maxIngestErrors {
+				body.Errors = append(body.Errors, "...")
+				break
+			}
+			body.Errors = append(body.Errors, line)
+		}
+	}
+	status := http.StatusOK
+	if accepted == 0 {
+		// Nothing landed: the whole batch was unusable.
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, body)
+}
+
+func (s *server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	stream := s.engine.LiveStream()
+	if stream == nil {
+		writeError(w, http.StatusServiceUnavailable, errors.New("no live stream attached"))
+		return
+	}
+	writeJSON(w, http.StatusOK, stream.Status())
 }
 
 func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -170,21 +297,10 @@ func (s *server) handleWater500(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	// Query parameters override the body for both methods.
-	if v := r.URL.Query().Get("seed"); v != "" {
-		seed, err := strconv.ParseUint(v, 10, 64)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad seed %q", v))
-			return
-		}
-		req.Seed = &seed
-	}
-	if v := r.URL.Query().Get("year"); v != "" {
-		year, err := strconv.Atoi(v)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad year %q", v))
-			return
-		}
-		req.Year = &year
+	var err error
+	if req.Seed, req.Year, err = seedYearOverrides(r.URL.Query(), req.Seed, req.Year); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
 	}
 	res, err := s.engine.Water500(r.Context(), req)
 	if err != nil {

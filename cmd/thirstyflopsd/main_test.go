@@ -3,17 +3,27 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"thirstyflops"
 )
 
+// newTestServer serves the full daemon mux, live stream attached, the
+// way main() wires it.
 func newTestServer(t *testing.T) (*httptest.Server, *thirstyflops.Engine) {
 	t.Helper()
-	eng := thirstyflops.NewEngine()
+	stream, err := thirstyflops.NewStream("", 0, 336)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := thirstyflops.NewEngine(thirstyflops.WithLiveStream(stream))
 	ts := httptest.NewServer(newMux(eng))
 	t.Cleanup(ts.Close)
 	return ts, eng
@@ -114,13 +124,66 @@ func TestAssessErrors(t *testing.T) {
 			t.Errorf("body %q: error body missing", tc.body)
 		}
 	}
+	// GET is a supported method now; without a system it is the same
+	// invalid request shape as an empty POST body.
 	resp, err := http.Get(ts.URL + "/assess")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("GET /assess status = %d, want 405", resp.StatusCode)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("GET /assess status = %d, want 400", resp.StatusCode)
+	}
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/assess", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer del.Body.Close()
+	if del.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE /assess status = %d, want 405", del.StatusCode)
+	}
+}
+
+func TestAssessGetQueryParams(t *testing.T) {
+	ts, eng := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/assess?system=Frontier&seed=7&year=2024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var got thirstyflops.AssessResult
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	seed, year := uint64(7), 2024
+	want, err := eng.Assess(context.Background(),
+		thirstyflops.AssessRequest{System: "Frontier", Seed: &seed, Year: &year})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != 7 || got.Year != 2024 || got.OperationalL != want.OperationalL {
+		t.Errorf("query-built request wrong: %+v", got)
+	}
+	if got.Source != thirstyflops.SourceSimulated {
+		t.Errorf("source = %q, want simulated", got.Source)
+	}
+
+	for _, bad := range []string{"?system=Frontier&seed=x", "?system=Frontier&year=x", "?system=Frontier&source=psychic"} {
+		resp, err := http.Get(ts.URL + "/assess" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", bad, resp.StatusCode)
+		}
 	}
 }
 
@@ -222,5 +285,243 @@ func TestHealthz(t *testing.T) {
 	}
 	if h.Cache.Misses != 1 {
 		t.Errorf("cache stats not surfaced: %+v", h.Cache)
+	}
+}
+
+func TestIngestAndLiveAssessEndToEnd(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	// /livez starts empty.
+	resp, err := http.Get(ts.URL + "/livez")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st thirstyflops.StreamStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || st.Epoch != 0 || st.HoursObserved != 0 {
+		t.Fatalf("fresh /livez wrong: status %d, %+v", resp.StatusCode, st)
+	}
+
+	// Ingest an NDJSON batch: 24 observed hours at 5 MW.
+	var b strings.Builder
+	for h := 0; h < 24; h++ {
+		fmt.Fprintf(&b, "{\"hour\":%d,\"power_w\":5e6}\n", h)
+	}
+	resp = postJSON(t, ts.URL+"/ingest", b.String())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status = %d", resp.StatusCode)
+	}
+	var ing ingestBody
+	if err := json.NewDecoder(resp.Body).Decode(&ing); err != nil {
+		t.Fatal(err)
+	}
+	if ing.Accepted != 24 || ing.Rejected != 0 || ing.Epoch != 24 {
+		t.Fatalf("ingest summary wrong: %+v", ing)
+	}
+
+	// The very next live assessment reflects the batch.
+	resp2, err := http.Get(ts.URL + "/assess?system=Frontier&source=live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("live assess status = %d", resp2.StatusCode)
+	}
+	var live thirstyflops.AssessResult
+	if err := json.NewDecoder(resp2.Body).Decode(&live); err != nil {
+		t.Fatal(err)
+	}
+	if live.Source != thirstyflops.SourceLive || live.Live == nil {
+		t.Fatalf("live provenance missing: %+v", live)
+	}
+	if live.Live.Epoch != 24 || live.Live.HoursObserved != 24 {
+		t.Errorf("live window wrong: %+v", live.Live)
+	}
+
+	// /livez reflects coverage and lag.
+	resp3, err := http.Get(ts.URL + "/livez")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if err := json.NewDecoder(resp3.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Accepted != 24 || st.LatestHour != 23 || st.LagHours != 0 {
+		t.Errorf("post-ingest /livez wrong: %+v", st)
+	}
+
+	// A single JSON object (the curl shape) also ingests, and the
+	// epoch advance invalidates the cached live assessment.
+	resp = postJSON(t, ts.URL+"/ingest", `{"hour": 24, "power_w": 4.2e6}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single-sample ingest status = %d", resp.StatusCode)
+	}
+	resp4, err := http.Get(ts.URL + "/assess?system=Frontier&source=live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp4.Body.Close()
+	var after thirstyflops.AssessResult
+	if err := json.NewDecoder(resp4.Body).Decode(&after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Cached {
+		t.Error("post-ingest live assessment served from stale cache")
+	}
+	if after.Live.Epoch != 25 || after.Live.HoursObserved != 25 {
+		t.Errorf("updated window wrong: %+v", after.Live)
+	}
+}
+
+func TestIngestErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, tc := range []struct {
+		name   string
+		body   string
+		status int
+	}{
+		{"malformed json", `{"hour":`, http.StatusBadRequest},
+		{"unknown field", `{"hour":0,"power_w":1,"volts":9}`, http.StatusBadRequest},
+		{"empty body", ``, http.StatusBadRequest},
+		{"bare number", `17`, http.StatusBadRequest},
+		{"all samples unphysical", `{"hour":0,"power_w":-5}`, http.StatusUnprocessableEntity},
+		{"hour outside year", `{"hour":9999,"power_w":1}`, http.StatusUnprocessableEntity},
+	} {
+		resp := postJSON(t, ts.URL+"/ingest", tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+	}
+
+	// Partial rejection still lands the good samples.
+	resp := postJSON(t, ts.URL+"/ingest", "{\"hour\":0,\"power_w\":1e6}\n{\"hour\":1,\"power_w\":-1}\n")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partial batch status = %d", resp.StatusCode)
+	}
+	var ing ingestBody
+	if err := json.NewDecoder(resp.Body).Decode(&ing); err != nil {
+		t.Fatal(err)
+	}
+	if ing.Accepted != 1 || ing.Rejected != 1 || len(ing.Errors) == 0 {
+		t.Errorf("partial summary wrong: %+v", ing)
+	}
+
+	// GET is not an ingest method.
+	getResp, err := http.Get(ts.URL + "/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /ingest status = %d, want 405", getResp.StatusCode)
+	}
+}
+
+func TestLiveRoutesWithoutStream(t *testing.T) {
+	eng := thirstyflops.NewEngine() // no WithLiveStream
+	ts := httptest.NewServer(newMux(eng))
+	t.Cleanup(ts.Close)
+
+	resp := postJSON(t, ts.URL+"/ingest", `{"hour":0,"power_w":1}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/ingest without stream status = %d, want 503", resp.StatusCode)
+	}
+	lz, err := http.Get(ts.URL + "/livez")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lz.Body.Close()
+	if lz.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/livez without stream status = %d, want 503", lz.StatusCode)
+	}
+	av, err := http.Get(ts.URL + "/assess?system=Frontier&source=live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer av.Body.Close()
+	if av.StatusCode != http.StatusBadRequest {
+		t.Errorf("live assess without stream status = %d, want 400", av.StatusCode)
+	}
+}
+
+// TestGracefulShutdownDrainsInflight proves Shutdown lets an in-flight
+// request finish: an /ingest POST whose body arrives only after Shutdown
+// is called must still complete with 200, while fresh connections are
+// refused.
+func TestGracefulShutdownDrainsInflight(t *testing.T) {
+	stream, err := thirstyflops.NewStream("", 0, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := thirstyflops.NewEngine(thirstyflops.WithLiveStream(stream))
+	srv := &http.Server{Handler: newMux(eng)}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	// Start a request whose body we hold open across Shutdown.
+	pr, pw := io.Pipe()
+	type result struct {
+		status int
+		err    error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		req, err := http.NewRequest(http.MethodPost, base+"/ingest", pr)
+		if err != nil {
+			inflight <- result{0, err}
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			inflight <- result{0, err}
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		inflight <- result{resp.StatusCode, nil}
+	}()
+	// Ensure the request headers reached the server before shutting down.
+	if _, err := pw.Write([]byte(`{"hour":0,`)); err != nil {
+		t.Fatal(err)
+	}
+
+	shutdownDone := make(chan error, 1)
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	go func() { shutdownDone <- srv.Shutdown(shutCtx) }()
+
+	// Give Shutdown a moment to close the listener, then finish the body.
+	time.Sleep(50 * time.Millisecond)
+	if _, err := pw.Write([]byte(`"power_w":1e6}`)); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+
+	got := <-inflight
+	if got.err != nil {
+		t.Fatalf("in-flight request dropped during shutdown: %v", got.err)
+	}
+	if got.status != http.StatusOK {
+		t.Errorf("in-flight status = %d, want 200", got.status)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Errorf("shutdown did not drain cleanly: %v", err)
+	}
+	if stream.Epoch() != 1 {
+		t.Errorf("drained ingest lost: epoch = %d, want 1", stream.Epoch())
+	}
+
+	// The listener is closed: new connections are refused.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("connection accepted after shutdown")
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"thirstyflops/internal/core"
 	"thirstyflops/internal/embodied"
 	"thirstyflops/internal/fingerprint"
+	"thirstyflops/internal/telemetry"
 )
 
 // Engine is a reusable, concurrency-safe assessment session. The yearly
@@ -31,6 +32,7 @@ type Engine struct {
 	maxEntries int
 	shardHint  int
 	shards     []*cache.Cache[fingerprint.Key, core.Annual]
+	stream     *telemetry.Stream
 }
 
 // Option configures an Engine.
@@ -52,6 +54,16 @@ func WithWorkers(n int) Option {
 			e.workers = n
 		}
 	}
+}
+
+// WithLiveStream attaches a telemetry stream: Engine.Ingest feeds it and
+// requests with Source "live" answer against a simulated year spliced
+// with the stream's observed demand. Live results are cached under a key
+// that chains the configuration fingerprint with the stream epoch, so a
+// cached assessment can never survive past the samples it was computed
+// from.
+func WithLiveStream(s *telemetry.Stream) Option {
+	return func(e *Engine) { e.stream = s }
 }
 
 // defaultShards is the shard-count ceiling: enough to relieve contention
@@ -148,6 +160,97 @@ func (e *Engine) annualFor(cfg Config) (core.Annual, bool, error) {
 	return shard.Get(key, cfg.Assess)
 }
 
+// --- Live telemetry ---
+
+// LiveStream returns the attached telemetry stream, or nil when the
+// Engine runs simulation-only.
+func (e *Engine) LiveStream() *telemetry.Stream { return e.stream }
+
+// Ingest feeds observed power samples into the attached live stream,
+// returning how many were accepted. Rejected samples (non-finite or
+// negative power, hours behind the retained window, foreign systems) are
+// reported in the joined error while the rest of the batch proceeds.
+func (e *Engine) Ingest(samples ...telemetry.Sample) (accepted int, err error) {
+	if e.stream == nil {
+		return 0, fmt.Errorf("thirstyflops: engine has no live stream (construct with WithLiveStream)")
+	}
+	errs := make([]error, 0, 4)
+	for i, s := range samples {
+		if ierr := e.stream.Ingest(s); ierr != nil {
+			errs = append(errs, fmt.Errorf("sample %d: %w", i, ierr))
+			continue
+		}
+		accepted++
+	}
+	return accepted, errors.Join(errs...)
+}
+
+// LiveInfo is the provenance block attached to live-sourced results: it
+// records exactly which observed state of the stream the assessment was
+// spliced from.
+type LiveInfo struct {
+	Epoch         uint64 `json:"epoch"`
+	WindowLo      int    `json:"window_lo_hour"`
+	WindowHi      int    `json:"window_hi_hour"`
+	HoursObserved int    `json:"hours_observed"`
+	Samples       uint64 `json:"samples_accepted"`
+}
+
+// liveKey chains the configuration fingerprint with the stream identity
+// and the snapshot epoch. The epoch advances on every accepted sample,
+// so a pre-ingest cached result is unreachable after new telemetry
+// lands; the "live" tag keeps the key disjoint from the pure-simulation
+// keyspace even at epoch 0.
+func liveKey(base fingerprint.Key, s *telemetry.Stream, epoch uint64) fingerprint.Key {
+	h := fingerprint.New()
+	h.String("live")
+	h.Bytes(base[:])
+	s.Fingerprint(h)
+	h.Uint64(epoch)
+	key := h.Sum()
+	h.Release()
+	return key
+}
+
+// liveAnnualFor assesses cfg against observed demand: the memoized
+// simulated year with the live window's averaged energy spliced over it.
+// The splice is computed from one atomic stream snapshot and memoized
+// under the epoch-chained key.
+func (e *Engine) liveAnnualFor(cfg Config) (core.Annual, *LiveInfo, bool, error) {
+	if e.stream == nil {
+		return core.Annual{}, nil, false, fmt.Errorf("thirstyflops: live source requested but the engine has no stream (construct with WithLiveStream)")
+	}
+	if sys := e.stream.System(); sys != "" && sys != cfg.System.Name {
+		return core.Annual{}, nil, false, fmt.Errorf("thirstyflops: live stream observes %q, request assesses %q", sys, cfg.System.Name)
+	}
+	if yr := e.stream.Year(); yr != 0 && yr != cfg.Year {
+		return core.Annual{}, nil, false, fmt.Errorf("thirstyflops: live stream observes year %d, request assesses %d", yr, cfg.Year)
+	}
+	w := e.stream.Window()
+	info := &LiveInfo{
+		Epoch:         w.Epoch,
+		WindowLo:      w.Lo,
+		WindowHi:      w.Hi,
+		HoursObserved: w.HoursObserved,
+		Samples:       w.Samples,
+	}
+	compute := func() (core.Annual, error) {
+		base, _, err := e.annualFor(cfg)
+		if err != nil {
+			return core.Annual{}, err
+		}
+		return core.AnnualFrom(base.System, w.SpliceInto(base.Hourly)), nil
+	}
+	if e.maxEntries <= 0 {
+		a, err := compute()
+		return a, info, false, err
+	}
+	key := liveKey(cfg.Fingerprint(), e.stream, w.Epoch)
+	shard := e.shards[key.Shard(len(e.shards))]
+	a, cached, err := shard.Get(key, compute)
+	return a, info, cached, err
+}
+
 // --- Request/result model ---
 
 // AssessRequest asks for one system assessment. Exactly one of System (a
@@ -159,6 +262,11 @@ type AssessRequest struct {
 
 	Seed *uint64 `json:"seed,omitempty"`
 	Year *int    `json:"year,omitempty"`
+
+	// Source selects the demand signal: "" or "simulated" answers from
+	// the modeled year, "live" splices the attached telemetry stream's
+	// observed window over it (SourceSimulated/SourceLive).
+	Source string `json:"source,omitempty"`
 
 	// Years is the lifetime over which the embodied footprint is
 	// amortized; 0 means the 6-year default.
@@ -234,10 +342,22 @@ type AssessResult struct {
 	Withdrawal *Withdrawal      `json:"withdrawal,omitempty"`
 	Series     *Series          `json:"series,omitempty"`
 
+	// Source is the demand signal the result was computed against
+	// ("simulated" or "live"); Live carries the observed-window
+	// provenance when the source is live.
+	Source string    `json:"source"`
+	Live   *LiveInfo `json:"live,omitempty"`
+
 	// Cached reports whether the hourly simulation was served from the
 	// Engine's memo rather than recomputed.
 	Cached bool `json:"cached"`
 }
+
+// Demand-signal sources for AssessRequest.Source.
+const (
+	SourceSimulated = "simulated"
+	SourceLive      = "live"
+)
 
 // Assess evaluates one request. The deterministic simulation is memoized
 // per configuration; the derived sections (lifetime, scenarios,
@@ -258,7 +378,20 @@ func (e *Engine) Assess(ctx context.Context, req AssessRequest) (*AssessResult, 
 		return nil, fmt.Errorf("thirstyflops: negative lifetime %v", years)
 	}
 
-	a, cached, err := e.annualFor(cfg)
+	var (
+		a      core.Annual
+		cached bool
+		live   *LiveInfo
+	)
+	switch req.Source {
+	case "", SourceSimulated:
+		a, cached, err = e.annualFor(cfg)
+	case SourceLive:
+		a, live, cached, err = e.liveAnnualFor(cfg)
+	default:
+		return nil, fmt.Errorf("thirstyflops: unknown source %q (want %q or %q)",
+			req.Source, SourceSimulated, SourceLive)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -294,7 +427,12 @@ func (e *Engine) Assess(ctx context.Context, req AssessRequest) (*AssessResult, 
 		LifetimeTotalL: float64(f.Total()),
 		EmbodiedShares: map[string]float64{},
 
+		Source: SourceSimulated,
+		Live:   live,
 		Cached: cached,
+	}
+	if req.Source == SourceLive {
+		res.Source = SourceLive
 	}
 	for _, c := range embodied.Components() {
 		res.EmbodiedShares[c.String()] = bd.Share(c)

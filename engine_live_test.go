@@ -1,0 +1,263 @@
+package thirstyflops
+
+import (
+	"context"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func newLiveEngine(t *testing.T, system string, window int) (*Engine, *Stream) {
+	t.Helper()
+	stream, err := NewStream(system, 0, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(WithLiveStream(stream)), stream
+}
+
+func TestEngineLiveAssessEmptyWindowMatchesSimulation(t *testing.T) {
+	eng, _ := newLiveEngine(t, "", 168)
+	ctx := context.Background()
+	sim, err := eng.Assess(ctx, AssessRequest{System: "Frontier"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := eng.Assess(ctx, AssessRequest{System: "Frontier", Source: SourceLive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Source != SourceLive || sim.Source != SourceSimulated {
+		t.Errorf("sources wrong: sim %q live %q", sim.Source, live.Source)
+	}
+	if live.Live == nil || live.Live.Epoch != 0 || live.Live.HoursObserved != 0 {
+		t.Errorf("empty-window provenance wrong: %+v", live.Live)
+	}
+	// With nothing observed, the live splice is the simulation.
+	if live.OperationalL != sim.OperationalL || live.EnergyKWh != sim.EnergyKWh {
+		t.Error("empty live window changed the assessment")
+	}
+}
+
+func TestEngineLiveAssessReflectsIngestedSamples(t *testing.T) {
+	eng, _ := newLiveEngine(t, "", 168)
+	ctx := context.Background()
+	req := AssessRequest{System: "Frontier", Source: SourceLive, IncludeSeries: true}
+
+	before, err := eng.Assess(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Observe hours 0..23 at a fixed 5 MW — far from the simulated
+	// Frontier demand, so the splice is visible in totals and series.
+	samples := make([]Sample, 24)
+	for h := range samples {
+		samples[h] = Sample{Hour: h, Power: 5e6}
+	}
+	accepted, err := eng.Ingest(samples...)
+	if err != nil || accepted != 24 {
+		t.Fatalf("ingest: accepted %d, err %v", accepted, err)
+	}
+
+	after, err := eng.Assess(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Live == nil || after.Live.Epoch != 24 || after.Live.HoursObserved != 24 ||
+		after.Live.WindowLo != 0 || after.Live.WindowHi != 24 {
+		t.Fatalf("provenance wrong: %+v", after.Live)
+	}
+	if after.Cached {
+		t.Error("post-ingest assessment served from a stale cache entry")
+	}
+	for h := 0; h < 24; h++ {
+		if got := float64(after.Series.Energy[h]); math.Abs(got-5000) > 1e-9 {
+			t.Fatalf("hour %d energy = %v kWh, want 5000 (observed 5 MW)", h, got)
+		}
+	}
+	// Hours beyond the window keep the simulated demand.
+	if after.Series.Energy[24] != before.Series.Energy[24] {
+		t.Error("unobserved hour diverged from simulation")
+	}
+	if after.OperationalL == before.OperationalL {
+		t.Error("observed demand did not move the water footprint")
+	}
+	// The intensity channels are modeled either way.
+	if after.Series.WUE[0] != before.Series.WUE[0] || after.Series.EWF[0] != before.Series.EWF[0] {
+		t.Error("live splice touched the intensity channels")
+	}
+}
+
+// TestEngineLiveEpochKeysCache is the staleness guarantee: assessments
+// are cached per stream epoch, a repeat at the same epoch hits, and any
+// accepted sample advances the epoch so the pre-ingest entry can never
+// be served again.
+func TestEngineLiveEpochKeysCache(t *testing.T) {
+	eng, _ := newLiveEngine(t, "", 168)
+	ctx := context.Background()
+	req := AssessRequest{System: "Frontier", Source: SourceLive}
+
+	first, err := eng.Assess(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Error("first live assessment claimed a cache hit")
+	}
+	repeat, err := eng.Assess(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repeat.Cached {
+		t.Error("same-epoch repeat missed the cache")
+	}
+
+	for round := 1; round <= 3; round++ {
+		if _, err := eng.Ingest(Sample{Hour: round, Power: 1e6}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Assess(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cached {
+			t.Fatalf("round %d: cache served a pre-ingest result after the epoch advanced", round)
+		}
+		if res.Live.Epoch != uint64(round) {
+			t.Fatalf("round %d: epoch = %d", round, res.Live.Epoch)
+		}
+		again, err := eng.Assess(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !again.Cached || again.Live.Epoch != uint64(round) {
+			t.Fatalf("round %d: same-epoch repeat missed (cached=%v epoch=%d)", round, again.Cached, again.Live.Epoch)
+		}
+	}
+
+	// The live keyspace must not pollute the simulated one.
+	sim, err := eng.Assess(ctx, AssessRequest{System: "Frontier"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Live != nil || sim.Source != SourceSimulated {
+		t.Errorf("simulated result carries live provenance: %+v", sim.Live)
+	}
+}
+
+func TestEngineLiveUncachedEngine(t *testing.T) {
+	stream, err := NewStream("", 0, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(WithCache(0), WithLiveStream(stream))
+	if _, err := eng.Ingest(Sample{Hour: 0, Power: 2e6}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Assess(context.Background(), AssessRequest{System: "Frontier", Source: SourceLive, IncludeSeries: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Error("cache-disabled engine reported a hit")
+	}
+	if got := float64(res.Series.Energy[0]); math.Abs(got-2000) > 1e-9 {
+		t.Errorf("hour 0 energy = %v kWh, want 2000", got)
+	}
+}
+
+func TestEngineLiveErrors(t *testing.T) {
+	ctx := context.Background()
+
+	// No stream attached.
+	plain := NewEngine()
+	if _, err := plain.Assess(ctx, AssessRequest{System: "Frontier", Source: SourceLive}); err == nil {
+		t.Error("live assess without a stream succeeded")
+	}
+	if _, err := plain.Ingest(Sample{Hour: 0, Power: 1}); err == nil {
+		t.Error("ingest without a stream succeeded")
+	}
+
+	// Unknown source label.
+	eng, _ := newLiveEngine(t, "", 24)
+	if _, err := eng.Assess(ctx, AssessRequest{System: "Frontier", Source: "psychic"}); err == nil ||
+		!strings.Contains(err.Error(), "psychic") {
+		t.Errorf("unknown source not rejected: %v", err)
+	}
+
+	// System-pinned stream refuses foreign assessments.
+	pinned, _ := newLiveEngine(t, "Frontier", 24)
+	if _, err := pinned.Assess(ctx, AssessRequest{System: "Marconi", Source: SourceLive}); err == nil ||
+		!strings.Contains(err.Error(), "Frontier") {
+		t.Errorf("system mismatch not rejected: %v", err)
+	}
+	if _, err := pinned.Assess(ctx, AssessRequest{System: "Frontier", Source: SourceLive}); err != nil {
+		t.Errorf("matching system rejected: %v", err)
+	}
+
+	// Year-pinned stream refuses other years.
+	stream, err := NewStream("", 2023, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yearEng := NewEngine(WithLiveStream(stream))
+	year := 2024
+	if _, err := yearEng.Assess(ctx, AssessRequest{System: "Frontier", Year: &year, Source: SourceLive}); err == nil {
+		t.Error("year mismatch not rejected")
+	}
+
+	// Partial batch: rejects reported, the rest lands.
+	accepted, err := eng.Ingest(
+		Sample{Hour: 0, Power: 1e6},
+		Sample{Hour: 1, Power: -1},
+		Sample{Hour: 2, Power: 1e6},
+	)
+	if accepted != 2 || err == nil {
+		t.Errorf("partial batch: accepted %d err %v, want 2 with error", accepted, err)
+	}
+}
+
+// TestEngineLiveConcurrentIngestAndAssess races feeds against live
+// assessments; under -race it proves the snapshot/splice path never
+// observes a torn window.
+func TestEngineLiveConcurrentIngestAndAssess(t *testing.T) {
+	eng, _ := newLiveEngine(t, "", 64)
+	ctx := context.Background()
+	req := AssessRequest{System: "Frontier", Source: SourceLive}
+	if _, err := eng.Assess(ctx, req); err != nil {
+		t.Fatal(err) // warm the simulated base outside the race
+	}
+	var wg sync.WaitGroup
+	for f := 0; f < 4; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := eng.Ingest(Sample{Hour: i % 64, Power: 1e6}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(f)
+	}
+	for a := 0; a < 4; a++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				res, err := eng.Assess(ctx, req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Live == nil || res.Source != SourceLive {
+					t.Error("live provenance missing under concurrency")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

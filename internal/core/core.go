@@ -148,15 +148,23 @@ func (c Config) Assess() (Annual, error) {
 	copy(s.WUE, wueYr)
 	copy(s.EWF, grid.EWF)
 	copy(s.Carbon, grid.Carbon)
+	return AnnualFrom(c.System.Name, s), nil
+}
+
+// AnnualFrom wraps an hourly timeline with its aggregate totals — the
+// single constructor for an assessed year, whether the timeline came
+// from simulation (Config.Assess) or from a simulated year spliced with
+// live telemetry (the Engine's observed-demand path).
+func AnnualFrom(system string, s series.Series) Annual {
 	t := s.Totals()
 	return Annual{
-		System:   c.System.Name,
+		System:   system,
 		Hourly:   s,
 		Energy:   t.Energy,
 		Direct:   t.Direct,
 		Indirect: t.Indirect,
 		Carbon:   t.Carbon,
-	}, nil
+	}
 }
 
 // Fingerprint derives the configuration's cache key: a canonical binary

@@ -76,6 +76,14 @@ func (h *Hasher) Bool(v bool) {
 	}
 }
 
+// Bytes appends a length-prefixed byte string — used to fold an already
+// derived Key into a composite fingerprint (the Engine's live-window
+// keys chain the configuration key with the stream identity and epoch).
+func (h *Hasher) Bytes(b []byte) {
+	h.Int(len(b))
+	h.buf = append(h.buf, b...)
+}
+
 // String appends a length-prefixed string, so concatenation ambiguity
 // ("ab"+"c" vs "a"+"bc") cannot produce colliding encodings.
 func (h *Hasher) String(s string) {

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// DecodeSamples parses a live-ingest request body into samples. Three
+// body shapes are accepted, so both scripted curl calls and streaming
+// NDJSON feeds work unchanged:
+//
+//   - a single JSON object:        {"hour": 17, "power_w": 21500000}
+//   - a JSON array of objects:     [{...}, {...}]
+//   - NDJSON / concatenated JSON:  one object per line (or merely
+//     whitespace-separated; pretty-printed objects also parse)
+//
+// Decoding is strict — unknown fields and non-object values are errors —
+// but deliberately syntactic: samples are returned undecoded-only, and
+// Stream.Ingest applies the physical validation (finite, non-negative
+// power inside the year) so rejection counts are observable per sample.
+// maxSamples bounds the decoded batch; 0 means the DefaultMaxBatch
+// limit. Callers feeding untrusted bodies should also bound the byte
+// stream itself (the daemon wraps http.MaxBytesReader), since a single
+// huge token is buffered before the sample count ever applies.
+func DecodeSamples(r io.Reader, maxSamples int) ([]Sample, error) {
+	if maxSamples <= 0 {
+		maxSamples = DefaultMaxBatch
+	}
+	br := bufio.NewReader(r)
+	first, err := firstNonSpace(br)
+	if errors.Is(err, io.EOF) {
+		return nil, fmt.Errorf("telemetry: empty ingest body")
+	}
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: bad ingest body: %w", err)
+	}
+	dec := json.NewDecoder(br)
+	dec.DisallowUnknownFields()
+
+	var out []Sample
+	if first == '[' {
+		if _, err := dec.Token(); err != nil {
+			return nil, fmt.Errorf("telemetry: bad ingest body: %w", err)
+		}
+		for dec.More() {
+			var s Sample
+			if err := dec.Decode(&s); err != nil {
+				return nil, fmt.Errorf("telemetry: sample %d: %w", len(out), err)
+			}
+			if out = append(out, s); len(out) > maxSamples {
+				return nil, fmt.Errorf("telemetry: ingest batch exceeds %d samples", maxSamples)
+			}
+		}
+		if _, err := dec.Token(); err != nil {
+			return nil, fmt.Errorf("telemetry: bad ingest body: %w", err)
+		}
+		if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("telemetry: trailing content after ingest array")
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("telemetry: ingest array holds no samples")
+		}
+		return out, nil
+	}
+
+	// Stream of objects (single, NDJSON, or whitespace-concatenated).
+	for {
+		var s Sample
+		err := dec.Decode(&s)
+		if errors.Is(err, io.EOF) {
+			if len(out) == 0 {
+				return nil, fmt.Errorf("telemetry: empty ingest body")
+			}
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: sample %d: %w", len(out), err)
+		}
+		if out = append(out, s); len(out) > maxSamples {
+			return nil, fmt.Errorf("telemetry: ingest batch exceeds %d samples", maxSamples)
+		}
+	}
+}
+
+// DefaultMaxBatch bounds one decoded ingest batch (a year of hourly
+// samples with headroom for sub-hourly feeds).
+const DefaultMaxBatch = 100_000
+
+// firstNonSpace peeks past JSON whitespace to the first payload byte
+// without consuming it, so the decoder sees the complete value.
+func firstNonSpace(br *bufio.Reader) (byte, error) {
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		switch b {
+		case ' ', '\t', '\r', '\n':
+			continue
+		}
+		return b, br.UnreadByte()
+	}
+}

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"thirstyflops/internal/units"
+)
+
+func TestDecodeSamplesShapes(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		body string
+		want []Sample
+	}{
+		{
+			name: "single object",
+			body: `{"hour": 17, "power_w": 21500000}`,
+			want: []Sample{{Hour: 17, Power: 21500000}},
+		},
+		{
+			name: "single object with system",
+			body: `{"system": "Frontier", "hour": 0, "power_w": 1.5e7}`,
+			want: []Sample{{System: "Frontier", Hour: 0, Power: 1.5e7}},
+		},
+		{
+			name: "ndjson",
+			body: "{\"hour\":0,\"power_w\":100}\n{\"hour\":1,\"power_w\":200}\n{\"hour\":2,\"power_w\":300}\n",
+			want: []Sample{{Hour: 0, Power: 100}, {Hour: 1, Power: 200}, {Hour: 2, Power: 300}},
+		},
+		{
+			name: "json array",
+			body: `[{"hour":0,"power_w":1},{"hour":1,"power_w":2}]`,
+			want: []Sample{{Hour: 0, Power: 1}, {Hour: 1, Power: 2}},
+		},
+		{
+			name: "pretty-printed object",
+			body: "{\n  \"hour\": 2,\n  \"power_w\": 5\n}\n",
+			want: []Sample{{Hour: 2, Power: 5}},
+		},
+		{
+			name: "concatenated without newlines",
+			body: `{"hour":0,"power_w":1} {"hour":1,"power_w":2}`,
+			want: []Sample{{Hour: 0, Power: 1}, {Hour: 1, Power: 2}},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := DecodeSamples(strings.NewReader(tc.body), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("decoded %d samples, want %d", len(got), len(tc.want))
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Errorf("sample %d = %+v, want %+v", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestDecodeSamplesErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		body string
+	}{
+		{"empty body", ""},
+		{"whitespace only", "  \n\t"},
+		{"bare number", "12"},
+		{"bare string", `"sample"`},
+		{"unknown field", `{"hour":0,"power_w":1,"volts":5}`},
+		{"malformed json", `{"hour":`},
+		{"trailing garbage after object", `{"hour":0,"power_w":1} nonsense`},
+		{"trailing garbage after array", `[{"hour":0,"power_w":1}] extra`},
+		{"empty array", `[]`},
+		{"array of numbers", `[1,2,3]`},
+		{"object field type mismatch", `{"hour":"zero","power_w":1}`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if got, err := DecodeSamples(strings.NewReader(tc.body), 0); err == nil {
+				t.Fatalf("accepted %q as %+v", tc.body, got)
+			}
+		})
+	}
+}
+
+func TestDecodeSamplesBatchBound(t *testing.T) {
+	body := strings.Repeat(`{"hour":0,"power_w":1}`+"\n", 11)
+	if _, err := DecodeSamples(strings.NewReader(body), 10); err == nil {
+		t.Error("oversized NDJSON batch accepted")
+	}
+	array := "[" + strings.TrimRight(strings.Repeat(`{"hour":0,"power_w":1},`, 11), ",") + "]"
+	if _, err := DecodeSamples(strings.NewReader(array), 10); err == nil {
+		t.Error("oversized array batch accepted")
+	}
+	if got, err := DecodeSamples(strings.NewReader(body), 11); err != nil || len(got) != 11 {
+		t.Errorf("exact-limit batch rejected: %d, %v", len(got), err)
+	}
+}
+
+func TestDecodeSamplesDoesNotValidatePhysics(t *testing.T) {
+	// Decoding is syntactic; rejection of unphysical values happens at
+	// ingestion so the daemon can report per-sample rejects.
+	got, err := DecodeSamples(strings.NewReader(`{"hour":0,"power_w":-5}`), 0)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("syntactically valid sample rejected at decode: %v", err)
+	}
+	s, err := NewStream("", 0, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Ingest(got[0]); err == nil {
+		t.Error("unphysical sample accepted at ingestion")
+	}
+	if got[0].Power != units.Watts(-5) {
+		t.Errorf("decoded power = %v, want -5", got[0].Power)
+	}
+}

@@ -1,9 +1,16 @@
-// Package telemetry handles the power-log time series that anchor the
-// operational water footprint: hourly IT power samples per system, energy
-// aggregation, resampling, and CSV/JSON round-trips compatible with
-// external analysis. The paper consumes published log datasets (Marconi
-// M100 exadata, ALCF public data, Fugaku logs, Frontier energy dataset);
-// the jobs package synthesizes equivalent series which flow through here.
+// Package telemetry handles the power time series that anchor the
+// operational water footprint, in two forms. PowerLog is the batch form:
+// hourly IT power samples per system, energy aggregation, resampling,
+// and CSV/JSON round-trips compatible with external analysis — the paper
+// consumes published log datasets (Marconi M100 exadata, ALCF public
+// data, Fugaku logs, Frontier energy dataset), and the jobs package
+// synthesizes equivalent series which flow through here. Stream is the
+// live form: a concurrency-safe ring buffer of recently observed hours
+// fed sample-by-sample (DecodeSamples parses single-object, array, and
+// NDJSON ingest bodies), which materializes the same typed Series a
+// PowerLog converts to — bit-identically, once fully ingested — and
+// exposes a monotonic epoch for staleness-proof caching of anything
+// derived from it.
 package telemetry
 
 import (

@@ -18,6 +18,14 @@
 // four channels (IT energy, WUE, EWF, carbon intensity) are aligned by
 // construction.
 //
+// An Engine can also assess against observed rather than simulated
+// demand: attach a live telemetry Stream (NewStream, WithLiveStream),
+// feed it via Engine.Ingest or the daemon's POST /ingest, and request
+// AssessRequest{Source: SourceLive} — the observed window is spliced
+// over the simulated year, the result carries its provenance (LiveInfo),
+// and live cache entries are keyed by the stream epoch so they never
+// outlive the samples they were computed from.
+//
 // The remainder of the package re-exports the assembled toolkit:
 //
 //   - SystemConfig wires one of the paper's four supercomputers (Marconi,
@@ -43,6 +51,7 @@ package thirstyflops
 
 import (
 	"context"
+	"io"
 
 	"thirstyflops/internal/configio"
 	"thirstyflops/internal/core"
@@ -338,6 +347,13 @@ type (
 	TraceParams = jobs.TraceParams
 	// PowerLog is an hourly IT power series.
 	PowerLog = telemetry.PowerLog
+	// Sample is one live observed power reading.
+	Sample = telemetry.Sample
+	// Stream is a concurrency-safe ring buffer of recently observed
+	// hours, the live counterpart of a PowerLog.
+	Stream = telemetry.Stream
+	// StreamStatus reports a stream's coverage and ingestion lag.
+	StreamStatus = telemetry.Status
 	// SchedResult summarizes a scheduling simulation.
 	SchedResult = sched.Result
 	// Placement records where the simulator ran one job.
@@ -388,6 +404,21 @@ func CoOptimize(candidates []int, energyCost, waterCost, carbonCost []float64, w
 // demand model — the stand-in for the paper's published log datasets.
 func PowerLogFor(sys System, d DemandModel, seed uint64, year int) PowerLog {
 	return jobs.PowerLogYear(sys, d, seed, year)
+}
+
+// NewStream builds a live telemetry ring buffer retaining the most
+// recent windowHours of observed samples. Attach it to an Engine with
+// WithLiveStream, feed it via Engine.Ingest (or the daemon's POST
+// /ingest), and assess against it with AssessRequest.Source = SourceLive.
+func NewStream(system string, year int, windowHours int) (*Stream, error) {
+	return telemetry.NewStream(system, year, windowHours)
+}
+
+// DecodeSamples parses an ingest body (single JSON object, JSON array,
+// or NDJSON stream) into live samples; maxSamples <= 0 applies the
+// default batch bound.
+func DecodeSamples(r io.Reader, maxSamples int) ([]Sample, error) {
+	return telemetry.DecodeSamples(r, maxSamples)
 }
 
 // --- Water capping (Takeaway 5) and Water500 (Sec. 6b) ---
