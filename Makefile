@@ -4,13 +4,20 @@
 # allocation ratio because allocation counts are near-deterministic):
 # bench-core gates the modeling hot paths against BENCH_PR2.json,
 # bench-daemon gates the thirstyflopsd HTTP serving path (concurrent
-# /assess throughput, live assess, NDJSON ingest) against BENCH_PR3.json.
+# /assess throughput, live assess, NDJSON ingest) against BENCH_PR3.json,
+# bench-plan gates the substrate-aware sweep planner (planned vs
+# unplanned shuffled sweep, plan construction) against BENCH_PR4.json.
+# The docs target runs the documentation drift gate: route list in
+# docs/HTTP_API.md vs the daemon mux (cmd/docscheck), go vet, and an
+# examples build.
 
 GATED_BENCHES = ^(BenchmarkEngineAssessCold|BenchmarkEngineAssessColdIsolated|BenchmarkEngineAssessCached|BenchmarkConfigFingerprint|BenchmarkAssessYear|BenchmarkFCFS|BenchmarkEASYBackfill|BenchmarkStartTimeRanking|BenchmarkStartTimeRankingFullYear|BenchmarkWUECurveSeries|BenchmarkWUECurveTable|BenchmarkWeatherYear|BenchmarkGridYear)$$
 
 GATED_DAEMON_BENCHES = ^(BenchmarkDaemonAssess|BenchmarkDaemonAssessLive|BenchmarkDaemonIngest)$$
 
-.PHONY: build test race bench bench-core bench-daemon
+GATED_PLAN_BENCHES = ^(BenchmarkSweepPlanned|BenchmarkSweepUnplanned|BenchmarkPlanBuild)$$
+
+.PHONY: build test race bench bench-core bench-daemon bench-plan docs
 
 build:
 	go build ./...
@@ -21,7 +28,7 @@ test:
 race:
 	go test -race ./...
 
-bench: bench-core bench-daemon
+bench: bench-core bench-daemon bench-plan
 
 bench-core:
 	go test -run '^$$' -bench '$(GATED_BENCHES)' -benchmem -benchtime=500ms -count=1 . \
@@ -30,3 +37,12 @@ bench-core:
 bench-daemon:
 	go test -run '^$$' -bench '$(GATED_DAEMON_BENCHES)' -benchmem -benchtime=500ms -count=1 ./cmd/thirstyflopsd \
 		| go run ./cmd/benchcheck -baseline BENCH_PR3.json
+
+bench-plan:
+	go test -run '^$$' -bench '$(GATED_PLAN_BENCHES)' -benchmem -benchtime=500ms -count=1 . \
+		| go run ./cmd/benchcheck -baseline BENCH_PR4.json
+
+docs:
+	go vet ./...
+	go build ./examples/...
+	go run ./cmd/docscheck

@@ -50,9 +50,11 @@ type Result struct {
 }
 
 // benchLine matches `BenchmarkName-8   123   456.7 ns/op   89 B/op   10 allocs/op`;
-// the -benchmem columns are optional in general bench output.
+// the -benchmem columns are optional in general bench output, and custom
+// b.ReportMetric columns (e.g. `7.8 generations/op`) may sit between
+// ns/op and the allocation columns.
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:(?:\s+[\d.]+ \S+)*?\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
 
 // parse extracts benchmark results from go test output, echoing every
 // line to w so the tool is transparent in CI logs.

@@ -12,6 +12,7 @@ cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkEngineAssessCold   	    9405	    129478 ns/op	  301550 B/op	      39 allocs/op
 BenchmarkFCFS-8             	   13736	     86568.5 ns/op	  197752 B/op	       6 allocs/op
 BenchmarkWetBulbStull       	 1000000	       105.2 ns/op
+BenchmarkSweepPlanned       	      14	  40482188 ns/op	         7.786 generations/op	19729076 B/op	  133206 allocs/op
 PASS
 ok  	thirstyflops	13.943s
 `
@@ -22,8 +23,8 @@ func TestParse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 3 {
-		t.Fatalf("parsed %d results, want 3", len(results))
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(results))
 	}
 	cold := results[0]
 	if cold.Name != "BenchmarkEngineAssessCold" || cold.NsOp != 129478 ||
@@ -37,6 +38,12 @@ func TestParse(t *testing.T) {
 	// Lines without -benchmem columns still parse their timing.
 	if results[2].AllocsOp != 0 || results[2].NsOp != 105.2 {
 		t.Errorf("stull parsed wrong: %+v", results[2])
+	}
+	// Custom b.ReportMetric columns between ns/op and B/op (the planner
+	// benchmarks report generations/op) must not hide the alloc columns.
+	if p := results[3]; p.Name != "BenchmarkSweepPlanned" || p.NsOp != 40482188 ||
+		p.BOp != 19729076 || p.AllocsOp != 133206 {
+		t.Errorf("planned parsed wrong: %+v", p)
 	}
 	if !strings.Contains(echo.String(), "PASS") {
 		t.Error("input not echoed")

@@ -1,0 +1,158 @@
+// Command docscheck is the documentation drift gate run by `make docs`
+// and CI: it extracts the route table the thirstyflopsd daemon actually
+// registers (the mux.HandleFunc calls in its source) and the route
+// reference documented in docs/HTTP_API.md (the "### `METHOD /path`"
+// headings), and exits non-zero when they disagree — a route served but
+// undocumented, documented but unserved, or documented under a method
+// its registration rejects.
+//
+// Usage (from the repository root):
+//
+//	go run ./cmd/docscheck [-mux cmd/thirstyflopsd/main.go] [-docs docs/HTTP_API.md]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"slices"
+	"sort"
+	"strings"
+)
+
+// muxPattern matches mux.HandleFunc("...") registrations. The pattern
+// string is either a bare path ("/assess", any method: the handler
+// dispatches) or a Go 1.22 method pattern ("GET /jobs/{id}").
+var muxPattern = regexp.MustCompile(`mux\.HandleFunc\("([^"]+)"`)
+
+// docHeading matches the reference's route headings: ### `METHOD /path`
+var docHeading = regexp.MustCompile("(?m)^###\\s+`([A-Z]+) ([^`\\s]+)`")
+
+// route is one (method, path) pair; method "" means any.
+type route struct {
+	Method string
+	Path   string
+}
+
+func (r route) String() string {
+	if r.Method == "" {
+		return r.Path
+	}
+	return r.Method + " " + r.Path
+}
+
+// parseMux extracts the registered routes from the daemon source.
+func parseMux(src string) []route {
+	var out []route
+	for _, m := range muxPattern.FindAllStringSubmatch(src, -1) {
+		pat := m[1]
+		if method, path, ok := strings.Cut(pat, " "); ok {
+			out = append(out, route{Method: method, Path: path})
+		} else {
+			out = append(out, route{Path: pat})
+		}
+	}
+	return out
+}
+
+// parseDocs extracts the documented routes from the API reference.
+func parseDocs(doc string) []route {
+	var out []route
+	for _, m := range docHeading.FindAllStringSubmatch(doc, -1) {
+		out = append(out, route{Method: m[1], Path: m[2]})
+	}
+	return out
+}
+
+// check cross-references the two route tables and returns the drift.
+func check(mux, docs []route) []string {
+	var problems []string
+
+	// Methods registered per path. A bare (method-less) registration
+	// accepts any method, and wins even when the same path also has
+	// method-pattern registrations.
+	methodsByPath := map[string][]string{}
+	anyMethod := map[string]bool{}
+	for _, r := range mux {
+		if r.Method != "" {
+			methodsByPath[r.Path] = append(methodsByPath[r.Path], r.Method)
+		} else {
+			anyMethod[r.Path] = true
+		}
+	}
+	docPaths := map[string]bool{}
+	docRoutes := map[route]bool{}
+	for _, d := range docs {
+		docPaths[d.Path] = true
+		docRoutes[d] = true
+	}
+
+	// Every registration must be documented: method patterns need the
+	// exact `METHOD /path` heading, bare paths need at least one
+	// heading for the path.
+	for _, r := range mux {
+		switch {
+		case r.Method != "" && !docRoutes[r]:
+			problems = append(problems,
+				fmt.Sprintf("served but undocumented: %s (add a `%s` heading to the reference)", r, r))
+		case r.Method == "" && !docPaths[r.Path]:
+			problems = append(problems,
+				fmt.Sprintf("served but undocumented: %s (no heading documents this path)", r.Path))
+		}
+	}
+
+	// Every documented route must be served, under a method the
+	// registration accepts when it names one.
+	for _, d := range docs {
+		methods, hasMethods := methodsByPath[d.Path]
+		switch {
+		case anyMethod[d.Path]:
+			// A bare registration serves every method.
+		case !hasMethods:
+			problems = append(problems,
+				fmt.Sprintf("documented but unserved: %s (no mux registration for %s)", d, d.Path))
+		case !slices.Contains(methods, d.Method):
+			problems = append(problems,
+				fmt.Sprintf("documented under the wrong method: %s (registered: %s)",
+					d, strings.Join(methods, ", ")))
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}
+
+func run(muxPath, docsPath string) error {
+	src, err := os.ReadFile(muxPath)
+	if err != nil {
+		return err
+	}
+	doc, err := os.ReadFile(docsPath)
+	if err != nil {
+		return err
+	}
+	mux := parseMux(string(src))
+	docs := parseDocs(string(doc))
+	if len(mux) == 0 {
+		return fmt.Errorf("docscheck: no mux.HandleFunc registrations found in %s", muxPath)
+	}
+	if len(docs) == 0 {
+		return fmt.Errorf("docscheck: no route headings found in %s", docsPath)
+	}
+	if problems := check(mux, docs); len(problems) > 0 {
+		return fmt.Errorf("docscheck: %s has drifted from %s:\n  %s",
+			docsPath, muxPath, strings.Join(problems, "\n  "))
+	}
+	fmt.Printf("docscheck: %d registrations match %d documented routes\n", len(mux), len(docs))
+	return nil
+}
+
+func main() {
+	muxPath := flag.String("mux", "cmd/thirstyflopsd/main.go", "daemon source holding the mux registrations")
+	docsPath := flag.String("docs", "docs/HTTP_API.md", "API reference to cross-check")
+	flag.Parse()
+	if err := run(*muxPath, *docsPath); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

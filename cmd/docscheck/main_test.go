@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const muxSrc = `
+	mux.HandleFunc("/assess", s.handleAssess)
+	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
+`
+
+const goodDoc = "### `GET /assess`\n\n### `POST /assess`\n\n### `POST /jobs`\n\n### `GET /jobs/{id}`\n"
+
+func TestParseMux(t *testing.T) {
+	got := parseMux(muxSrc)
+	want := []route{
+		{Path: "/assess"},
+		{Method: "POST", Path: "/jobs"},
+		{Method: "GET", Path: "/jobs/{id}"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d routes, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("route %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCheckInSync(t *testing.T) {
+	if problems := check(parseMux(muxSrc), parseDocs(goodDoc)); len(problems) != 0 {
+		t.Fatalf("in-sync tables reported drift: %v", problems)
+	}
+}
+
+func TestCheckCatchesUndocumentedRoute(t *testing.T) {
+	doc := strings.Replace(goodDoc, "### `POST /jobs`\n\n", "", 1)
+	problems := check(parseMux(muxSrc), parseDocs(doc))
+	if len(problems) != 1 || !strings.Contains(problems[0], "served but undocumented: POST /jobs") {
+		t.Fatalf("problems = %v", problems)
+	}
+}
+
+func TestCheckCatchesUnservedRoute(t *testing.T) {
+	doc := goodDoc + "\n### `DELETE /ghosts`\n"
+	problems := check(parseMux(muxSrc), parseDocs(doc))
+	if len(problems) != 1 || !strings.Contains(problems[0], "documented but unserved: DELETE /ghosts") {
+		t.Fatalf("problems = %v", problems)
+	}
+}
+
+func TestCheckCatchesWrongMethod(t *testing.T) {
+	doc := strings.Replace(goodDoc, "### `POST /jobs`", "### `PUT /jobs`", 1)
+	problems := check(parseMux(muxSrc), parseDocs(doc))
+	// PUT /jobs is both "wrong method" for the path and leaves POST
+	// /jobs undocumented.
+	if len(problems) != 2 {
+		t.Fatalf("problems = %v", problems)
+	}
+	joined := strings.Join(problems, "\n")
+	if !strings.Contains(joined, "wrong method: PUT /jobs") ||
+		!strings.Contains(joined, "served but undocumented: POST /jobs") {
+		t.Fatalf("problems = %v", problems)
+	}
+}
+
+// TestCheckBareRegistrationServesEveryMethod: a method-less
+// registration accepts any method even when the same path also appears
+// as a method pattern, so documented methods outside the pattern set
+// are not drift.
+func TestCheckBareRegistrationServesEveryMethod(t *testing.T) {
+	src := `
+	mux.HandleFunc("GET /assess", s.handleAssessGet)
+	mux.HandleFunc("/assess", s.handleAssess)
+`
+	doc := "### `GET /assess`\n\n### `POST /assess`\n"
+	if problems := check(parseMux(src), parseDocs(doc)); len(problems) != 0 {
+		t.Fatalf("bare registration did not serve POST: %v", problems)
+	}
+}
+
+// TestRealFilesInSync runs the actual gate against the committed daemon
+// source and reference, so `go test` fails on drift even if `make docs`
+// is skipped.
+func TestRealFilesInSync(t *testing.T) {
+	if err := run("../thirstyflopsd/main.go", "../../docs/HTTP_API.md"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,21 +5,30 @@
 //
 // Endpoints:
 //
-//	POST /assess    AssessRequest  -> AssessResult
-//	GET  /assess                   -> AssessResult (system/source/seed/year query params)
-//	POST /sweep     SweepRequest   -> SweepResult
-//	GET  /water500                 -> Water500Result (seed/year query params)
-//	POST /ingest    Sample | [Sample] | NDJSON -> ingest summary (live telemetry)
-//	GET  /healthz                  -> liveness plus cache statistics
-//	GET  /livez                    -> live-stream coverage and ingestion lag
+//	POST   /assess            AssessRequest  -> AssessResult
+//	GET    /assess                           -> AssessResult (system/source/seed/year query params)
+//	POST   /sweep             SweepRequest   -> SweepResult
+//	GET    /water500                         -> Water500Result (seed/year query params)
+//	POST   /ingest            Sample | [Sample] | NDJSON -> ingest summary (live telemetry)
+//	POST   /jobs              BatchRequest   -> job snapshot (async sweep submission)
+//	GET    /jobs/{id}                        -> job status + progress
+//	GET    /jobs/{id}/result                 -> paginated results (offset/limit query params)
+//	DELETE /jobs/{id}                        -> request cancellation
+//	GET    /healthz                          -> liveness plus cache statistics
+//	GET    /livez                            -> live-stream coverage and ingestion lag
 //
 // Live path: POST observed power samples to /ingest, then GET
 // /assess?system=Frontier&source=live to assess against the observed
 // window spliced over the simulated year.
 //
+// Job path: POST a sweep too large for one HTTP round trip to /jobs; it
+// executes in the background through the Engine's substrate-aware
+// planner, and the returned id is polled for status and paged results.
+// See docs/HTTP_API.md for the full reference.
+//
 // Usage:
 //
-//	thirstyflopsd -addr :8080 -workers 8 -cache 256 -live-window 336
+//	thirstyflopsd -addr :8080 -workers 8 -cache 256 -live-window 336 -jobs 64
 package main
 
 import (
@@ -36,10 +45,12 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"thirstyflops"
+	"thirstyflops/internal/jobqueue"
 )
 
 func main() {
@@ -50,6 +61,9 @@ func main() {
 		liveWindow = flag.Int("live-window", 336, "hours of live telemetry retained for source=live (0 disables /ingest)")
 		liveSystem = flag.String("live-system", "", "system the live stream observes (empty accepts any)")
 		liveYear   = flag.Int("live-year", 0, "assessment year the live stream is pinned to (0 accepts any)")
+		jobRetain  = flag.Int("jobs", defaultJobRetain, "async jobs retained for polling, LRU-evicted (0 disables /jobs)")
+		jobConc    = flag.Int("job-concurrency", defaultJobConcurrency, "async jobs executing at once; further jobs queue")
+		jobUnits   = flag.Int("job-max-units", defaultJobMaxUnits, "max assessments one job may expand to")
 	)
 	flag.Parse()
 
@@ -65,9 +79,14 @@ func main() {
 		opts = append(opts, thirstyflops.WithLiveStream(stream))
 	}
 	eng := thirstyflops.NewEngine(opts...)
+	s := newServer(eng, jobsConfig{
+		Retain:      *jobRetain,
+		Concurrency: *jobConc,
+		MaxUnits:    *jobUnits,
+	})
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      newMux(eng),
+		Handler:      s.mux(),
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 5 * time.Minute, // full-series responses are large
 	}
@@ -90,26 +109,93 @@ func main() {
 		if err := srv.Shutdown(shutCtx); err != nil {
 			log.Fatal(err)
 		}
+		// In-flight HTTP requests have drained; cancel background jobs
+		// and wait for their workers before exiting.
+		s.close()
 	}
 }
 
-// server binds the HTTP surface to one Engine.
-type server struct {
-	engine *thirstyflops.Engine
-	start  time.Time
+// Job-queue serving defaults (overridable by flags).
+const (
+	defaultJobRetain      = 64
+	defaultJobConcurrency = 2
+	defaultJobMaxUnits    = 100000
+	defaultJobPageLimit   = 256
+	maxJobPageLimit       = 4096
+	maxJobBytes           = 16 << 20
+	// seriesUnitCost is the job-budget weight of one include_series
+	// request: a retained full-year Series is ~300 KB, roughly 256x a
+	// plain result.
+	seriesUnitCost = 256
+)
+
+// jobUnit is one request's outcome within an async job: the result, or
+// the request-scoped error. Index is the position in the expanded batch,
+// so paged reads line up with the submission regardless of page size.
+type jobUnit struct {
+	Index  int                        `json:"index"`
+	Result *thirstyflops.AssessResult `json:"result,omitempty"`
+	Error  string                     `json:"error,omitempty"`
 }
 
-// newMux routes the JSON API onto an Engine.
-func newMux(eng *thirstyflops.Engine) *http.ServeMux {
-	s := &server{engine: eng, start: time.Now()}
+// jobsConfig sizes the async job queue.
+type jobsConfig struct {
+	Retain      int // jobs retained for polling (0 disables /jobs)
+	Concurrency int // jobs executing at once
+	MaxUnits    int // max assessments one job may expand to
+}
+
+// server binds the HTTP surface to one Engine plus its job queue.
+type server struct {
+	engine      *thirstyflops.Engine
+	jobs        *jobqueue.Queue[jobUnit]
+	maxJobUnits int
+	start       time.Time
+}
+
+// newServer wires an Engine and an async job queue.
+func newServer(eng *thirstyflops.Engine, cfg jobsConfig) *server {
+	s := &server{engine: eng, maxJobUnits: cfg.MaxUnits, start: time.Now()}
+	if s.maxJobUnits <= 0 {
+		s.maxJobUnits = defaultJobMaxUnits
+	}
+	if cfg.Retain > 0 {
+		s.jobs = jobqueue.New[jobUnit](cfg.Retain, cfg.Concurrency)
+	}
+	return s
+}
+
+// close cancels background jobs and waits for their workers.
+func (s *server) close() {
+	if s.jobs != nil {
+		s.jobs.Close()
+	}
+}
+
+// mux routes the JSON API. The /jobs routes use method patterns, so a
+// wrong method there answers 405 from the mux itself.
+func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/assess", s.handleAssess)
 	mux.HandleFunc("/sweep", s.handleSweep)
 	mux.HandleFunc("/water500", s.handleWater500)
 	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/livez", s.handleLivez)
 	return mux
+}
+
+// newMux routes the JSON API onto an Engine with default job-queue
+// sizing — the historical constructor, kept for tests and benchmarks.
+func newMux(eng *thirstyflops.Engine) *http.ServeMux {
+	return newServer(eng, jobsConfig{
+		Retain:      defaultJobRetain,
+		Concurrency: defaultJobConcurrency,
+	}).mux()
 }
 
 // errorBody is the JSON error shape.
@@ -310,19 +396,204 @@ func (s *server) handleWater500(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
+// requireJobs resolves the job queue or answers 503.
+func (s *server) requireJobs(w http.ResponseWriter) *jobqueue.Queue[jobUnit] {
+	if s.jobs == nil {
+		writeError(w, http.StatusServiceUnavailable, errors.New("async jobs disabled (start with -jobs > 0)"))
+	}
+	return s.jobs
+}
+
+func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	q := s.requireJobs(w)
+	if q == nil {
+		return
+	}
+	var batch thirstyflops.BatchRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxJobBytes)
+	if err := decodeBody(r, &batch); err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			// Distinguish "split your submission" from "malformed JSON".
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, err)
+		return
+	}
+	// Size the submission before Expand allocates: a kilobyte template
+	// can describe a billion-unit cross-product.
+	if units := batch.Units(); units > s.maxJobUnits {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("job expands to %d assessments, limit %d", units, s.maxJobUnits))
+		return
+	}
+	reqs, err := batch.Expand()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// The unit cap bounds retained memory, not just compute: a request
+	// with include_series pins a full 8760-hour Series (~300 KB vs ~1 KB
+	// for a plain result) in the retained job, so it consumes
+	// seriesUnitCost units of the same budget.
+	weighted := len(reqs)
+	for _, r := range reqs {
+		if r.IncludeSeries {
+			weighted += seriesUnitCost - 1
+		}
+	}
+	if weighted > s.maxJobUnits {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("job weighs %d units (%d assessments, include_series weighted %dx), limit %d",
+				weighted, len(reqs), seriesUnitCost, s.maxJobUnits))
+		return
+	}
+	job, err := q.Submit(len(reqs), func(ctx context.Context, progress func(int)) ([]jobUnit, error) {
+		units := make([]jobUnit, len(reqs))
+		var done atomic.Int64
+		// The batch executes through the Engine's substrate-aware
+		// planner; per-request failures land in their unit, so one bad
+		// request doesn't fail the sweep.
+		_, _ = s.engine.AssessBatch(ctx, reqs, func(i int, res *thirstyflops.AssessResult, err error) {
+			u := jobUnit{Index: i, Result: res}
+			if err != nil {
+				u.Error = err.Error()
+			}
+			units[i] = u
+			progress(int(done.Add(1)))
+		})
+		if err := ctx.Err(); err != nil {
+			return nil, context.Cause(ctx)
+		}
+		return units, nil
+	})
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+job.ID())
+	writeJSON(w, http.StatusAccepted, job.Snapshot())
+}
+
+func (s *server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	q := s.requireJobs(w)
+	if q == nil {
+		return
+	}
+	job, ok := q.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such job (completed jobs are evicted least-recently-polled first)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Snapshot())
+}
+
+// jobResultBody is the GET /jobs/{id}/result response: one page of the
+// result set plus enough cursor state to fetch the next.
+type jobResultBody struct {
+	ID     string          `json:"id"`
+	Status jobqueue.Status `json:"status"`
+	Error  string          `json:"error,omitempty"`
+	Total  int             `json:"total"`
+	Offset int             `json:"offset"`
+	Count  int             `json:"count"`
+	// NextOffset is present while more pages remain.
+	NextOffset *int      `json:"next_offset,omitempty"`
+	Results    []jobUnit `json:"results"`
+}
+
+func (s *server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	q := s.requireJobs(w)
+	if q == nil {
+		return
+	}
+	job, ok := q.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such job (completed jobs are evicted least-recently-polled first)"))
+		return
+	}
+	qs := r.URL.Query()
+	offset, limit := 0, defaultJobPageLimit
+	if v := qs.Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad offset %q", v))
+			return
+		}
+		offset = n
+	}
+	if v := qs.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			return
+		}
+		limit = min(n, maxJobPageLimit)
+	}
+	page, ready := job.Page(offset, limit)
+	if !ready {
+		snap := job.Snapshot()
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("job is %s (%d/%d); results are served once it finishes", snap.Status, snap.Completed, snap.Total))
+		return
+	}
+	snap := job.Snapshot()
+	body := jobResultBody{
+		ID:      snap.ID,
+		Status:  snap.Status,
+		Error:   snap.Error,
+		Total:   snap.Total,
+		Offset:  offset,
+		Count:   len(page),
+		Results: page,
+	}
+	if next := offset + len(page); len(page) > 0 && next < snap.Total && snap.Status == jobqueue.StatusDone {
+		body.NextOffset = &next
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	q := s.requireJobs(w)
+	if q == nil {
+		return
+	}
+	job, ok := q.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	// Cancellation is asynchronous: the job reaches "canceled" once its
+	// workers observe the context.
+	writeJSON(w, http.StatusAccepted, job.Snapshot())
+}
+
+// jobsHealth summarizes the queue for /healthz.
+type jobsHealth struct {
+	Retained int    `json:"retained"`
+	Lookups  uint64 `json:"lookups"`
+}
+
 // healthBody is the /healthz response.
 type healthBody struct {
 	Status        string                  `json:"status"`
 	UptimeSeconds float64                 `json:"uptime_seconds"`
 	Cache         thirstyflops.CacheStats `json:"cache"`
+	Jobs          *jobsHealth             `json:"jobs,omitempty"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, healthBody{
+	body := healthBody{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Cache:         s.engine.CacheStats(),
-	})
+	}
+	if s.jobs != nil {
+		st := s.jobs.Stats()
+		body.Jobs = &jobsHealth{Retained: st.Entries, Lookups: st.Hits + st.Misses}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // statusFor maps an engine error onto an HTTP status: cancellation

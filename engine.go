@@ -4,14 +4,18 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"thirstyflops/internal/cache"
 	"thirstyflops/internal/configio"
 	"thirstyflops/internal/core"
 	"thirstyflops/internal/embodied"
 	"thirstyflops/internal/fingerprint"
+	"thirstyflops/internal/plan"
+	"thirstyflops/internal/substrate"
 	"thirstyflops/internal/telemetry"
 )
 
@@ -31,8 +35,18 @@ type Engine struct {
 	workers    int
 	maxEntries int
 	shardHint  int
+	planner    bool
 	shards     []*cache.Cache[fingerprint.Key, core.Annual]
 	stream     *telemetry.Stream
+
+	// Substrate-layer lookups made on this Engine's behalf, split by
+	// whether the triggering assessment was scheduled by the sweep
+	// planner. The split is how planner effectiveness is observed in
+	// production (CacheStats.Substrate).
+	subPlannedHits     atomic.Uint64
+	subPlannedMisses   atomic.Uint64
+	subUnplannedHits   atomic.Uint64
+	subUnplannedMisses atomic.Uint64
 }
 
 // Option configures an Engine.
@@ -64,6 +78,18 @@ func WithWorkers(n int) Option {
 // from.
 func WithLiveStream(s *telemetry.Stream) Option {
 	return func(e *Engine) { e.stream = s }
+}
+
+// WithPlanner toggles substrate-aware batch planning (default on). When
+// enabled, AssessMany/AssessBatch/Sweep fingerprint each request's
+// substrate identity and schedule the batch so requests sharing a
+// substrate run consecutively on one worker (internal/plan): at most
+// `workers` distinct substrates are live at any moment, so a bounded
+// substrate cache generates each shared year once per sweep regardless
+// of arrival order. Disabling it restores arrival-order fan-out — the
+// baseline the planner benchmarks compare against.
+func WithPlanner(enabled bool) Option {
+	return func(e *Engine) { e.planner = enabled }
 }
 
 // defaultShards is the shard-count ceiling: enough to relieve contention
@@ -98,6 +124,7 @@ func NewEngine(opts ...Option) *Engine {
 	e := &Engine{
 		workers:    runtime.GOMAXPROCS(0),
 		maxEntries: 64,
+		planner:    true,
 	}
 	for _, o := range opts {
 		o(e)
@@ -125,15 +152,40 @@ func DefaultEngine() *Engine {
 	return defaultEngine
 }
 
-// CacheStats reports the Engine's memoization behavior.
+// CacheStats reports the Engine's memoization behavior: the sharded
+// assessment memo plus the substrate layer beneath it.
 type CacheStats struct {
 	Hits    uint64 `json:"hits"`
 	Misses  uint64 `json:"misses"`
 	Entries int    `json:"entries"`
+
+	// Substrate reports the generator-year layer: process-wide totals
+	// plus this Engine's lookups split by planned vs. unplanned
+	// execution.
+	Substrate SubstrateStats `json:"substrate"`
+}
+
+// SubstrateStats snapshots the substrate layer (the memoized generator
+// years behind assessments). Hits/Misses/Entries are process-wide — the
+// layer is shared by every Engine — while the planned/unplanned split
+// counts only lookups made on this Engine's behalf: a lookup is
+// "planned" when the triggering assessment was scheduled by the sweep
+// planner (AssessMany/AssessBatch/Sweep with WithPlanner enabled) and
+// "unplanned" otherwise (single Assess calls, or planning disabled). A
+// healthy planned/unplanned hit-rate gap is the planner doing its job.
+type SubstrateStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+
+	PlannedHits     uint64 `json:"planned_hits"`
+	PlannedMisses   uint64 `json:"planned_misses"`
+	UnplannedHits   uint64 `json:"unplanned_hits"`
+	UnplannedMisses uint64 `json:"unplanned_misses"`
 }
 
 // CacheStats returns a snapshot of the cache counters, aggregated across
-// shards.
+// shards, plus the substrate-layer view.
 func (e *Engine) CacheStats() CacheStats {
 	var out CacheStats
 	for _, sh := range e.shards {
@@ -142,22 +194,51 @@ func (e *Engine) CacheStats() CacheStats {
 		out.Misses += s.Misses
 		out.Entries += s.Entries
 	}
+	sub := substrate.Stats()
+	out.Substrate = SubstrateStats{
+		Hits:            sub.Hits,
+		Misses:          sub.Misses,
+		Entries:         sub.Entries,
+		PlannedHits:     e.subPlannedHits.Load(),
+		PlannedMisses:   e.subPlannedMisses.Load(),
+		UnplannedHits:   e.subUnplannedHits.Load(),
+		UnplannedMisses: e.subUnplannedMisses.Load(),
+	}
 	return out
+}
+
+// noteSubstrate folds one assessment's substrate trace into the
+// planned/unplanned counters.
+func (e *Engine) noteSubstrate(planned bool, tr core.SubstrateTrace) {
+	if planned {
+		e.subPlannedHits.Add(tr.Hits)
+		e.subPlannedMisses.Add(tr.Misses)
+	} else {
+		e.subUnplannedHits.Add(tr.Hits)
+		e.subUnplannedMisses.Add(tr.Misses)
+	}
 }
 
 // annualFor returns the memoized assessment of cfg, simulating at most
 // once per fingerprint. The second return reports whether the result was
 // served from cache. The fingerprint (core.Config.Fingerprint) streams a
 // canonical binary encoding through a pooled hasher, so the cached path
-// allocates nothing for key derivation.
-func (e *Engine) annualFor(cfg Config) (core.Annual, bool, error) {
+// allocates nothing for key derivation. planned tags the substrate
+// lookups a cache miss performs for the planner-effectiveness split in
+// CacheStats; a hit touches no substrate at all.
+func (e *Engine) annualFor(cfg Config, planned bool) (core.Annual, bool, error) {
+	compute := func() (core.Annual, error) {
+		a, tr, err := cfg.AssessTraced()
+		e.noteSubstrate(planned, tr)
+		return a, err
+	}
 	if e.maxEntries <= 0 {
-		a, err := cfg.Assess()
+		a, err := compute()
 		return a, false, err
 	}
 	key := cfg.Fingerprint()
 	shard := e.shards[key.Shard(len(e.shards))]
-	return shard.Get(key, cfg.Assess)
+	return shard.Get(key, compute)
 }
 
 // --- Live telemetry ---
@@ -216,7 +297,7 @@ func liveKey(base fingerprint.Key, s *telemetry.Stream, epoch uint64) fingerprin
 // simulated year with the live window's averaged energy spliced over it.
 // The splice is computed from one atomic stream snapshot and memoized
 // under the epoch-chained key.
-func (e *Engine) liveAnnualFor(cfg Config) (core.Annual, *LiveInfo, bool, error) {
+func (e *Engine) liveAnnualFor(cfg Config, planned bool) (core.Annual, *LiveInfo, bool, error) {
 	if e.stream == nil {
 		return core.Annual{}, nil, false, fmt.Errorf("thirstyflops: live source requested but the engine has no stream (construct with WithLiveStream)")
 	}
@@ -235,7 +316,7 @@ func (e *Engine) liveAnnualFor(cfg Config) (core.Annual, *LiveInfo, bool, error)
 		Samples:       w.Samples,
 	}
 	compute := func() (core.Annual, error) {
-		base, _, err := e.annualFor(cfg)
+		base, _, err := e.annualFor(cfg, planned)
 		if err != nil {
 			return core.Annual{}, err
 		}
@@ -370,6 +451,17 @@ func (e *Engine) Assess(ctx context.Context, req AssessRequest) (*AssessResult, 
 	if err != nil {
 		return nil, err
 	}
+	return e.assessResolved(ctx, req, cfg, false)
+}
+
+// assessResolved evaluates a request whose configuration is already
+// materialized — the shared tail of Assess and the planner's batch
+// execution, which resolves configs up front to fingerprint their
+// substrate identities. planned tags the substrate accounting.
+func (e *Engine) assessResolved(ctx context.Context, req AssessRequest, cfg Config, planned bool) (*AssessResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	years := req.Years
 	if years == 0 {
 		years = DefaultLifetimeYears
@@ -382,12 +474,13 @@ func (e *Engine) Assess(ctx context.Context, req AssessRequest) (*AssessResult, 
 		a      core.Annual
 		cached bool
 		live   *LiveInfo
+		err    error
 	)
 	switch req.Source {
 	case "", SourceSimulated:
-		a, cached, err = e.annualFor(cfg)
+		a, cached, err = e.annualFor(cfg, planned)
 	case SourceLive:
-		a, live, cached, err = e.liveAnnualFor(cfg)
+		a, live, cached, err = e.liveAnnualFor(cfg, planned)
 	default:
 		return nil, fmt.Errorf("thirstyflops: unknown source %q (want %q or %q)",
 			req.Source, SourceSimulated, SourceLive)
@@ -461,45 +554,118 @@ func (e *Engine) Assess(ctx context.Context, req AssessRequest) (*AssessResult, 
 }
 
 // AssessMany evaluates a batch of requests across the Engine's worker
-// pool, preserving order. Requests sharing a configuration simulate once.
-// Failed requests leave nil slots; the joined error reports every
-// failure.
+// pool, preserving order. Requests sharing a configuration simulate
+// once, and (unless WithPlanner(false)) the batch is scheduled by the
+// substrate-aware planner so requests sharing generator years run
+// consecutively on one worker. Failed requests leave nil slots; the
+// joined error reports every failure.
 func (e *Engine) AssessMany(ctx context.Context, reqs []AssessRequest) ([]*AssessResult, error) {
+	return e.AssessBatch(ctx, reqs, nil)
+}
+
+// AssessBatch is AssessMany plus a completion hook: onResult (when
+// non-nil) is invoked once per request as it finishes, from whichever
+// worker goroutine ran it — the progress feed behind the daemon's async
+// job queue. res is nil exactly when err is non-nil.
+//
+// Execution order is the planner's: requests are fingerprinted by
+// substrate identity (core.Config.SubstrateKeys), grouped, clustered by
+// shared components, and split into contiguous per-worker spans
+// (internal/plan). Results are always returned in request order
+// regardless of execution order.
+func (e *Engine) AssessBatch(ctx context.Context, reqs []AssessRequest, onResult func(i int, res *AssessResult, err error)) ([]*AssessResult, error) {
 	results := make([]*AssessResult, len(reqs))
 	errs := make([]error, len(reqs))
+	note := func(i int, res *AssessResult, err error) {
+		if err != nil {
+			errs[i] = fmt.Errorf("request %d: %w", i, err)
+		} else {
+			results[i] = res
+		}
+		if onResult != nil {
+			onResult(i, res, err)
+		}
+	}
+
+	// Resolve every request up front: the planner derives substrate
+	// identities from materialized configs, and resolution failures
+	// (unknown system, invalid document) drop out of the schedule
+	// before any simulation runs. Fingerprinting is skipped entirely
+	// when planning is off — the unplanned path never reads the keys.
+	cfgs := make([]Config, len(reqs))
+	resolved := make([]int, 0, len(reqs))
+	var items []plan.Item
+	if e.planner {
+		items = make([]plan.Item, 0, len(reqs))
+	}
+	for i, r := range reqs {
+		cfg, err := r.resolveConfig()
+		if err != nil {
+			note(i, nil, err)
+			continue
+		}
+		cfgs[i] = cfg
+		resolved = append(resolved, i)
+		if e.planner {
+			ks := cfg.SubstrateKeys()
+			items = append(items, plan.Item{Index: i, Substrate: ks.Combined(), Cluster: ks.Cluster()})
+		}
+	}
 
 	workers := e.workers
-	if workers > len(reqs) {
-		workers = len(reqs)
+	if workers > len(resolved) {
+		workers = len(resolved)
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	idx := make(chan int)
+
 	var wg sync.WaitGroup
+	if e.planner {
+		p := plan.Build(items, workers)
+		for _, span := range p.Spans {
+			wg.Add(1)
+			go func(span []int) {
+				defer wg.Done()
+				for k, i := range span {
+					if err := ctx.Err(); err != nil {
+						// Mark the span's remainder, so nil result
+						// slots always pair with a reported error.
+						for _, j := range span[k:] {
+							note(j, nil, err)
+						}
+						return
+					}
+					res, err := e.assessResolved(ctx, reqs[i], cfgs[i], true)
+					note(i, res, err)
+				}
+			}(span)
+		}
+		wg.Wait()
+		return results, errors.Join(errs...)
+	}
+
+	// Unplanned arrival-order fan-out: the pre-planner baseline, kept
+	// for comparison (benchmarks, WithPlanner(false)).
+	idx := make(chan int)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				res, err := e.Assess(ctx, reqs[i])
-				if err != nil {
-					errs[i] = fmt.Errorf("request %d: %w", i, err)
-					continue
-				}
-				results[i] = res
+				res, err := e.assessResolved(ctx, reqs[i], cfgs[i], false)
+				note(i, res, err)
 			}
 		}()
 	}
 feed:
-	for i := range reqs {
+	for k, i := range resolved {
 		select {
 		case idx <- i:
 		case <-ctx.Done():
-			// Mark every request not yet handed to a worker, so nil
-			// result slots always pair with a reported error.
-			for j := i; j < len(reqs); j++ {
-				errs[j] = fmt.Errorf("request %d: %w", j, ctx.Err())
+			// Mark every request not yet handed to a worker.
+			for _, rest := range resolved[k:] {
+				note(rest, nil, ctx.Err())
 			}
 			break feed
 		}
@@ -546,6 +712,109 @@ func (e *Engine) Sweep(ctx context.Context, req SweepRequest) (*SweepResult, err
 	out := &SweepResult{Systems: make([]SystemSweep, len(results))}
 	for i, r := range results {
 		out.Systems[i] = SystemSweep{System: r.System, Scenarios: r.Scenarios}
+	}
+	return out, nil
+}
+
+// BatchRequest describes a potentially large assessment sweep — the
+// submission shape of the daemon's async job queue (POST /jobs). Exactly
+// one of two forms selects the work: an explicit Requests list, or a
+// cross-product template (Systems x Seeds x Years) that Expand
+// materializes server-side so wide sweeps don't need megabytes of
+// request body. Scenarios and Withdrawal apply to every request in
+// either form (explicit requests keep their own flags too).
+type BatchRequest struct {
+	Requests []AssessRequest `json:"requests,omitempty"`
+
+	// Cross-product template, used when Requests is empty. Empty
+	// Systems sweeps all bundled systems; empty Seeds/Years keep the
+	// configuration defaults.
+	Systems []string `json:"systems,omitempty"`
+	Seeds   []uint64 `json:"seeds,omitempty"`
+	Years   []int    `json:"years,omitempty"`
+
+	Scenarios  bool `json:"scenarios,omitempty"`
+	Withdrawal bool `json:"withdrawal,omitempty"`
+}
+
+// Units returns how many assessments the batch will expand to, without
+// materializing them — the daemon sizes a submission against its unit
+// cap with this before Expand allocates anything. Saturates at MaxInt
+// on absurd template products instead of overflowing.
+func (b BatchRequest) Units() int {
+	if len(b.Requests) > 0 {
+		return len(b.Requests)
+	}
+	n := len(b.Systems)
+	if n == 0 {
+		n = len(SystemNames())
+	}
+	seeds := max(len(b.Seeds), 1)
+	years := max(len(b.Years), 1)
+	if seeds > math.MaxInt/n {
+		return math.MaxInt
+	}
+	if years > math.MaxInt/(n*seeds) {
+		return math.MaxInt
+	}
+	return n * seeds * years
+}
+
+// Expand materializes the batch's request list. The cross-product order
+// is systems-outer (system, then seed, then year), but callers should
+// not rely on it: the planner reschedules execution anyway. Callers
+// exposed to untrusted templates must bound Units() first — the
+// expansion allocates one request per unit.
+func (b BatchRequest) Expand() ([]AssessRequest, error) {
+	if len(b.Requests) > 0 {
+		if len(b.Systems) != 0 || len(b.Seeds) != 0 || len(b.Years) != 0 {
+			return nil, fmt.Errorf("thirstyflops: batch sets both an explicit request list and a cross-product template")
+		}
+		if !b.Scenarios && !b.Withdrawal {
+			return b.Requests, nil
+		}
+		out := make([]AssessRequest, len(b.Requests))
+		copy(out, b.Requests)
+		for i := range out {
+			out[i].Scenarios = out[i].Scenarios || b.Scenarios
+			out[i].Withdrawal = out[i].Withdrawal || b.Withdrawal
+		}
+		return out, nil
+	}
+	systems := b.Systems
+	if len(systems) == 0 {
+		systems = SystemNames()
+	}
+	seeds := make([]*uint64, 0, max(len(b.Seeds), 1))
+	if len(b.Seeds) == 0 {
+		seeds = append(seeds, nil)
+	}
+	for i := range b.Seeds {
+		seeds = append(seeds, &b.Seeds[i])
+	}
+	years := make([]*int, 0, max(len(b.Years), 1))
+	if len(b.Years) == 0 {
+		years = append(years, nil)
+	}
+	for i := range b.Years {
+		years = append(years, &b.Years[i])
+	}
+	out := make([]AssessRequest, 0, len(systems)*len(seeds)*len(years))
+	for _, sys := range systems {
+		for _, seed := range seeds {
+			for _, year := range years {
+				out = append(out, AssessRequest{
+					System:     sys,
+					Seed:       seed,
+					Year:       year,
+					Scenarios:  b.Scenarios,
+					Withdrawal: b.Withdrawal,
+				})
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("thirstyflops: batch expands to no requests")
 	}
 	return out, nil
 }
@@ -603,7 +872,7 @@ func (e *Engine) Water500(ctx context.Context, req Water500Request) (*Water500Re
 					errs[i] = err
 					continue
 				}
-				annuals[i], _, errs[i] = e.annualFor(cfgs[i])
+				annuals[i], _, errs[i] = e.annualFor(cfgs[i], false)
 			}
 		}()
 	}

@@ -1,10 +1,67 @@
 package thirstyflops_test
 
 import (
+	"context"
 	"fmt"
 
 	"thirstyflops"
 )
+
+// ExampleEngine_Sweep runs the Fig. 14 energy-sourcing comparison
+// through the Engine. The batch executes via the substrate-aware
+// planner: requests sharing generator years run consecutively, and the
+// planned lookups show up in CacheStats.Substrate.
+func ExampleEngine_Sweep() {
+	eng := thirstyflops.NewEngine(thirstyflops.WithWorkers(2))
+	res, err := eng.Sweep(context.Background(), thirstyflops.SweepRequest{
+		Systems: []string{"Marconi", "Fugaku"},
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, s := range res.Systems {
+		fmt.Printf("%s: %d scenarios\n", s.System, len(s.Scenarios))
+	}
+	sub := eng.CacheStats().Substrate
+	fmt.Println("scheduled by the planner:", sub.PlannedHits+sub.PlannedMisses > 0)
+	// Output:
+	// Marconi: 5 scenarios
+	// Fugaku: 5 scenarios
+	// scheduled by the planner: true
+}
+
+// ExampleEngine_Ingest feeds one day of observed power into a live
+// telemetry stream and assesses against it: the observed window is
+// spliced over the simulated year, and the result's provenance records
+// exactly which stream state it saw (the epoch advances with every
+// accepted sample, so a stale cached answer is unreachable).
+func ExampleEngine_Ingest() {
+	stream, err := thirstyflops.NewStream("Frontier", 2023, 168)
+	if err != nil {
+		panic(err)
+	}
+	eng := thirstyflops.NewEngine(thirstyflops.WithLiveStream(stream))
+
+	samples := make([]thirstyflops.Sample, 24)
+	for h := range samples {
+		samples[h] = thirstyflops.Sample{System: "Frontier", Hour: h, Power: 2.15e7}
+	}
+	accepted, err := eng.Ingest(samples...)
+	if err != nil {
+		panic(err)
+	}
+
+	res, err := eng.Assess(context.Background(), thirstyflops.AssessRequest{
+		System: "Frontier",
+		Source: thirstyflops.SourceLive,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("accepted %d hours; live epoch %d covers hours [%d, %d)\n",
+		accepted, res.Live.Epoch, res.Live.WindowLo, res.Live.WindowHi)
+	// Output: accepted 24 hours; live epoch 24 covers hours [0, 24)
+}
 
 // ExampleSystemConfig shows the minimal assessment flow.
 func ExampleSystemConfig() {

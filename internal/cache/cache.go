@@ -90,6 +90,86 @@ func (c *Cache[K, V]) Get(key K, compute func() (V, error)) (V, bool, error) {
 	return e.val, cached, e.err
 }
 
+// Evicted is one entry pushed out by the capacity bound, reported to
+// callers that hold external resources behind cached values (the
+// daemon's job queue cancels evicted running jobs).
+type Evicted[K comparable, V any] struct {
+	Key K
+	Val V
+}
+
+// Add inserts an already-computed value, touching it most-recent, and
+// returns the entries evicted by the capacity bound (oldest first).
+// Together with Lookup and Delete it is the cache's table mode — same
+// LRU machinery, no singleflight — used where values are produced
+// externally (job retention) rather than memoized on demand. Adding an
+// existing key replaces its entry, and the replaced value is reported
+// as evicted so owners holding external resources never leak one; a Get
+// already in flight on the old entry keeps observing the value it
+// latched (entries are never mutated after publication, so replacement
+// cannot tear a concurrent read, and Add never waits on an in-flight
+// computation). max <= 0 stores nothing.
+func (c *Cache[K, V]) Add(key K, v V) []Evicted[K, V] {
+	if c.max <= 0 {
+		return []Evicted[K, V]{{Key: key, Val: v}}
+	}
+	// The value is published before the entry is shared, so no reader
+	// ever sees it half-written.
+	e := &entry[K, V]{key: key, val: v}
+	e.once.Do(func() {}) // a later Get on this entry never recomputes
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Evicted[K, V]
+	if old, ok := c.entries[key]; ok {
+		c.unlink(old)
+		out = append(out, Evicted[K, V]{Key: old.key, Val: old.val})
+	}
+	c.entries[key] = e
+	c.pushFront(e)
+	for len(c.entries) > c.max {
+		oldest := c.tail.prev
+		c.unlink(oldest)
+		delete(c.entries, oldest.key)
+		out = append(out, Evicted[K, V]{Key: oldest.key, Val: oldest.val})
+	}
+	return out
+}
+
+// Lookup returns the value under key without computing on a miss. A hit
+// touches recency, so recently polled entries survive eviction longest.
+// Lookup only observes published values: in table mode every resident
+// value is published, while a Get-mode entry whose computation is still
+// in flight may surface as a zero value (callers mixing modes on one
+// cache must not rely on Lookup).
+func (c *Cache[K, V]) Lookup(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		var zero V
+		return zero, false
+	}
+	c.hits++
+	c.unlink(e)
+	c.pushFront(e)
+	return e.val, true
+}
+
+// Delete removes key, returning the removed value.
+func (c *Cache[K, V]) Delete(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.unlink(e)
+	delete(c.entries, key)
+	return e.val, true
+}
+
 // Stats is a snapshot of the cache counters.
 type Stats struct {
 	Hits    uint64

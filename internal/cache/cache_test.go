@@ -133,3 +133,70 @@ func TestConcurrentChurn(t *testing.T) {
 		t.Errorf("entries %d exceed bound 8", s.Entries)
 	}
 }
+
+// TestTableMode exercises Add/Lookup/Delete: the job queue's retention
+// usage of the LRU machinery.
+func TestTableMode(t *testing.T) {
+	c := New[string, int](2)
+	if ev := c.Add("a", 1); len(ev) != 0 {
+		t.Fatalf("Add a evicted %v", ev)
+	}
+	if ev := c.Add("b", 2); len(ev) != 0 {
+		t.Fatalf("Add b evicted %v", ev)
+	}
+	if v, ok := c.Lookup("a"); !ok || v != 1 {
+		t.Fatalf("Lookup a = (%d, %v)", v, ok)
+	}
+	// "a" was just touched, so adding "c" evicts "b".
+	ev := c.Add("c", 3)
+	if len(ev) != 1 || ev[0].Key != "b" || ev[0].Val != 2 {
+		t.Fatalf("Add c evicted %v, want b/2", ev)
+	}
+	if _, ok := c.Lookup("b"); ok {
+		t.Fatal("evicted entry still resident")
+	}
+	if v, ok := c.Delete("c"); !ok || v != 3 {
+		t.Fatalf("Delete c = (%d, %v)", v, ok)
+	}
+	if _, ok := c.Lookup("c"); ok {
+		t.Fatal("deleted entry still resident")
+	}
+	if _, ok := c.Delete("missing"); ok {
+		t.Fatal("Delete of a missing key reported success")
+	}
+}
+
+// TestAddOverwritesAndPublishes asserts Add replaces an existing value —
+// reporting the replaced value as evicted, so owners can release the
+// resource behind it — and that a later Get serves the added value
+// without recomputing.
+func TestAddOverwritesAndPublishes(t *testing.T) {
+	c := New[string, int](4)
+	c.Add("k", 1)
+	if ev := c.Add("k", 2); len(ev) != 1 || ev[0].Key != "k" || ev[0].Val != 1 {
+		t.Fatalf("replacement evicted %v, want the displaced k/1", ev)
+	}
+	v, cached, err := c.Get("k", func() (int, error) {
+		t.Fatal("Get recomputed a published table entry")
+		return 0, nil
+	})
+	if err != nil || !cached || v != 2 {
+		t.Fatalf("Get after Add = (%d, %v, %v), want (2, true, nil)", v, cached, err)
+	}
+	if s := c.Stats(); s.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", s.Entries)
+	}
+}
+
+// TestAddDisabled: a zero-capacity cache stores nothing and reports the
+// value as immediately evicted, so owners always see their resource back.
+func TestAddDisabled(t *testing.T) {
+	c := New[string, int](0)
+	ev := c.Add("k", 7)
+	if len(ev) != 1 || ev[0].Val != 7 {
+		t.Fatalf("disabled Add evicted %v, want the added value", ev)
+	}
+	if _, ok := c.Lookup("k"); ok {
+		t.Fatal("disabled cache retained an entry")
+	}
+}

@@ -128,19 +128,39 @@ type Annual struct {
 // site, region, curve, or demand model generates each year once; the
 // values copied into the result are bit-identical to direct generation.
 func (c Config) Assess() (Annual, error) {
+	a, _, err := c.AssessTraced()
+	return a, err
+}
+
+// SubstrateTrace counts how the substrate lookups of one assessment
+// resolved: Hits were served from the memoized layer, Misses generated a
+// year. The wet-bulb year consulted inside a WUE miss is included, so
+// an engine's traced totals tally with the layer-wide substrate.Stats.
+// The Engine aggregates traces into its planned vs. unplanned substrate
+// accounting (CacheStats), which is how planner effectiveness is
+// observed in production.
+type SubstrateTrace = substrate.Trace
+
+// AssessTraced is Assess plus the substrate lookup trace. The trace is
+// informational only: values and errors are identical to Assess.
+func (c Config) AssessTraced() (Annual, SubstrateTrace, error) {
+	var tr SubstrateTrace
 	if err := c.Validate(); err != nil {
-		return Annual{}, err
+		return Annual{}, tr, err
 	}
-	wueYr := substrate.WUEYear(c.Curve, c.Site, c.Seed)
-	grid := substrate.GridYear(c.Region, c.Seed)
-	util := substrate.UtilizationYear(c.Demand, c.Seed)
+	wueYr, wtr := substrate.WUEYear(c.Curve, c.Site, c.Seed)
+	tr.Merge(wtr)
+	grid, hit := substrate.GridYear(c.Region, c.Seed)
+	tr.Note(hit)
+	util, hit := substrate.UtilizationYear(c.Demand, c.Seed)
+	tr.Note(hit)
 	if len(wueYr) != len(grid.EWF) || len(grid.EWF) != len(util) {
-		return Annual{}, fmt.Errorf("core: substrate series lengths differ")
+		return Annual{}, tr, fmt.Errorf("core: substrate series lengths differ")
 	}
 
 	s, err := series.New(c.System.PUE, len(util))
 	if err != nil {
-		return Annual{}, fmt.Errorf("core: %w", err)
+		return Annual{}, tr, fmt.Errorf("core: %w", err)
 	}
 	for h := range util {
 		s.Energy[h] = c.System.PowerAt(util[h]).EnergyOver(1)
@@ -148,7 +168,18 @@ func (c Config) Assess() (Annual, error) {
 	copy(s.WUE, wueYr)
 	copy(s.EWF, grid.EWF)
 	copy(s.Carbon, grid.Carbon)
-	return AnnualFrom(c.System.Name, s), nil
+	return AnnualFrom(c.System.Name, s), tr, nil
+}
+
+// SubstrateKeys fingerprints the substrate identity of the configuration:
+// the (curve, site, region, demand, seed) subset of the Config that
+// selects which memoized generator years Assess touches. Two Configs
+// with equal combined substrate keys — e.g. the same machine assessed
+// over different lifetimes, years, or embodied parameters — share every
+// substrate cache entry, which is the reuse the sweep planner
+// (internal/plan) schedules for.
+func (c Config) SubstrateKeys() substrate.Keys {
+	return substrate.KeysFor(c.Curve, c.Site, c.Region, c.Demand, c.Seed)
 }
 
 // AnnualFrom wraps an hourly timeline with its aggregate totals — the

@@ -13,6 +13,7 @@
 package fingerprint
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"math"
@@ -29,6 +30,12 @@ type Key [sha256.Size]byte
 func (k Key) Shard(n int) int {
 	return int(binary.LittleEndian.Uint64(k[:8]) & uint64(n-1))
 }
+
+// Compare orders keys lexicographically, returning -1, 0, or +1. The
+// order carries no semantic meaning — it exists so key sequences can be
+// sorted deterministically (the sweep planner clusters requests whose
+// substrate component keys share a prefix).
+func (k Key) Compare(o Key) int { return bytes.Compare(k[:], o[:]) }
 
 // Hasher accumulates a canonical encoding into a scratch buffer. Obtain
 // one with New, write fields, call Sum, and Release it back to the pool.
@@ -50,6 +57,10 @@ func New() *Hasher {
 // Release returns the Hasher to the pool. The Hasher must not be used
 // afterwards.
 func (h *Hasher) Release() { pool.Put(h) }
+
+// Reset clears the accumulated encoding so one pooled Hasher can derive
+// several keys (Sum, Reset, write, Sum, ...) without pool round trips.
+func (h *Hasher) Reset() { h.buf = h.buf[:0] }
 
 // Sum hashes the accumulated encoding.
 func (h *Hasher) Sum() Key { return sha256.Sum256(h.buf) }

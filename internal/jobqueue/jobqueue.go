@@ -1,0 +1,292 @@
+// Package jobqueue runs batch jobs asynchronously for the daemon's
+// /jobs serving mode: a sweep too large for one HTTP round trip is
+// submitted, executed in the background with bounded concurrency and
+// context cancellation, and polled for status, progress, and paginated
+// results.
+//
+// Retention rides the existing LRU machinery (internal/cache in table
+// mode): the queue holds at most a configured number of jobs, recently
+// polled jobs stay resident longest, and a job evicted while still
+// executing is canceled so eviction can never leak a running worker.
+package jobqueue
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"time"
+
+	"thirstyflops/internal/cache"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Lifecycle states. A job moves queued -> running -> one of the
+// terminal states (done, failed, canceled).
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// RunFunc executes one submitted batch. It must honor ctx (a canceled
+// job's ctx is done) and may call progress with the number of completed
+// units as work proceeds; progress is safe to call from any goroutine.
+// The returned slice is the job's result set, served paginated.
+type RunFunc[R any] func(ctx context.Context, progress func(completed int)) ([]R, error)
+
+// Job is one submitted batch. All exported methods are safe for
+// concurrent use.
+type Job[R any] struct {
+	id        string
+	total     int
+	submitted time.Time
+	cancel    context.CancelFunc
+	done      chan struct{}
+
+	mu        sync.Mutex
+	status    Status
+	completed int
+	results   []R
+	err       error
+	started   time.Time
+	finished  time.Time
+}
+
+// ID returns the queue-assigned job identifier.
+func (j *Job[R]) ID() string { return j.id }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job[R]) Done() <-chan struct{} { return j.done }
+
+// Snapshot is a point-in-time view of a job, JSON-shaped for the
+// daemon's GET /jobs/{id} response.
+type Snapshot struct {
+	ID        string    `json:"id"`
+	Status    Status    `json:"status"`
+	Total     int       `json:"total"`
+	Completed int       `json:"completed"`
+	Error     string    `json:"error,omitempty"`
+	Submitted time.Time `json:"submitted"`
+	// RunSeconds is the execution time so far (or in total, once the
+	// job is terminal); zero while queued.
+	RunSeconds float64 `json:"run_seconds"`
+}
+
+// Snapshot captures the job's current state.
+func (j *Job[R]) Snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Snapshot{
+		ID:        j.id,
+		Status:    j.status,
+		Total:     j.total,
+		Completed: j.completed,
+		Submitted: j.submitted,
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	switch {
+	case j.started.IsZero():
+	case j.finished.IsZero():
+		s.RunSeconds = time.Since(j.started).Seconds()
+	default:
+		s.RunSeconds = j.finished.Sub(j.started).Seconds()
+	}
+	return s
+}
+
+// Page returns one window of the result set once the job is terminal.
+// The second return is false while the job is still queued or running.
+// offset past the end yields an empty page; limit <= 0 means no limit.
+func (j *Job[R]) Page(offset, limit int) ([]R, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.status.Terminal() {
+		return nil, false
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	if offset >= len(j.results) {
+		return []R{}, true
+	}
+	end := len(j.results)
+	if limit > 0 && offset+limit < end {
+		end = offset + limit
+	}
+	return j.results[offset:end], true
+}
+
+// setRunning transitions queued -> running.
+func (j *Job[R]) setRunning() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.status = StatusRunning
+	j.started = time.Now()
+}
+
+// finish publishes the terminal state exactly once.
+func (j *Job[R]) finish(results []R, err error) {
+	j.mu.Lock()
+	switch {
+	case err == nil:
+		j.status = StatusDone
+		j.results = results
+		j.completed = j.total
+	case errors.Is(err, context.Canceled):
+		j.status = StatusCanceled
+		j.err = err
+	default:
+		j.status = StatusFailed
+		j.err = err
+	}
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// progress records completed units (monotonic; stale reports ignored).
+func (j *Job[R]) progress(completed int) {
+	j.mu.Lock()
+	if completed > j.completed && !j.status.Terminal() {
+		j.completed = completed
+	}
+	j.mu.Unlock()
+}
+
+// Queue owns job submission, execution, retention, and cancellation.
+type Queue[R any] struct {
+	retain *cache.Cache[string, *Job[R]]
+	slots  chan struct{}
+	base   context.Context
+	stop   context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// New builds a queue retaining at most `retain` jobs (LRU, minimum 1)
+// and executing at most `concurrent` jobs at once (minimum 1). Jobs
+// beyond the concurrency bound wait in StatusQueued.
+func New[R any](retain, concurrent int) *Queue[R] {
+	if retain < 1 {
+		retain = 1
+	}
+	if concurrent < 1 {
+		concurrent = 1
+	}
+	base, stop := context.WithCancel(context.Background())
+	return &Queue[R]{
+		retain: cache.New[string, *Job[R]](retain),
+		slots:  make(chan struct{}, concurrent),
+		base:   base,
+		stop:   stop,
+	}
+}
+
+// newID returns a 16-hex-character random job identifier.
+func newID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// Submit registers a batch of total units and starts it as soon as a
+// concurrency slot frees up. Retention pressure from the submission may
+// evict (and cancel) the least recently polled jobs.
+func (q *Queue[R]) Submit(total int, run RunFunc[R]) (*Job[R], error) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil, errors.New("jobqueue: queue is shut down")
+	}
+	q.wg.Add(1)
+	q.mu.Unlock()
+
+	id, err := newID()
+	if err != nil {
+		q.wg.Done()
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(q.base)
+	j := &Job[R]{
+		id:        id,
+		total:     total,
+		submitted: time.Now(),
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		status:    StatusQueued,
+	}
+	// Evicted jobs are canceled: retention is the only reference the
+	// queue keeps, so an evicted running job must not keep executing.
+	for _, ev := range q.retain.Add(id, j) {
+		ev.Val.cancel()
+	}
+
+	go func() {
+		defer q.wg.Done()
+		defer cancel()
+		select {
+		case q.slots <- struct{}{}:
+			defer func() { <-q.slots }()
+		case <-ctx.Done():
+			j.finish(nil, context.Cause(ctx))
+			return
+		}
+		if ctx.Err() != nil {
+			j.finish(nil, context.Cause(ctx))
+			return
+		}
+		j.setRunning()
+		results, err := run(ctx, j.progress)
+		j.finish(results, err)
+	}()
+	return j, nil
+}
+
+// Get returns a retained job by ID, touching its recency.
+func (q *Queue[R]) Get(id string) (*Job[R], bool) {
+	return q.retain.Lookup(id)
+}
+
+// Cancel requests cancellation of a retained job. The job stays
+// retained — polling continues to work — and reaches StatusCanceled
+// once its RunFunc observes the context (immediately, if still queued).
+// The boolean reports whether the job was found.
+func (q *Queue[R]) Cancel(id string) (*Job[R], bool) {
+	j, ok := q.retain.Lookup(id)
+	if !ok {
+		return nil, false
+	}
+	j.cancel()
+	return j, true
+}
+
+// Stats reports the retention cache counters (hits/misses are poll
+// lookups; entries is the number of retained jobs).
+func (q *Queue[R]) Stats() cache.Stats { return q.retain.Stats() }
+
+// Close cancels every job and waits for all execution goroutines to
+// return. Further Submits fail.
+func (q *Queue[R]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.stop()
+	q.wg.Wait()
+}

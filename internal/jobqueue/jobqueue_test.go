@@ -1,0 +1,219 @@
+package jobqueue
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// wait blocks until the job is terminal or the test times out.
+func wait(t *testing.T, j *Job[int]) Snapshot {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatalf("job %s did not finish", j.ID())
+	}
+	return j.Snapshot()
+}
+
+func TestSubmitRunsToCompletion(t *testing.T) {
+	q := New[int](4, 2)
+	defer q.Close()
+	j, err := q.Submit(3, func(ctx context.Context, progress func(int)) ([]int, error) {
+		for i := 1; i <= 3; i++ {
+			progress(i)
+		}
+		return []int{10, 20, 30}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := wait(t, j)
+	if s.Status != StatusDone || s.Completed != 3 || s.Total != 3 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	got, ok := j.Page(1, 1)
+	if !ok || len(got) != 1 || got[0] != 20 {
+		t.Fatalf("Page(1,1) = (%v, %v)", got, ok)
+	}
+	if all, _ := j.Page(0, 0); len(all) != 3 {
+		t.Fatalf("unlimited page returned %v", all)
+	}
+	if past, ok := j.Page(99, 10); !ok || len(past) != 0 {
+		t.Fatalf("past-the-end page = (%v, %v)", past, ok)
+	}
+}
+
+func TestPageUnavailableWhileRunning(t *testing.T) {
+	q := New[int](4, 1)
+	defer q.Close()
+	release := make(chan struct{})
+	j, _ := q.Submit(1, func(ctx context.Context, progress func(int)) ([]int, error) {
+		<-release
+		return []int{1}, nil
+	})
+	if _, ok := j.Page(0, 10); ok {
+		t.Fatal("Page succeeded on a non-terminal job")
+	}
+	close(release)
+	wait(t, j)
+	if _, ok := j.Page(0, 10); !ok {
+		t.Fatal("Page failed on a done job")
+	}
+}
+
+func TestConcurrencyBound(t *testing.T) {
+	q := New[int](8, 2)
+	defer q.Close()
+	var running, peak atomic.Int32
+	release := make(chan struct{})
+	var jobs []*Job[int]
+	for i := 0; i < 5; i++ {
+		j, err := q.Submit(1, func(ctx context.Context, progress func(int)) ([]int, error) {
+			n := running.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			<-release
+			running.Add(-1)
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	// Let the first two start, then release everything.
+	deadline := time.Now().Add(5 * time.Second)
+	for running.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	for _, j := range jobs {
+		wait(t, j)
+	}
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("peak concurrency %d exceeds bound 2", p)
+	}
+}
+
+func TestCancelRunning(t *testing.T) {
+	q := New[int](4, 1)
+	defer q.Close()
+	started := make(chan struct{})
+	j, _ := q.Submit(1, func(ctx context.Context, progress func(int)) ([]int, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, fmt.Errorf("unit 0: %w", ctx.Err())
+	})
+	<-started
+	if _, ok := q.Cancel(j.ID()); !ok {
+		t.Fatal("Cancel did not find the job")
+	}
+	s := wait(t, j)
+	if s.Status != StatusCanceled {
+		t.Fatalf("status = %s, want canceled", s.Status)
+	}
+	// Canceled jobs stay pollable.
+	if _, ok := q.Get(j.ID()); !ok {
+		t.Fatal("canceled job no longer retained")
+	}
+}
+
+func TestCancelQueued(t *testing.T) {
+	q := New[int](4, 1)
+	defer q.Close()
+	release := make(chan struct{})
+	blocker, _ := q.Submit(1, func(ctx context.Context, progress func(int)) ([]int, error) {
+		<-release
+		return nil, nil
+	})
+	queued, _ := q.Submit(1, func(ctx context.Context, progress func(int)) ([]int, error) {
+		t.Error("queued job ran after cancellation")
+		return nil, nil
+	})
+	q.Cancel(queued.ID())
+	if s := wait(t, queued); s.Status != StatusCanceled {
+		t.Fatalf("queued job status = %s, want canceled", s.Status)
+	}
+	close(release)
+	wait(t, blocker)
+}
+
+func TestEvictionCancelsRunningJob(t *testing.T) {
+	q := New[int](1, 2)
+	defer q.Close()
+	started := make(chan struct{})
+	old, _ := q.Submit(1, func(ctx context.Context, progress func(int)) ([]int, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	<-started
+	// Retention holds one job: the next submission evicts (and cancels)
+	// the running one.
+	fresh, _ := q.Submit(1, func(ctx context.Context, progress func(int)) ([]int, error) {
+		return []int{1}, nil
+	})
+	if s := wait(t, old); s.Status != StatusCanceled {
+		t.Fatalf("evicted job status = %s, want canceled", s.Status)
+	}
+	if _, ok := q.Get(old.ID()); ok {
+		t.Fatal("evicted job still retained")
+	}
+	wait(t, fresh)
+	if _, ok := q.Get(fresh.ID()); !ok {
+		t.Fatal("fresh job not retained")
+	}
+}
+
+func TestFailedJobReportsError(t *testing.T) {
+	q := New[int](4, 1)
+	defer q.Close()
+	j, _ := q.Submit(1, func(ctx context.Context, progress func(int)) ([]int, error) {
+		return nil, errors.New("substrate imploded")
+	})
+	s := wait(t, j)
+	if s.Status != StatusFailed || s.Error != "substrate imploded" {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestCloseCancelsEverything(t *testing.T) {
+	q := New[int](4, 1)
+	j, _ := q.Submit(1, func(ctx context.Context, progress func(int)) ([]int, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	q.Close()
+	select {
+	case <-j.Done():
+	default:
+		t.Fatal("Close returned before the job finished")
+	}
+	if _, err := q.Submit(1, func(context.Context, func(int)) ([]int, error) { return nil, nil }); err == nil {
+		t.Fatal("Submit succeeded on a closed queue")
+	}
+}
+
+func TestProgressMonotonic(t *testing.T) {
+	q := New[int](4, 1)
+	defer q.Close()
+	j, _ := q.Submit(10, func(ctx context.Context, progress func(int)) ([]int, error) {
+		progress(4)
+		progress(2) // stale report must not move completed backwards
+		return nil, nil
+	})
+	wait(t, j)
+	if s := j.Snapshot(); s.Completed != 10 {
+		// finish() publishes total on success
+		t.Fatalf("completed = %d, want 10", s.Completed)
+	}
+}

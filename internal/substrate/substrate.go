@@ -114,32 +114,64 @@ func Stats() cache.Stats {
 	return out
 }
 
-// WetBulbYear returns the memoized wet-bulb series of (site, seed).
-func WetBulbYear(s weather.Site, seed uint64) []units.Celsius {
-	v, _, _ := current().wetBulb.Get(wetBulbKey{s, seed}, func() ([]units.Celsius, error) {
+// WetBulbYear returns the memoized wet-bulb series of (site, seed). The
+// second return reports whether the year was served from cache rather
+// than generated — the Engine aggregates these into its planned vs.
+// unplanned substrate accounting.
+func WetBulbYear(s weather.Site, seed uint64) ([]units.Celsius, bool) {
+	v, hit, _ := current().wetBulb.Get(wetBulbKey{s, seed}, func() ([]units.Celsius, error) {
 		return weather.WetBulbSeries(s.HourlyYear(seed)), nil
 	})
-	return v
+	return v, hit
+}
+
+// Trace counts layer lookups (hits served from cache, misses that
+// generated a year) for callers that attribute them — the Engine's
+// planned/unplanned accounting. core re-exports it as SubstrateTrace.
+type Trace struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Note records one lookup outcome.
+func (t *Trace) Note(hit bool) {
+	if hit {
+		t.Hits++
+	} else {
+		t.Misses++
+	}
+}
+
+// Merge folds another trace in.
+func (t *Trace) Merge(o Trace) {
+	t.Hits += o.Hits
+	t.Misses += o.Misses
 }
 
 // WUEYear returns the memoized hourly WUE series of (curve, site, seed):
 // the curve evaluated exactly (Curve.At) over the cached wet-bulb year,
 // so repeated assessments look values up instead of re-evaluating the
-// piecewise curve 8760 times.
-func WUEYear(c wue.Curve, s weather.Site, seed uint64) []units.LPerKWh {
-	v, _, _ := current().wueYear.Get(wueKey{c, s, seed}, func() ([]units.LPerKWh, error) {
-		return c.Series(WetBulbYear(s, seed)), nil
+// piecewise curve 8760 times. The trace folds in the nested wet-bulb
+// lookup a miss performs, so traced counts tally with the layer's
+// Stats.
+func WUEYear(c wue.Curve, s weather.Site, seed uint64) ([]units.LPerKWh, Trace) {
+	var tr Trace
+	v, hit, _ := current().wueYear.Get(wueKey{c, s, seed}, func() ([]units.LPerKWh, error) {
+		wb, wbHit := WetBulbYear(s, seed)
+		tr.Note(wbHit)
+		return c.Series(wb), nil
 	})
-	return v
+	tr.Note(hit)
+	return v, tr
 }
 
 // GridYear returns the memoized EWF/carbon signals of (region, seed).
-func GridYear(r energy.Region, seed uint64) GridSignals {
+func GridYear(r energy.Region, seed uint64) (GridSignals, bool) {
 	h := fingerprint.New()
 	r.Fingerprint(h)
 	key := gridKey{region: h.Sum(), seed: seed}
 	h.Release()
-	v, _, _ := current().grid.Get(key, func() (GridSignals, error) {
+	v, hit, _ := current().grid.Get(key, func() (GridSignals, error) {
 		hours := r.HourlyYear(seed)
 		g := GridSignals{
 			EWF:    make([]units.LPerKWh, len(hours)),
@@ -151,13 +183,82 @@ func GridYear(r energy.Region, seed uint64) GridSignals {
 		}
 		return g, nil
 	})
-	return v
+	return v, hit
 }
 
 // UtilizationYear returns the memoized utilization series of (model, seed).
-func UtilizationYear(d jobs.DemandModel, seed uint64) []float64 {
-	v, _, _ := current().util.Get(utilKey{d, seed}, func() ([]float64, error) {
+func UtilizationYear(d jobs.DemandModel, seed uint64) ([]float64, bool) {
+	v, hit, _ := current().util.Get(utilKey{d, seed}, func() ([]float64, error) {
 		return d.UtilizationYear(seed), nil
 	})
-	return v
+	return v, hit
+}
+
+// Keys identifies the substrate years one assessment will touch, as
+// canonical fingerprints — one per cache plus the combined substrate
+// identity. Two configurations with equal Combined keys hit exactly the
+// same four cache entries, which is the property the sweep planner
+// (internal/plan) builds its execution groups on. The component keys are
+// exposed separately so the planner can also cluster groups that share
+// only part of their substrate (same grid, different site, ...).
+type Keys struct {
+	Grid    fingerprint.Key
+	WUE     fingerprint.Key
+	WetBulb fingerprint.Key
+	Util    fingerprint.Key
+}
+
+// KeysFor fingerprints the substrate identity of one configuration. Each
+// component key is domain-tagged so the four keyspaces stay disjoint.
+func KeysFor(c wue.Curve, s weather.Site, r energy.Region, d jobs.DemandModel, seed uint64) Keys {
+	var k Keys
+	h := fingerprint.New()
+
+	h.String("grid")
+	r.Fingerprint(h)
+	h.Uint64(seed)
+	k.Grid = h.Sum()
+
+	h.Reset()
+	h.String("wue")
+	c.Fingerprint(h)
+	s.Fingerprint(h)
+	h.Uint64(seed)
+	k.WUE = h.Sum()
+
+	h.Reset()
+	h.String("wetbulb")
+	s.Fingerprint(h)
+	h.Uint64(seed)
+	k.WetBulb = h.Sum()
+
+	h.Reset()
+	h.String("util")
+	d.Fingerprint(h)
+	h.Uint64(seed)
+	k.Util = h.Sum()
+
+	h.Release()
+	return k
+}
+
+// Combined folds the component keys into the single substrate identity:
+// equal Combined keys touch identical cache entries in every layer cache.
+func (k Keys) Combined() fingerprint.Key {
+	h := fingerprint.New()
+	h.Bytes(k.Grid[:])
+	h.Bytes(k.WUE[:])
+	h.Bytes(k.WetBulb[:])
+	h.Bytes(k.Util[:])
+	key := h.Sum()
+	h.Release()
+	return key
+}
+
+// Cluster returns the component keys in the planner's clustering
+// priority: grid first (the most expensive year to regenerate — its
+// generation builds per-hour mix maps), then the WUE series, the
+// wet-bulb year it derives from, and the utilization year.
+func (k Keys) Cluster() [4]fingerprint.Key {
+	return [4]fingerprint.Key{k.Grid, k.WUE, k.WetBulb, k.Util}
 }

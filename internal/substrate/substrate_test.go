@@ -19,7 +19,7 @@ func reset(t *testing.T) {
 func TestWetBulbYearMatchesDirect(t *testing.T) {
 	reset(t)
 	site := weather.OakRidge()
-	got := WetBulbYear(site, 42)
+	got, _ := WetBulbYear(site, 42)
 	want := weather.WetBulbSeries(site.HourlyYear(42))
 	if len(got) != len(want) {
 		t.Fatalf("length %d vs %d", len(got), len(want))
@@ -34,7 +34,7 @@ func TestWetBulbYearMatchesDirect(t *testing.T) {
 func TestWUEYearMatchesDirect(t *testing.T) {
 	reset(t)
 	site, curve := weather.Bologna(), wue.DefaultCurve()
-	got := WUEYear(curve, site, 7)
+	got, _ := WUEYear(curve, site, 7)
 	want := curve.Series(weather.WetBulbSeries(site.HourlyYear(7)))
 	for h := range got {
 		if got[h] != want[h] {
@@ -46,7 +46,7 @@ func TestWUEYearMatchesDirect(t *testing.T) {
 func TestGridYearMatchesDirect(t *testing.T) {
 	reset(t)
 	region := energy.Italy()
-	got := GridYear(region, 42)
+	got, _ := GridYear(region, 42)
 	hours := region.HourlyYear(42)
 	if len(got.EWF) != len(hours) || len(got.Carbon) != len(hours) {
 		t.Fatal("length mismatch")
@@ -61,7 +61,7 @@ func TestGridYearMatchesDirect(t *testing.T) {
 func TestUtilizationYearMatchesDirect(t *testing.T) {
 	reset(t)
 	d := jobs.DefaultDemand()
-	got := UtilizationYear(d, 3)
+	got, _ := UtilizationYear(d, 3)
 	want := d.UtilizationYear(3)
 	for h := range got {
 		if got[h] != want[h] {
@@ -74,17 +74,20 @@ func TestMemoization(t *testing.T) {
 	reset(t)
 	site := weather.Kobe()
 	before := Stats()
-	a := WetBulbYear(site, 1)
-	b := WetBulbYear(site, 1)
+	a, ahit := WetBulbYear(site, 1)
+	b, bhit := WetBulbYear(site, 1)
 	if &a[0] != &b[0] {
 		t.Error("repeated request did not share the cached slice")
+	}
+	if ahit || !bhit {
+		t.Errorf("hit flags = %v, %v; want false, true", ahit, bhit)
 	}
 	after := Stats()
 	if hits := after.Hits - before.Hits; hits != 1 {
 		t.Errorf("hits = %d, want 1", hits)
 	}
 	// A different seed is a different year.
-	c := WetBulbYear(site, 2)
+	c, _ := WetBulbYear(site, 2)
 	if &a[0] == &c[0] {
 		t.Error("different seed shared a cached year")
 	}
@@ -95,7 +98,8 @@ func TestDistinctRegionsWithSameNameDoNotCollide(t *testing.T) {
 	a := energy.Italy()
 	b := energy.Italy()
 	b.HydroSeasonality = 0 // same name, different physics
-	ga, gb := GridYear(a, 42), GridYear(b, 42)
+	ga, _ := GridYear(a, 42)
+	gb, _ := GridYear(b, 42)
 	same := true
 	for h := range ga.EWF {
 		if ga.EWF[h] != gb.EWF[h] {
@@ -112,10 +116,13 @@ func TestDisabledLayerRecomputes(t *testing.T) {
 	reset(t)
 	SetCapacity(0)
 	site := weather.Lemont()
-	a := WetBulbYear(site, 1)
-	b := WetBulbYear(site, 1)
+	a, ahit := WetBulbYear(site, 1)
+	b, bhit := WetBulbYear(site, 1)
 	if &a[0] == &b[0] {
 		t.Error("disabled layer still shared slices")
+	}
+	if ahit || bhit {
+		t.Error("disabled layer reported cache hits")
 	}
 	for h := range a {
 		if a[h] != b[h] {
@@ -127,9 +134,9 @@ func TestDisabledLayerRecomputes(t *testing.T) {
 func TestWUEYearDependsOnCurve(t *testing.T) {
 	reset(t)
 	site := weather.OakRidge()
-	a := WUEYear(wue.DefaultCurve(), site, 42)
+	a, _ := WUEYear(wue.DefaultCurve(), site, 42)
 	hot := wue.Curve{Floor: 0.1, Cutoff: 0, Coeff: 0.05, Cap: 20}
-	b := WUEYear(hot, site, 42)
+	b, _ := WUEYear(hot, site, 42)
 	if a[4000] == b[4000] {
 		t.Error("different curves returned the same WUE year")
 	}
