@@ -6,7 +6,10 @@
 # bench-daemon gates the thirstyflopsd HTTP serving path (concurrent
 # /assess throughput, live assess, NDJSON ingest) against BENCH_PR3.json,
 # bench-plan gates the substrate-aware sweep planner (planned vs
-# unplanned shuffled sweep, plan construction) against BENCH_PR4.json.
+# unplanned shuffled sweep, plan construction) against BENCH_PR4.json,
+# bench-store gates the persistence tier (record append, disk get, warm
+# boot of a 10k-entry log, and the engine-level disk-hit vs isolated
+# recompute pair) against BENCH_PR5.json.
 # The docs target runs the documentation drift gate: route list in
 # docs/HTTP_API.md vs the daemon mux (cmd/docscheck), go vet, and an
 # examples build.
@@ -17,7 +20,9 @@ GATED_DAEMON_BENCHES = ^(BenchmarkDaemonAssess|BenchmarkDaemonAssessLive|Benchma
 
 GATED_PLAN_BENCHES = ^(BenchmarkSweepPlanned|BenchmarkSweepUnplanned|BenchmarkPlanBuild)$$
 
-.PHONY: build test race bench bench-core bench-daemon bench-plan docs
+GATED_STORE_BENCHES = ^(BenchmarkStoreAppend|BenchmarkStoreGet|BenchmarkWarmStart|BenchmarkEngineWarmStartDisk|BenchmarkEngineAssessColdIsolated)$$
+
+.PHONY: build test race bench bench-core bench-daemon bench-plan bench-store docs
 
 build:
 	go build ./...
@@ -28,7 +33,7 @@ test:
 race:
 	go test -race ./...
 
-bench: bench-core bench-daemon bench-plan
+bench: bench-core bench-daemon bench-plan bench-store
 
 bench-core:
 	go test -run '^$$' -bench '$(GATED_BENCHES)' -benchmem -benchtime=500ms -count=1 . \
@@ -41,6 +46,13 @@ bench-daemon:
 bench-plan:
 	go test -run '^$$' -bench '$(GATED_PLAN_BENCHES)' -benchmem -benchtime=500ms -count=1 . \
 		| go run ./cmd/benchcheck -baseline BENCH_PR4.json
+
+# One go test invocation over both packages so benchcheck sees the whole
+# BENCH_PR5 set (store micro-benches + the engine-level warm/cold pair)
+# on a single stream.
+bench-store:
+	go test -run '^$$' -bench '$(GATED_STORE_BENCHES)' -benchmem -benchtime=500ms -count=1 . ./internal/store \
+		| go run ./cmd/benchcheck -baseline BENCH_PR5.json
 
 docs:
 	go vet ./...

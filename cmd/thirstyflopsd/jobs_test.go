@@ -248,7 +248,10 @@ func TestJobsValidationAndLimits(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := thirstyflops.NewEngine(thirstyflops.WithLiveStream(stream))
-	srv := newServer(eng, jobsConfig{Retain: 4, Concurrency: 1, MaxUnits: 4})
+	srv, err := newServer(eng, jobsConfig{Retain: 4, Concurrency: 1, MaxUnits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(srv.close)
 	ts := httptest.NewServer(srv.mux())
 	t.Cleanup(ts.Close)
@@ -317,7 +320,10 @@ func TestJobsRetentionEvictsOldest(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := thirstyflops.NewEngine(thirstyflops.WithLiveStream(stream))
-	srv := newServer(eng, jobsConfig{Retain: 2, Concurrency: 2, MaxUnits: 100})
+	srv, err := newServer(eng, jobsConfig{Retain: 2, Concurrency: 2, MaxUnits: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(srv.close)
 	ts := httptest.NewServer(srv.mux())
 	t.Cleanup(ts.Close)
@@ -343,7 +349,10 @@ func TestJobsRetentionEvictsOldest(t *testing.T) {
 
 func TestJobsDisabled(t *testing.T) {
 	eng := thirstyflops.NewEngine()
-	srv := newServer(eng, jobsConfig{Retain: 0})
+	srv, err := newServer(eng, jobsConfig{Retain: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.mux())
 	t.Cleanup(ts.Close)
 	if resp := postJSON(t, ts.URL+"/jobs", `{}`); resp.StatusCode != http.StatusServiceUnavailable {

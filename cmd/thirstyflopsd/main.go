@@ -32,7 +32,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -43,6 +45,7 @@ import (
 	"net/url"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -51,6 +54,7 @@ import (
 
 	"thirstyflops"
 	"thirstyflops/internal/jobqueue"
+	"thirstyflops/internal/store"
 )
 
 func main() {
@@ -64,6 +68,7 @@ func main() {
 		jobRetain  = flag.Int("jobs", defaultJobRetain, "async jobs retained for polling, LRU-evicted (0 disables /jobs)")
 		jobConc    = flag.Int("job-concurrency", defaultJobConcurrency, "async jobs executing at once; further jobs queue")
 		jobUnits   = flag.Int("job-max-units", defaultJobMaxUnits, "max assessments one job may expand to")
+		stateDir   = flag.String("state-dir", "", "persistence directory (empty disables): memoized assessments and completed job results survive restarts")
 	)
 	flag.Parse()
 
@@ -78,12 +83,22 @@ func main() {
 		}
 		opts = append(opts, thirstyflops.WithLiveStream(stream))
 	}
+	if *stateDir != "" {
+		opts = append(opts, thirstyflops.WithPersistence(*stateDir))
+	}
 	eng := thirstyflops.NewEngine(opts...)
-	s := newServer(eng, jobsConfig{
+	if err := eng.PersistenceError(); err != nil {
+		log.Fatal(err)
+	}
+	s, err := newServer(eng, jobsConfig{
 		Retain:      *jobRetain,
 		Concurrency: *jobConc,
 		MaxUnits:    *jobUnits,
+		StateDir:    *stateDir,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	srv := &http.Server{
 		Addr:         *addr,
 		Handler:      s.mux(),
@@ -109,9 +124,13 @@ func main() {
 		if err := srv.Shutdown(shutCtx); err != nil {
 			log.Fatal(err)
 		}
-		// In-flight HTTP requests have drained; cancel background jobs
-		// and wait for their workers before exiting.
+		// In-flight HTTP requests have drained; cancel background jobs,
+		// wait for their workers, and flush the persistence logs before
+		// exiting.
 		s.close()
+		if err := eng.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 
@@ -140,36 +159,110 @@ type jobUnit struct {
 
 // jobsConfig sizes the async job queue.
 type jobsConfig struct {
-	Retain      int // jobs retained for polling (0 disables /jobs)
-	Concurrency int // jobs executing at once
-	MaxUnits    int // max assessments one job may expand to
+	Retain      int    // jobs retained for polling (0 disables /jobs)
+	Concurrency int    // jobs executing at once
+	MaxUnits    int    // max assessments one job may expand to
+	StateDir    string // persistence directory; completed jobs survive restarts
 }
 
 // server binds the HTTP surface to one Engine plus its job queue.
 type server struct {
 	engine      *thirstyflops.Engine
 	jobs        *jobqueue.Queue[jobUnit]
+	jobsStore   *store.Store
 	maxJobUnits int
 	start       time.Time
 }
 
-// newServer wires an Engine and an async job queue.
-func newServer(eng *thirstyflops.Engine, cfg jobsConfig) *server {
+// jobsStoreSchema versions the durable job records (gob-encoded
+// jobqueue.PersistedJob[jobUnit]); bump it when jobUnit or the
+// AssessResult shape changes so stale files are discarded, not misread.
+const jobsStoreSchema = 1
+
+// newServer wires an Engine and an async job queue. With a StateDir,
+// completed jobs are persisted to <dir>/jobs.log and replayed into the
+// retention LRU, so results survive a daemon restart.
+func newServer(eng *thirstyflops.Engine, cfg jobsConfig) (*server, error) {
 	s := &server{engine: eng, maxJobUnits: cfg.MaxUnits, start: time.Now()}
 	if s.maxJobUnits <= 0 {
 		s.maxJobUnits = defaultJobMaxUnits
 	}
 	if cfg.Retain > 0 {
-		s.jobs = jobqueue.New[jobUnit](cfg.Retain, cfg.Concurrency)
+		var opts []jobqueue.Option[jobUnit]
+		if cfg.StateDir != "" {
+			if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+				return nil, fmt.Errorf("state dir: %w", err)
+			}
+			st, err := store.Open(filepath.Join(cfg.StateDir, "jobs.log"), store.Options{
+				Schema: jobsStoreSchema,
+				// Durability over latency for completed sweeps: job
+				// completion is rare next to the assess path, so block
+				// on queue pressure instead of dropping results.
+				BlockOnFull: true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("open jobs log: %w", err)
+			}
+			s.jobsStore = st
+			opts = append(opts, jobqueue.WithPersister(&jobsPersister{st: st}))
+		}
+		s.jobs = jobqueue.New[jobUnit](cfg.Retain, cfg.Concurrency, opts...)
 	}
-	return s
+	return s, nil
 }
 
-// close cancels background jobs and waits for their workers.
+// close cancels background jobs, waits for their workers, and flushes
+// the jobs log. Queue first: its workers are the last writers.
 func (s *server) close() {
 	if s.jobs != nil {
 		s.jobs.Close()
 	}
+	if s.jobsStore != nil {
+		s.jobsStore.Close()
+	}
+}
+
+// jobsPersister adapts the record log to the queue's durability hook:
+// one gob-encoded PersistedJob per record, keyed by job ID. Every save
+// syncs — a job's results are either fully durable or absent, never torn
+// (the store's CRC framing discards a half-written tail at recovery).
+type jobsPersister struct {
+	st *store.Store
+}
+
+func (p *jobsPersister) SaveJob(pj jobqueue.PersistedJob[jobUnit]) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(pj); err != nil {
+		return err
+	}
+	if err := p.st.Put([]byte(pj.Snapshot.ID), buf.Bytes()); err != nil {
+		return err
+	}
+	return p.st.Sync()
+}
+
+func (p *jobsPersister) DeleteJob(id string) error {
+	return p.st.Delete([]byte(id))
+}
+
+func (p *jobsPersister) LoadJobs() ([]jobqueue.PersistedJob[jobUnit], error) {
+	var out []jobqueue.PersistedJob[jobUnit]
+	err := p.st.Range(func(_, val []byte) error {
+		var pj jobqueue.PersistedJob[jobUnit]
+		if err := gob.NewDecoder(bytes.NewReader(val)).Decode(&pj); err != nil {
+			// An undecodable record (schema slip inside one value) is
+			// dropped; the surviving jobs still replay.
+			return nil
+		}
+		out = append(out, pj)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The queue orders the replay by submission time itself; Range order
+	// is unspecified and fine here.
+	return out, nil
 }
 
 // mux routes the JSON API. The /jobs routes use method patterns, so a
@@ -192,10 +285,15 @@ func (s *server) mux() *http.ServeMux {
 // newMux routes the JSON API onto an Engine with default job-queue
 // sizing — the historical constructor, kept for tests and benchmarks.
 func newMux(eng *thirstyflops.Engine) *http.ServeMux {
-	return newServer(eng, jobsConfig{
+	s, err := newServer(eng, jobsConfig{
 		Retain:      defaultJobRetain,
 		Concurrency: defaultJobConcurrency,
-	}).mux()
+	})
+	if err != nil {
+		// Without a StateDir newServer opens nothing that can fail.
+		panic(err)
+	}
+	return s.mux()
 }
 
 // errorBody is the JSON error shape.
@@ -569,10 +667,12 @@ func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, job.Snapshot())
 }
 
-// jobsHealth summarizes the queue for /healthz.
+// jobsHealth summarizes the queue for /healthz. Durable is the number of
+// completed jobs persisted on disk (present only with -state-dir).
 type jobsHealth struct {
 	Retained int    `json:"retained"`
 	Lookups  uint64 `json:"lookups"`
+	Durable  *int   `json:"durable,omitempty"`
 }
 
 // healthBody is the /healthz response.
@@ -592,6 +692,10 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.jobs != nil {
 		st := s.jobs.Stats()
 		body.Jobs = &jobsHealth{Retained: st.Entries, Lookups: st.Hits + st.Misses}
+		if s.jobsStore != nil {
+			n := s.jobsStore.Stats().Entries
+			body.Jobs.Durable = &n
+		}
 	}
 	writeJSON(w, http.StatusOK, body)
 }

@@ -1,0 +1,241 @@
+package main
+
+// End-to-end restart tests for the persistent state tier: a daemon
+// stopped the way the SIGTERM path stops it (drain HTTP, close the job
+// queue and stores) and restarted on the same -state-dir must serve
+// completed job results byte-for-byte and answer previously assessed
+// requests from disk without recomputing.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"thirstyflops"
+	"thirstyflops/internal/jobqueue"
+)
+
+// stateServer is one daemon "process" pinned to a state directory.
+type stateServer struct {
+	ts  *httptest.Server
+	srv *server
+	eng *thirstyflops.Engine
+}
+
+// startStateServer boots a daemon instance on dir, exactly as main does
+// with -state-dir: engine persistence plus the durable job queue.
+func startStateServer(t *testing.T, dir string) *stateServer {
+	t.Helper()
+	eng := thirstyflops.NewEngine(thirstyflops.WithPersistence(dir))
+	if err := eng.PersistenceError(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(eng, jobsConfig{
+		Retain:      8,
+		Concurrency: 2,
+		StateDir:    dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &stateServer{ts: httptest.NewServer(srv.mux()), srv: srv, eng: eng}
+}
+
+// shutdown mirrors main's SIGTERM sequence: stop accepting HTTP, drain,
+// close the job queue (waiting for workers and the final persist), then
+// flush and close the engine's log.
+func (s *stateServer) shutdown(t *testing.T) {
+	t.Helper()
+	s.ts.Close()
+	s.srv.close()
+	if err := s.eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// getBody fetches url and returns status and raw bytes.
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+func TestDaemonRestartServesPersistedJobResults(t *testing.T) {
+	dir := t.TempDir()
+	s1 := startStateServer(t, dir)
+
+	// Submit a batch (one unit carries the full hourly series, the worst
+	// case for byte-identity) and wait for completion.
+	resp := postJSON(t, s1.ts.URL+"/jobs",
+		`{"requests": [
+			{"system": "Frontier"},
+			{"system": "Fugaku", "scenarios": true},
+			{"system": "Marconi", "include_series": true}
+		]}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	var submitted jobqueue.Snapshot
+	decode(t, resp, &submitted)
+	if snap := pollJob(t, s1.ts.URL, submitted.ID); snap.Status != jobqueue.StatusDone {
+		t.Fatalf("job = %+v", snap)
+	}
+
+	// Capture every result page (and the status body) pre-restart.
+	pageURL := func(base string, offset, limit int) string {
+		return fmt.Sprintf("%s/jobs/%s/result?offset=%d&limit=%d", base, submitted.ID, offset, limit)
+	}
+	var beforePages [][]byte
+	for offset := 0; offset < 3; offset += 2 {
+		code, raw := getBody(t, pageURL(s1.ts.URL, offset, 2))
+		if code != http.StatusOK {
+			t.Fatalf("pre-restart page at %d = %d", offset, code)
+		}
+		beforePages = append(beforePages, raw)
+	}
+	s1.shutdown(t)
+
+	// A fresh daemon on the same state dir: the job is still pollable
+	// and every page is byte-identical.
+	s2 := startStateServer(t, dir)
+	defer s2.shutdown(t)
+	code, statusRaw := getBody(t, s2.ts.URL+"/jobs/"+submitted.ID)
+	if code != http.StatusOK {
+		t.Fatalf("post-restart status poll = %d (%s)", code, statusRaw)
+	}
+	var restored jobqueue.Snapshot
+	decode(t, doMethod(t, http.MethodGet, s2.ts.URL+"/jobs/"+submitted.ID), &restored)
+	if restored.Status != jobqueue.StatusDone || restored.Total != 3 || restored.Completed != 3 {
+		t.Fatalf("restored snapshot = %+v", restored)
+	}
+	for i, offset := range []int{0, 2} {
+		code, raw := getBody(t, pageURL(s2.ts.URL, offset, 2))
+		if code != http.StatusOK {
+			t.Fatalf("post-restart page at %d = %d", offset, code)
+		}
+		if string(raw) != string(beforePages[i]) {
+			t.Errorf("page at offset %d not byte-identical after restart:\n before: %s\n after:  %s",
+				offset, beforePages[i], raw)
+		}
+	}
+}
+
+func TestDaemonRestartWarmAssessFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	s1 := startStateServer(t, dir)
+	code, before := getBody(t, s1.ts.URL+"/assess?system=Frontier")
+	if code != http.StatusOK {
+		t.Fatalf("pre-restart assess = %d", code)
+	}
+	s1.shutdown(t)
+
+	s2 := startStateServer(t, dir)
+	defer s2.shutdown(t)
+	code, after := getBody(t, s2.ts.URL+"/assess?system=Frontier")
+	if code != http.StatusOK {
+		t.Fatalf("post-restart assess = %d", code)
+	}
+	if string(before) != string(after) {
+		t.Errorf("assess response not byte-identical after restart:\n before: %s\n after:  %s", before, after)
+	}
+
+	// CacheStats must show a disk hit, not a recompute: one hit on the
+	// persistence tier, zero substrate activity on the fresh engine.
+	st := s2.eng.CacheStats()
+	if st.Disk == nil {
+		t.Fatal("no disk stats on the restarted engine")
+	}
+	if st.Disk.Hits != 1 || st.Disk.Misses != 0 {
+		t.Errorf("restarted engine disk stats = %+v, want exactly 1 hit", st.Disk)
+	}
+	if sub := st.Substrate; sub.PlannedMisses+sub.UnplannedMisses != 0 {
+		t.Errorf("restarted engine recomputed: substrate misses = %+v", sub)
+	}
+
+	// /healthz surfaces the same story to operators.
+	code, health := getBody(t, s2.ts.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	var parsed struct {
+		Cache struct {
+			Disk *struct {
+				Hits    uint64 `json:"hits"`
+				Entries int    `json:"entries"`
+			} `json:"disk"`
+		} `json:"cache"`
+	}
+	decode(t, doMethod(t, http.MethodGet, s2.ts.URL+"/healthz"), &parsed)
+	if parsed.Cache.Disk == nil || parsed.Cache.Disk.Hits != 1 || parsed.Cache.Disk.Entries == 0 {
+		t.Errorf("healthz disk block = %+v (%s)", parsed.Cache.Disk, health)
+	}
+}
+
+// TestDaemonRestartEvictedJobStaysGone: jobs the retention LRU dropped
+// before shutdown must not resurrect from disk.
+func TestDaemonRestartEvictedJobStaysGone(t *testing.T) {
+	dir := t.TempDir()
+	eng := thirstyflops.NewEngine(thirstyflops.WithPersistence(dir))
+	if err := eng.PersistenceError(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(eng, jobsConfig{Retain: 1, Concurrency: 1, StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := &stateServer{ts: httptest.NewServer(srv.mux()), srv: srv, eng: eng}
+
+	var ids []string
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, s1.ts.URL+"/jobs", `{"requests": [{"system": "Frontier"}]}`)
+		var snap jobqueue.Snapshot
+		decode(t, resp, &snap)
+		pollJob(t, s1.ts.URL, snap.ID)
+		ids = append(ids, snap.ID)
+	}
+	s1.shutdown(t)
+
+	eng2 := thirstyflops.NewEngine(thirstyflops.WithPersistence(dir))
+	if err := eng2.PersistenceError(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := newServer(eng2, jobsConfig{Retain: 1, Concurrency: 1, StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := &stateServer{ts: httptest.NewServer(srv2.mux()), srv: srv2, eng: eng2}
+	defer s2.shutdown(t)
+
+	if code, _ := getBody(t, s2.ts.URL+"/jobs/"+ids[0]); code != http.StatusNotFound {
+		t.Errorf("evicted job %s answered %d after restart, want 404", ids[0], code)
+	}
+	if code, _ := getBody(t, s2.ts.URL+"/jobs/"+ids[1]); code != http.StatusOK {
+		t.Errorf("retained job %s answered %d after restart, want 200", ids[1], code)
+	}
+}
+
+// TestEngineCloseIdempotentNoState guards the no-state path: Close on a
+// memory-only engine is a no-op and the daemon shuts down cleanly.
+func TestEngineCloseIdempotentNoState(t *testing.T) {
+	eng := thirstyflops.NewEngine()
+	if err := eng.PersistenceError(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Assess(context.Background(), thirstyflops.AssessRequest{System: "Frontier"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,10 +1,14 @@
 package thirstyflops
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -15,6 +19,7 @@ import (
 	"thirstyflops/internal/embodied"
 	"thirstyflops/internal/fingerprint"
 	"thirstyflops/internal/plan"
+	"thirstyflops/internal/store"
 	"thirstyflops/internal/substrate"
 	"thirstyflops/internal/telemetry"
 )
@@ -38,6 +43,20 @@ type Engine struct {
 	planner    bool
 	shards     []*cache.Cache[fingerprint.Key, core.Annual]
 	stream     *telemetry.Stream
+
+	// Persistence tier under the in-memory shards (WithPersistence):
+	// memoized simulated years spill to an append-only disk log keyed by
+	// the same fingerprint, so a restarted process answers previously
+	// assessed configurations without recomputing. store is nil when
+	// persistence is off; storeErr records why an Open failed (the
+	// Engine then runs memory-only).
+	persistDir string
+	store      *store.Store
+	storeErr   error
+
+	diskHits      atomic.Uint64
+	diskMisses    atomic.Uint64
+	diskDecodeErr atomic.Uint64
 
 	// Substrate-layer lookups made on this Engine's behalf, split by
 	// whether the triggering assessment was scheduled by the sweep
@@ -92,6 +111,29 @@ func WithPlanner(enabled bool) Option {
 	return func(e *Engine) { e.planner = enabled }
 }
 
+// WithPersistence attaches the disk tier: memoized assessments are
+// written through to an append-only record log under dir (created if
+// absent) and consulted on cache misses, so a fresh Engine on the same
+// directory — typically a restarted daemon — serves previously assessed
+// configurations from disk instead of recomputing them. Appends are
+// asynchronous behind a bounded queue and never block the assess path;
+// under sustained pressure a write may be dropped (it is a cache, the
+// entry is simply recomputed next time). Check PersistenceError after
+// NewEngine and Close the Engine to flush the log on shutdown.
+func WithPersistence(dir string) Option {
+	return func(e *Engine) { e.persistDir = dir }
+}
+
+// assessStoreSchema versions the on-disk assessment records. Bump it
+// whenever the configuration fingerprint encoding (internal/fingerprint
+// writers or core.Config.Fingerprint field coverage) or the gob shape of
+// core.Annual changes: a store written under any other schema is
+// discarded at open rather than misread.
+const assessStoreSchema = 1
+
+// assessLogName is the record log's filename inside the persistence dir.
+const assessLogName = "assess.log"
+
 // defaultShards is the shard-count ceiling: enough to relieve contention
 // at typical serving parallelism without fragmenting small caches.
 const defaultShards = 8
@@ -137,7 +179,32 @@ func NewEngine(opts ...Option) *Engine {
 			e.shards[i] = cache.New[fingerprint.Key, core.Annual](perShard)
 		}
 	}
+	if e.persistDir != "" {
+		if err := os.MkdirAll(e.persistDir, 0o755); err != nil {
+			e.storeErr = fmt.Errorf("thirstyflops: persistence dir: %w", err)
+		} else if st, err := store.Open(filepath.Join(e.persistDir, assessLogName), store.Options{
+			Schema: assessStoreSchema,
+		}); err != nil {
+			e.storeErr = fmt.Errorf("thirstyflops: open persistence log: %w", err)
+		} else {
+			e.store = st
+		}
+	}
 	return e
+}
+
+// PersistenceError reports why WithPersistence could not open its disk
+// log (nil when persistence is healthy or was never requested). An
+// Engine with a persistence error still works memory-only.
+func (e *Engine) PersistenceError() error { return e.storeErr }
+
+// Close flushes and releases the persistence tier. It is a no-op for
+// memory-only Engines. The Engine must not be used after Close.
+func (e *Engine) Close() error {
+	if e.store == nil {
+		return nil
+	}
+	return e.store.Close()
 }
 
 var (
@@ -163,6 +230,29 @@ type CacheStats struct {
 	// plus this Engine's lookups split by planned vs. unplanned
 	// execution.
 	Substrate SubstrateStats `json:"substrate"`
+
+	// Disk reports the persistence tier (nil when WithPersistence is not
+	// in effect). A warm restart shows up here as Hits with zero
+	// substrate misses: the year came off the log, not from a recompute.
+	Disk *DiskStats `json:"disk,omitempty"`
+}
+
+// DiskStats snapshots the persistence tier: the Engine-level outcome
+// counters (a Hit is a memo miss answered from disk; a Miss fell through
+// to the simulator; DecodeErrors are records rejected by the gob decoder
+// and recomputed) plus the record log's own accounting.
+type DiskStats struct {
+	Hits         uint64 `json:"hits"`
+	Misses       uint64 `json:"misses"`
+	DecodeErrors uint64 `json:"decode_errors"`
+
+	Entries        int    `json:"entries"`
+	Appends        uint64 `json:"appends"`
+	Dropped        uint64 `json:"dropped"`
+	SizeBytes      int64  `json:"size_bytes"`
+	Compactions    uint64 `json:"compactions"`
+	Recovered      int    `json:"recovered"`
+	TruncatedBytes int64  `json:"truncated_bytes"`
 }
 
 // SubstrateStats snapshots the substrate layer (the memoized generator
@@ -204,7 +294,54 @@ func (e *Engine) CacheStats() CacheStats {
 		UnplannedHits:   e.subUnplannedHits.Load(),
 		UnplannedMisses: e.subUnplannedMisses.Load(),
 	}
+	if e.store != nil {
+		st := e.store.Stats()
+		out.Disk = &DiskStats{
+			Hits:           e.diskHits.Load(),
+			Misses:         e.diskMisses.Load(),
+			DecodeErrors:   e.diskDecodeErr.Load(),
+			Entries:        st.Entries,
+			Appends:        st.Appended,
+			Dropped:        st.Dropped,
+			SizeBytes:      st.SizeBytes,
+			Compactions:    st.Compactions,
+			Recovered:      st.Recovered,
+			TruncatedBytes: st.TruncatedBytes,
+		}
+	}
 	return out
+}
+
+// diskLookup consults the persistence log for a memoized year. Decode
+// failures (a record written by a buggy or interrupted producer) are
+// counted and treated as misses — the year is recomputed and the fresh
+// append supersedes the bad record.
+func (e *Engine) diskLookup(key fingerprint.Key) (core.Annual, bool) {
+	raw, ok, err := e.store.Get(key[:])
+	if err != nil || !ok {
+		e.diskMisses.Add(1)
+		return core.Annual{}, false
+	}
+	var a core.Annual
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&a); err != nil {
+		e.diskDecodeErr.Add(1)
+		e.diskMisses.Add(1)
+		return core.Annual{}, false
+	}
+	e.diskHits.Add(1)
+	return a, true
+}
+
+// diskAppend writes a freshly simulated year through to the log. The
+// append is asynchronous and may be dropped under queue pressure
+// (observable as DiskStats.Dropped); the persistence tier is a cache,
+// so a dropped record merely costs a recompute after the next restart.
+func (e *Engine) diskAppend(key fingerprint.Key, a core.Annual) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(a); err != nil {
+		return
+	}
+	_ = e.store.Put(key[:], buf.Bytes())
 }
 
 // noteSubstrate folds one assessment's substrate trace into the
@@ -226,17 +363,33 @@ func (e *Engine) noteSubstrate(planned bool, tr core.SubstrateTrace) {
 // allocates nothing for key derivation. planned tags the substrate
 // lookups a cache miss performs for the planner-effectiveness split in
 // CacheStats; a hit touches no substrate at all.
+// A memo miss consults the persistence log (when attached) before
+// simulating, and writes a fresh simulation through to it; an in-memory
+// hit touches neither disk nor substrate.
 func (e *Engine) annualFor(cfg Config, planned bool) (core.Annual, bool, error) {
-	compute := func() (core.Annual, error) {
+	if e.maxEntries <= 0 && e.store == nil {
 		a, tr, err := cfg.AssessTraced()
 		e.noteSubstrate(planned, tr)
+		return a, false, err
+	}
+	key := cfg.Fingerprint()
+	compute := func() (core.Annual, error) {
+		if e.store != nil {
+			if a, ok := e.diskLookup(key); ok {
+				return a, nil
+			}
+		}
+		a, tr, err := cfg.AssessTraced()
+		e.noteSubstrate(planned, tr)
+		if err == nil && e.store != nil {
+			e.diskAppend(key, a)
+		}
 		return a, err
 	}
 	if e.maxEntries <= 0 {
 		a, err := compute()
 		return a, false, err
 	}
-	key := cfg.Fingerprint()
 	shard := e.shards[key.Shard(len(e.shards))]
 	return shard.Get(key, compute)
 }

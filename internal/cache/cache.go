@@ -5,14 +5,23 @@
 // for a key collapse into a single computation via a per-entry sync.Once.
 package cache
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // entry is one memoized value threaded on the LRU list. The zero list
-// position is maintained by Cache; prev/next are protected by Cache.mu,
-// while val/err are published by once.
+// position is maintained by Cache; prev/next are protected by Cache.mu.
+// val/err are written exactly once — by Get's singleflight computation
+// (outside the cache lock) or by Add before the entry is shared — and
+// the done flag publishes them: a reader that did not itself run the
+// computation may touch val/err only after observing done, which is the
+// ordering that lets Lookup, Delete, and Add's eviction report coexist
+// with an in-flight Get on the same entry without a data race.
 type entry[K comparable, V any] struct {
 	key        K
 	once       sync.Once
+	done       atomic.Bool
 	val        V
 	err        error
 	prev, next *entry[K, V]
@@ -86,7 +95,10 @@ func (c *Cache[K, V]) Get(key K, compute func() (V, error)) (V, bool, error) {
 		}
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.val, e.err = compute() })
+	e.once.Do(func() {
+		e.val, e.err = compute()
+		e.done.Store(true)
+	})
 	return e.val, cached, e.err
 }
 
@@ -108,7 +120,10 @@ type Evicted[K comparable, V any] struct {
 // already in flight on the old entry keeps observing the value it
 // latched (entries are never mutated after publication, so replacement
 // cannot tear a concurrent read, and Add never waits on an in-flight
-// computation). max <= 0 stores nothing.
+// computation). An evicted entry whose singleflight computation has not
+// published yet is removed but not reported — its value does not exist
+// yet, and only the computing goroutine ever sees it. max <= 0 stores
+// nothing.
 func (c *Cache[K, V]) Add(key K, v V) []Evicted[K, V] {
 	if c.max <= 0 {
 		return []Evicted[K, V]{{Key: key, Val: v}}
@@ -117,12 +132,15 @@ func (c *Cache[K, V]) Add(key K, v V) []Evicted[K, V] {
 	// ever sees it half-written.
 	e := &entry[K, V]{key: key, val: v}
 	e.once.Do(func() {}) // a later Get on this entry never recomputes
+	e.done.Store(true)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var out []Evicted[K, V]
 	if old, ok := c.entries[key]; ok {
 		c.unlink(old)
-		out = append(out, Evicted[K, V]{Key: old.key, Val: old.val})
+		if old.done.Load() {
+			out = append(out, Evicted[K, V]{Key: old.key, Val: old.val})
+		}
 	}
 	c.entries[key] = e
 	c.pushFront(e)
@@ -130,22 +148,24 @@ func (c *Cache[K, V]) Add(key K, v V) []Evicted[K, V] {
 		oldest := c.tail.prev
 		c.unlink(oldest)
 		delete(c.entries, oldest.key)
-		out = append(out, Evicted[K, V]{Key: oldest.key, Val: oldest.val})
+		if oldest.done.Load() {
+			out = append(out, Evicted[K, V]{Key: oldest.key, Val: oldest.val})
+		}
 	}
 	return out
 }
 
 // Lookup returns the value under key without computing on a miss. A hit
 // touches recency, so recently polled entries survive eviction longest.
-// Lookup only observes published values: in table mode every resident
-// value is published, while a Get-mode entry whose computation is still
-// in flight may surface as a zero value (callers mixing modes on one
-// cache must not rely on Lookup).
+// Lookup only observes published values: a Get-mode entry whose
+// computation is still in flight reads as a miss (never as a torn or
+// zero value), so table-mode reads and singleflight computes can share
+// one cache safely.
 func (c *Cache[K, V]) Lookup(key K) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.entries[key]
-	if !ok {
+	if !ok || !e.done.Load() {
 		c.misses++
 		var zero V
 		return zero, false
@@ -156,7 +176,11 @@ func (c *Cache[K, V]) Lookup(key K) (V, bool) {
 	return e.val, true
 }
 
-// Delete removes key, returning the removed value.
+// Delete removes key. The boolean reports whether the key was resident;
+// the value is returned only if published — deleting an entry whose
+// singleflight computation is still in flight removes it (the next Get
+// recomputes) but yields the zero value, since the computing goroutine
+// is the only one allowed to see the result it is still producing.
 func (c *Cache[K, V]) Delete(key K) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -167,6 +191,10 @@ func (c *Cache[K, V]) Delete(key K) (V, bool) {
 	}
 	c.unlink(e)
 	delete(c.entries, key)
+	if !e.done.Load() {
+		var zero V
+		return zero, true
+	}
 	return e.val, true
 }
 

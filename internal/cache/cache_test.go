@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -198,5 +199,117 @@ func TestAddDisabled(t *testing.T) {
 	}
 	if _, ok := c.Lookup("k"); ok {
 		t.Fatal("disabled cache retained an entry")
+	}
+}
+
+// TestMixedModeHammer drives every entry point — singleflight Get, table
+// Add, Delete, Lookup — against one small cache concurrently. Run under
+// -race it proves value publication is ordered: no reader may observe an
+// entry's val while an in-flight Get computation is still writing it.
+func TestMixedModeHammer(t *testing.T) {
+	c := New[int, int](4)
+	const (
+		workers = 8
+		rounds  = 400
+		keys    = 6
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				k := (w + i) % keys
+				switch (w + i) % 4 {
+				case 0:
+					v, _, err := c.Get(k, func() (int, error) {
+						// A deliberately slow compute widens the window in
+						// which Delete/Lookup/Add can observe the entry.
+						runtime.Gosched()
+						return k * 10, nil
+					})
+					if err != nil || v != k*10 {
+						t.Errorf("Get(%d) = %d, %v", k, v, err)
+						return
+					}
+				case 1:
+					for _, ev := range c.Add(k, k*10) {
+						if ev.Val%10 != 0 {
+							t.Errorf("evicted unpublished-looking value %d", ev.Val)
+							return
+						}
+					}
+				case 2:
+					if v, ok := c.Lookup(k); ok && v != k*10 {
+						t.Errorf("Lookup(%d) observed %d", k, v)
+						return
+					}
+				case 3:
+					if v, ok := c.Delete(k); ok && v != 0 && v != k*10 {
+						t.Errorf("Delete(%d) observed %d", k, v)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestDeleteDuringInFlightGet pins the exact interleaving the hammer
+// test relies on probability to hit: Delete runs while a Get computation
+// is mid-flight. Delete must report the key existed without surfacing
+// (or racing on) the unpublished value, and the Get must still return
+// its computed value to its caller.
+func TestDeleteDuringInFlightGet(t *testing.T) {
+	c := New[string, int](4)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	got := make(chan int, 1)
+	go func() {
+		v, _, _ := c.Get("k", func() (int, error) {
+			close(started)
+			<-release
+			return 42, nil
+		})
+		got <- v
+	}()
+	<-started
+	v, ok := c.Delete("k")
+	if !ok {
+		t.Error("Delete did not find the in-flight key")
+	}
+	if v != 0 {
+		t.Errorf("Delete surfaced unpublished value %d", v)
+	}
+	close(release)
+	if v := <-got; v != 42 {
+		t.Errorf("in-flight Get returned %d after Delete, want 42", v)
+	}
+}
+
+// TestLookupDuringInFlightGet: table-mode reads must treat a
+// still-computing singleflight entry as a miss, not as a zero value hit.
+func TestLookupDuringInFlightGet(t *testing.T) {
+	c := New[string, int](4)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Get("k", func() (int, error) {
+			close(started)
+			<-release
+			return 42, nil
+		})
+	}()
+	<-started
+	if v, ok := c.Lookup("k"); ok {
+		t.Errorf("Lookup observed in-flight entry as published value %d", v)
+	}
+	close(release)
+	<-done
+	if v, ok := c.Lookup("k"); !ok || v != 42 {
+		t.Errorf("Lookup after publication = %d, %v", v, ok)
 	}
 }

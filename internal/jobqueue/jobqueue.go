@@ -8,6 +8,12 @@
 // mode): the queue holds at most a configured number of jobs, recently
 // polled jobs stay resident longest, and a job evicted while still
 // executing is canceled so eviction can never leak a running worker.
+//
+// With a Persister attached (WithPersister), terminal jobs survive
+// restarts: a job that finishes done or failed is saved, New replays the
+// saved set into the retention LRU (oldest submissions first, so they
+// evict first), and evicting a terminal job deletes its saved state so
+// disk tracks retention.
 package jobqueue
 
 import (
@@ -15,6 +21,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
+	"sort"
 	"sync"
 	"time"
 
@@ -61,6 +68,11 @@ type Job[R any] struct {
 	err       error
 	started   time.Time
 	finished  time.Time
+
+	// restoredRun carries a replayed job's final execution time: its
+	// started/finished instants did not survive the restart, only the
+	// snapshot's RunSeconds did.
+	restoredRun float64
 }
 
 // ID returns the queue-assigned job identifier.
@@ -98,6 +110,8 @@ func (j *Job[R]) Snapshot() Snapshot {
 		s.Error = j.err.Error()
 	}
 	switch {
+	case j.restoredRun > 0:
+		s.RunSeconds = j.restoredRun
 	case j.started.IsZero():
 	case j.finished.IsZero():
 		s.RunSeconds = time.Since(j.started).Seconds()
@@ -166,13 +180,44 @@ func (j *Job[R]) progress(completed int) {
 	j.mu.Unlock()
 }
 
-// Queue owns job submission, execution, retention, and cancellation.
+// PersistedJob is the durable form of one terminal job: the final
+// snapshot (id, status, totals, timing) plus the full result set.
+type PersistedJob[R any] struct {
+	Snapshot Snapshot
+	Results  []R
+}
+
+// Persister stores terminal jobs across process restarts. SaveJob and
+// DeleteJob are called from job-execution and submission goroutines and
+// must be safe for concurrent use; LoadJobs is called once, from New.
+// The queue treats persistence as best-effort — a failing Persister
+// never fails a job.
+type Persister[R any] interface {
+	SaveJob(PersistedJob[R]) error
+	DeleteJob(id string) error
+	LoadJobs() ([]PersistedJob[R], error)
+}
+
+// Option configures a Queue.
+type Option[R any] func(*Queue[R])
+
+// WithPersister attaches durable job state: terminal jobs (done or
+// failed — a canceled job has no results worth restarting for) are saved
+// through p, New replays the saved set into the retention LRU, and
+// eviction deletes the saved copy.
+func WithPersister[R any](p Persister[R]) Option[R] {
+	return func(q *Queue[R]) { q.persist = p }
+}
+
+// Queue owns job submission, execution, retention, cancellation, and
+// (optionally) durable terminal state.
 type Queue[R any] struct {
-	retain *cache.Cache[string, *Job[R]]
-	slots  chan struct{}
-	base   context.Context
-	stop   context.CancelFunc
-	wg     sync.WaitGroup
+	retain  *cache.Cache[string, *Job[R]]
+	slots   chan struct{}
+	base    context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+	persist Persister[R]
 
 	mu     sync.Mutex
 	closed bool
@@ -180,8 +225,11 @@ type Queue[R any] struct {
 
 // New builds a queue retaining at most `retain` jobs (LRU, minimum 1)
 // and executing at most `concurrent` jobs at once (minimum 1). Jobs
-// beyond the concurrency bound wait in StatusQueued.
-func New[R any](retain, concurrent int) *Queue[R] {
+// beyond the concurrency bound wait in StatusQueued. With a persister
+// attached, previously saved jobs are replayed into retention before the
+// queue accepts submissions, oldest submissions first so they are also
+// first out under LRU pressure.
+func New[R any](retain, concurrent int, opts ...Option[R]) *Queue[R] {
 	if retain < 1 {
 		retain = 1
 	}
@@ -189,11 +237,103 @@ func New[R any](retain, concurrent int) *Queue[R] {
 		concurrent = 1
 	}
 	base, stop := context.WithCancel(context.Background())
-	return &Queue[R]{
+	q := &Queue[R]{
 		retain: cache.New[string, *Job[R]](retain),
 		slots:  make(chan struct{}, concurrent),
 		base:   base,
 		stop:   stop,
+	}
+	for _, o := range opts {
+		o(q)
+	}
+	if q.persist != nil {
+		q.replay()
+	}
+	return q
+}
+
+// replay loads persisted jobs into the retention LRU as already-terminal
+// entries. Unreadable or non-terminal records are skipped (a job saved
+// mid-rewrite is worthless; the submitter will resubmit).
+func (q *Queue[R]) replay() {
+	saved, err := q.persist.LoadJobs()
+	if err != nil {
+		return
+	}
+	sort.Slice(saved, func(i, j int) bool {
+		return saved[i].Snapshot.Submitted.Before(saved[j].Snapshot.Submitted)
+	})
+	for _, pj := range saved {
+		if pj.Snapshot.ID == "" || !pj.Snapshot.Status.Terminal() {
+			continue
+		}
+		j := restoredJob(pj)
+		for _, ev := range q.retain.Add(j.id, j) {
+			q.dropJob(ev.Val)
+		}
+	}
+}
+
+// restoredJob rebuilds a terminal Job from its durable form.
+func restoredJob[R any](pj PersistedJob[R]) *Job[R] {
+	done := make(chan struct{})
+	close(done)
+	j := &Job[R]{
+		id:          pj.Snapshot.ID,
+		total:       pj.Snapshot.Total,
+		submitted:   pj.Snapshot.Submitted,
+		cancel:      func() {},
+		done:        done,
+		status:      pj.Snapshot.Status,
+		completed:   pj.Snapshot.Completed,
+		results:     pj.Results,
+		restoredRun: pj.Snapshot.RunSeconds,
+	}
+	if pj.Snapshot.Error != "" {
+		j.err = errors.New(pj.Snapshot.Error)
+	}
+	return j
+}
+
+// dropJob releases one evicted job: a still-running job is canceled (the
+// retention LRU held the queue's only reference) and a persisted one is
+// deleted so disk tracks retention. Never called under the cache lock.
+func (q *Queue[R]) dropJob(j *Job[R]) {
+	j.cancel()
+	if q.persist != nil {
+		_ = q.persist.DeleteJob(j.id)
+	}
+}
+
+// saveJob persists a terminal job, if it finished with durable state
+// (done or failed) and is still retained — a job evicted mid-run was
+// already canceled and must not resurrect on restart. Eviction races
+// the save: dropJob's delete can land between our retained-check and
+// SaveJob, which would leave a persisted copy for a job retention no
+// longer holds. The re-check after the save closes that window — in
+// every interleaving, either the job is retained and persisted, or it
+// is neither (dropJob deletes after the LRU removal, so whichever of
+// the two deletes runs last still observes an evicted job).
+func (q *Queue[R]) saveJob(j *Job[R]) {
+	if q.persist == nil {
+		return
+	}
+	j.mu.Lock()
+	st := j.status
+	pj := PersistedJob[R]{Results: j.results}
+	j.mu.Unlock()
+	if st != StatusDone && st != StatusFailed {
+		return
+	}
+	if got, ok := q.retain.Lookup(j.id); !ok || got != j {
+		return
+	}
+	pj.Snapshot = j.Snapshot()
+	if err := q.persist.SaveJob(pj); err != nil {
+		return
+	}
+	if got, ok := q.retain.Lookup(j.id); !ok || got != j {
+		_ = q.persist.DeleteJob(j.id)
 	}
 }
 
@@ -234,8 +374,11 @@ func (q *Queue[R]) Submit(total int, run RunFunc[R]) (*Job[R], error) {
 	}
 	// Evicted jobs are canceled: retention is the only reference the
 	// queue keeps, so an evicted running job must not keep executing.
+	// The cancel (and persisted-state delete) runs after Add returns,
+	// outside the cache lock, so eviction can never deadlock against a
+	// concurrent Submit or poll.
 	for _, ev := range q.retain.Add(id, j) {
-		ev.Val.cancel()
+		q.dropJob(ev.Val)
 	}
 
 	go func() {
@@ -255,6 +398,7 @@ func (q *Queue[R]) Submit(total int, run RunFunc[R]) (*Job[R], error) {
 		j.setRunning()
 		results, err := run(ctx, j.progress)
 		j.finish(results, err)
+		q.saveJob(j)
 	}()
 	return j, nil
 }

@@ -1,0 +1,475 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// openT opens a store and fails the test on error.
+func openT(t *testing.T, path string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.log")
+	s := openT(t, path, Options{Schema: 1})
+	defer s.Close()
+
+	for i := 0; i < 10; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		val := bytes.Repeat([]byte{byte(i)}, 10+i*7)
+		if err := s.Put(key, val); err != nil {
+			t.Fatal(err)
+		}
+		got, ok, err := s.Get(key)
+		if err != nil || !ok || !bytes.Equal(got, val) {
+			t.Fatalf("immediate Get(%s) = %v, %v, %v", key, got, ok, err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-flush reads come from the file, not the pinned values.
+	for i := 0; i < 10; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		got, ok, err := s.Get(key)
+		if err != nil || !ok || !bytes.Equal(got, bytes.Repeat([]byte{byte(i)}, 10+i*7)) {
+			t.Fatalf("flushed Get(%s) = %v, %v, %v", key, got, ok, err)
+		}
+	}
+	if _, ok, _ := s.Get([]byte("absent")); ok {
+		t.Error("Get found an absent key")
+	}
+	if n := s.Len(); n != 10 {
+		t.Errorf("Len = %d, want 10", n)
+	}
+}
+
+func TestReopenRecoversEntries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.log")
+	s := openT(t, path, Options{Schema: 1})
+	want := map[string][]byte{}
+	for i := 0; i < 25; i++ {
+		key := fmt.Sprintf("k%02d", i)
+		val := []byte(fmt.Sprintf("value-%d", i*i))
+		want[key] = val
+		if err := s.Put([]byte(key), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrites and deletes must replay correctly too.
+	if err := s.Put([]byte("k03"), []byte("rewritten")); err != nil {
+		t.Fatal(err)
+	}
+	want["k03"] = []byte("rewritten")
+	if err := s.Delete([]byte("k07")); err != nil {
+		t.Fatal(err)
+	}
+	delete(want, "k07")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, path, Options{Schema: 1})
+	defer s2.Close()
+	if s2.Len() != len(want) {
+		t.Fatalf("recovered %d entries, want %d", s2.Len(), len(want))
+	}
+	if st := s2.Stats(); st.Recovered != len(want) || st.TruncatedBytes != 0 || st.Invalidated {
+		t.Errorf("recovery stats = %+v", st)
+	}
+	for k, v := range want {
+		got, ok, err := s2.Get([]byte(k))
+		if err != nil || !ok || !bytes.Equal(got, v) {
+			t.Errorf("Get(%s) = %q, %v, %v, want %q", k, got, ok, err, v)
+		}
+	}
+}
+
+func TestSchemaMismatchInvalidates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.log")
+	s := openT(t, path, Options{Schema: 1})
+	if err := s.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, path, Options{Schema: 2})
+	if s2.Len() != 0 {
+		t.Fatalf("schema-mismatched store recovered %d entries", s2.Len())
+	}
+	if st := s2.Stats(); !st.Invalidated {
+		t.Errorf("stats did not report invalidation: %+v", st)
+	}
+	// The fresh file is usable under the new schema...
+	if err := s2.Put([]byte("k2"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// ...and a matching reopen keeps it.
+	s3 := openT(t, path, Options{Schema: 2})
+	defer s3.Close()
+	if _, ok, _ := s3.Get([]byte("k2")); !ok {
+		t.Error("entry written under the new schema did not survive")
+	}
+}
+
+// writeFixture builds a store of n records with varied sizes, returning
+// the acknowledged (key, value) sequence in append order and the frame
+// boundary offsets after each record.
+func writeFixture(t *testing.T, path string, n int) (keys []string, vals [][]byte, boundaries []int64) {
+	t.Helper()
+	s := openT(t, path, Options{Schema: 9})
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("rec-%03d", i)
+		val := make([]byte, 1+rng.Intn(120))
+		rng.Read(val)
+		if err := s.Put([]byte(key), val); err != nil {
+			t.Fatal(err)
+		}
+		// Sync per record so every record is individually acknowledged
+		// durable and SizeBytes lands exactly on a frame boundary.
+		if err := s.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+		vals = append(vals, val)
+		boundaries = append(boundaries, s.Stats().SizeBytes)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return keys, vals, boundaries
+}
+
+// TestCrashRecoveryMatrix is the satellite's core: truncate the log at
+// every frame boundary and at randomized mid-frame offsets, reopen, and
+// assert the recovered entries are exactly the acknowledged prefix that
+// fits below the cut — never a partial record, never a panic, and the
+// reopened store must accept new writes.
+func TestCrashRecoveryMatrix(t *testing.T) {
+	base := t.TempDir()
+	fixture := filepath.Join(base, "fixture.log")
+	const n = 20
+	keys, vals, boundaries := writeFixture(t, fixture, n)
+	intact, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := int64(len(intact)), boundaries[n-1]; got != want {
+		t.Fatalf("fixture size %d, want %d", got, want)
+	}
+
+	// prefixBelow maps a cut offset to the number of fully acknowledged
+	// records strictly at or below it.
+	prefixBelow := func(cut int64) int {
+		count := 0
+		for _, b := range boundaries {
+			if b <= cut {
+				count++
+			}
+		}
+		return count
+	}
+
+	check := func(t *testing.T, cut int64) {
+		t.Helper()
+		dir := t.TempDir()
+		path := filepath.Join(dir, "torn.log")
+		if err := os.WriteFile(path, intact[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s := openT(t, path, Options{Schema: 9})
+		wantN := prefixBelow(cut)
+		if s.Len() != wantN {
+			t.Fatalf("cut=%d recovered %d entries, want prefix of %d", cut, s.Len(), wantN)
+		}
+		for i := 0; i < wantN; i++ {
+			got, ok, err := s.Get([]byte(keys[i]))
+			if err != nil || !ok || !bytes.Equal(got, vals[i]) {
+				t.Fatalf("cut=%d entry %s corrupted: %v %v %v", cut, keys[i], got, ok, err)
+			}
+		}
+		st := s.Stats()
+		if cut >= HeaderSize {
+			if st.SizeBytes > cut {
+				t.Errorf("cut=%d did not truncate the torn tail: size %d", cut, st.SizeBytes)
+			}
+		} else if st.SizeBytes != HeaderSize {
+			// A cut inside the header restarts the file: fresh header only.
+			t.Errorf("cut=%d inside header left size %d, want %d", cut, st.SizeBytes, HeaderSize)
+		}
+		// The recovered store keeps working: a fresh write lands and
+		// survives another reopen.
+		if err := s.Put([]byte("post-crash"), []byte("alive")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		s2 := openT(t, path, Options{Schema: 9})
+		defer s2.Close()
+		if got, ok, _ := s2.Get([]byte("post-crash")); !ok || !bytes.Equal(got, []byte("alive")) {
+			t.Errorf("cut=%d post-crash write lost", cut)
+		}
+	}
+
+	t.Run("FrameBoundaries", func(t *testing.T) {
+		// Every boundary, plus the bare header, plus inside the header.
+		cuts := append([]int64{0, 1, HeaderSize - 1, HeaderSize}, boundaries...)
+		for _, cut := range cuts {
+			check(t, cut)
+		}
+	})
+	t.Run("RandomMidFrame", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(7))
+		for trial := 0; trial < 32; trial++ {
+			check(t, int64(rng.Intn(len(intact)+1)))
+		}
+	})
+	t.Run("CorruptByte", func(t *testing.T) {
+		// Flipping one byte mid-file must stop recovery at the frame
+		// before the flip — a prefix, never garbage.
+		rng := rand.New(rand.NewSource(11))
+		for trial := 0; trial < 16; trial++ {
+			pos := HeaderSize + rng.Intn(len(intact)-HeaderSize)
+			mut := append([]byte(nil), intact...)
+			mut[pos] ^= 0x41
+			dir := t.TempDir()
+			path := filepath.Join(dir, "corrupt.log")
+			if err := os.WriteFile(path, mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			s := openT(t, path, Options{Schema: 9})
+			got := s.Len()
+			want := prefixBelow(int64(pos))
+			if got > want+1 {
+				// A flip inside a value can at most leave records beyond
+				// the CRC'd frame unreachable; it must never ADD entries.
+				t.Errorf("flip@%d recovered %d entries, acknowledged prefix %d", pos, got, want)
+			}
+			for i := 0; i < got && i < len(keys); i++ {
+				v, ok, err := s.Get([]byte(keys[i]))
+				if err != nil || !ok {
+					break
+				}
+				if !bytes.Equal(v, vals[i]) {
+					t.Errorf("flip@%d surfaced a corrupted value for %s", pos, keys[i])
+				}
+			}
+			s.Close()
+		}
+	})
+}
+
+func TestCompactionShrinksAndPreserves(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.log")
+	s := openT(t, path, Options{Schema: 1, CompactMinBytes: -1}) // manual only
+	val := bytes.Repeat([]byte("x"), 512)
+	// Overwrite a small key set many times: mostly dead weight.
+	for round := 0; round < 40; round++ {
+		for k := 0; k < 4; k++ {
+			if err := s.Put([]byte(fmt.Sprintf("k%d", k)), append(val, byte(round))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats()
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats()
+	if after.SizeBytes >= before.SizeBytes/4 {
+		t.Errorf("compaction barely shrank the file: %d -> %d", before.SizeBytes, after.SizeBytes)
+	}
+	if after.DeadBytes != 0 || after.Compactions != 1 {
+		t.Errorf("post-compaction stats = %+v", after)
+	}
+	for k := 0; k < 4; k++ {
+		got, ok, err := s.Get([]byte(fmt.Sprintf("k%d", k)))
+		if err != nil || !ok || !bytes.Equal(got, append(val, 39)) {
+			t.Fatalf("post-compaction Get(k%d) wrong: %v %v", k, ok, err)
+		}
+	}
+	// Writes continue to land after the swap, and everything survives a
+	// reopen of the compacted file.
+	if err := s.Put([]byte("fresh"), []byte("post-compact")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openT(t, path, Options{Schema: 1})
+	defer s2.Close()
+	if s2.Len() != 5 {
+		t.Fatalf("reopened compacted store has %d entries, want 5", s2.Len())
+	}
+	if got, ok, _ := s2.Get([]byte("fresh")); !ok || !bytes.Equal(got, []byte("post-compact")) {
+		t.Error("post-compaction write lost across reopen")
+	}
+}
+
+func TestAutoCompactionTriggers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.log")
+	s := openT(t, path, Options{Schema: 1, CompactMinBytes: 4096, FlushEvery: 5 * time.Millisecond})
+	defer s.Close()
+	val := bytes.Repeat([]byte("y"), 256)
+	for round := 0; round < 200; round++ {
+		if err := s.Put([]byte("hot"), val); err != nil && err != ErrBusy {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Stats().Compactions > 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("auto compaction never ran: %+v", s.Stats())
+}
+
+func TestDroppedWritesAreCountedNotBlocking(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.log")
+	// A tiny queue with a huge flush interval: the writer keeps up only
+	// via batch drains, so a burst can overflow.
+	s := openT(t, path, Options{Schema: 1, QueueLen: 1, FlushEvery: time.Hour})
+	defer s.Close()
+	var dropped bool
+	for i := 0; i < 10000; i++ {
+		err := s.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+		if err == ErrBusy {
+			dropped = true
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if dropped && st.Dropped == 0 {
+		t.Errorf("drops observed but not counted: %+v", st)
+	}
+}
+
+func TestConcurrentPutGetDeleteRace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.log")
+	s := openT(t, path, Options{Schema: 1, BlockOnFull: true, FlushEvery: time.Millisecond})
+	defer s.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				key := []byte(fmt.Sprintf("k%d", (w+i)%8))
+				switch (w + i) % 3 {
+				case 0:
+					if err := s.Put(key, []byte(fmt.Sprintf("v%d-%d", w, i))); err != nil {
+						t.Errorf("put: %v", err)
+						return
+					}
+				case 1:
+					if _, _, err := s.Get(key); err != nil {
+						t.Errorf("get: %v", err)
+						return
+					}
+				case 2:
+					if err := s.Delete(key); err != nil {
+						t.Errorf("delete: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClosedStoreRejectsOperations(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.log")
+	s := openT(t, path, Options{Schema: 1})
+	if err := s.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put([]byte("k2"), []byte("v")); err != ErrClosed {
+		t.Errorf("Put after Close = %v, want ErrClosed", err)
+	}
+	if err := s.Sync(); err != ErrClosed {
+		t.Errorf("Sync after Close = %v, want ErrClosed", err)
+	}
+	if err := s.Close(); err != ErrClosed {
+		t.Errorf("second Close = %v, want ErrClosed", err)
+	}
+	// The close flushed the pending record.
+	s2 := openT(t, path, Options{Schema: 1})
+	defer s2.Close()
+	if _, ok, _ := s2.Get([]byte("k")); !ok {
+		t.Error("record acknowledged before Close was lost")
+	}
+}
+
+func TestOversizedRecordRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.log")
+	s := openT(t, path, Options{Schema: 1})
+	defer s.Close()
+	huge := make([]byte, MaxRecordBytes)
+	if err := s.Put([]byte("k"), huge); err != ErrTooLarge {
+		t.Errorf("oversized Put = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestRangeVisitsEverything(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.log")
+	s := openT(t, path, Options{Schema: 1})
+	defer s.Close()
+	want := map[string]string{}
+	for i := 0; i < 12; i++ {
+		k, v := fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)
+		want[k] = v
+		if err := s.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	if err := s.Range(func(k, v []byte) error {
+		got[string(k)] = string(v)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("Range[%s] = %q, want %q", k, got[k], v)
+		}
+	}
+}
