@@ -9,7 +9,10 @@
 # unplanned shuffled sweep, plan construction) against BENCH_PR4.json,
 # bench-store gates the persistence tier (record append, disk get, warm
 # boot of a 10k-entry log, and the engine-level disk-hit vs isolated
-# recompute pair) against BENCH_PR5.json.
+# recompute pair) against BENCH_PR5.json,
+# bench-statsd gates the UDP telemetry plane (zero-allocation line
+# parser, per-datagram aggregate path, end-to-end loopback ingest)
+# against BENCH_PR6.json.
 # The docs target runs the documentation drift gate: route list in
 # docs/HTTP_API.md vs the daemon mux (cmd/docscheck), go vet, and an
 # examples build.
@@ -22,7 +25,9 @@ GATED_PLAN_BENCHES = ^(BenchmarkSweepPlanned|BenchmarkSweepUnplanned|BenchmarkPl
 
 GATED_STORE_BENCHES = ^(BenchmarkStoreAppend|BenchmarkStoreGet|BenchmarkWarmStart|BenchmarkEngineWarmStartDisk|BenchmarkEngineAssessColdIsolated)$$
 
-.PHONY: build test race bench bench-core bench-daemon bench-plan bench-store docs
+GATED_STATSD_BENCHES = ^(BenchmarkParseLine|BenchmarkParsePacket|BenchmarkAggregatorAccumulate|BenchmarkUDPIngest)$$
+
+.PHONY: build test race bench bench-core bench-daemon bench-plan bench-store bench-statsd docs
 
 build:
 	go build ./...
@@ -33,7 +38,7 @@ test:
 race:
 	go test -race ./...
 
-bench: bench-core bench-daemon bench-plan bench-store
+bench: bench-core bench-daemon bench-plan bench-store bench-statsd
 
 bench-core:
 	go test -run '^$$' -bench '$(GATED_BENCHES)' -benchmem -benchtime=500ms -count=1 . \
@@ -53,6 +58,10 @@ bench-plan:
 bench-store:
 	go test -run '^$$' -bench '$(GATED_STORE_BENCHES)' -benchmem -benchtime=500ms -count=1 . ./internal/store \
 		| go run ./cmd/benchcheck -baseline BENCH_PR5.json
+
+bench-statsd:
+	go test -run '^$$' -bench '$(GATED_STATSD_BENCHES)' -benchmem -benchtime=500ms -count=1 ./internal/statsd \
+		| go run ./cmd/benchcheck -baseline BENCH_PR6.json
 
 docs:
 	go vet ./...

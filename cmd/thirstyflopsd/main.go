@@ -17,9 +17,13 @@
 //	GET    /healthz                          -> liveness plus cache statistics
 //	GET    /livez                            -> live-stream coverage and ingestion lag
 //
-// Live path: POST observed power samples to /ingest, then GET
-// /assess?system=Frontier&source=live to assess against the observed
-// window spliced over the simulated year.
+// Live path: POST observed power samples to /ingest (or, at line rate,
+// fire statsd-style UDP packets like `fleet.Frontier.power:21500000|g`
+// at -udp-addr), then GET /assess?system=Frontier&source=live to assess
+// against the observed window spliced over the simulated year. With
+// -live-systems, one telemetry stream is registered per fleet system and
+// samples route by system name; -ingest-token and -udp-allow gate the
+// two ingest surfaces.
 //
 // Job path: POST a sweep too large for one HTTP round trip to /jobs; it
 // executes in the background through the Engine's substrate-aware
@@ -34,6 +38,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"crypto/subtle"
 	"encoding/gob"
 	"encoding/json"
 	"errors"
@@ -54,7 +59,9 @@ import (
 
 	"thirstyflops"
 	"thirstyflops/internal/jobqueue"
+	"thirstyflops/internal/statsd"
 	"thirstyflops/internal/store"
+	"thirstyflops/internal/telemetry"
 )
 
 func main() {
@@ -62,13 +69,19 @@ func main() {
 		addr       = flag.String("addr", ":8080", "listen address")
 		workers    = flag.Int("workers", 0, "assessment fan-out width (0 = GOMAXPROCS)")
 		cache      = flag.Int("cache", 256, "max memoized assessments (0 disables)")
-		liveWindow = flag.Int("live-window", 336, "hours of live telemetry retained for source=live (0 disables /ingest)")
-		liveSystem = flag.String("live-system", "", "system the live stream observes (empty accepts any)")
-		liveYear   = flag.Int("live-year", 0, "assessment year the live stream is pinned to (0 accepts any)")
-		jobRetain  = flag.Int("jobs", defaultJobRetain, "async jobs retained for polling, LRU-evicted (0 disables /jobs)")
-		jobConc    = flag.Int("job-concurrency", defaultJobConcurrency, "async jobs executing at once; further jobs queue")
-		jobUnits   = flag.Int("job-max-units", defaultJobMaxUnits, "max assessments one job may expand to")
-		stateDir   = flag.String("state-dir", "", "persistence directory (empty disables): memoized assessments and completed job results survive restarts")
+		liveWindow  = flag.Int("live-window", 336, "hours of live telemetry retained for source=live (0 disables /ingest)")
+		liveSystem  = flag.String("live-system", "", "system the live stream observes (empty accepts any)")
+		liveSystems = flag.String("live-systems", "", "comma-separated fleet systems, one pinned live stream each (multi-stream routing)")
+		liveYear    = flag.Int("live-year", 0, "assessment year the live streams are pinned to (0 accepts any)")
+		ingestToken = flag.String("ingest-token", "", "when set, POST /ingest requires 'Authorization: Bearer <token>'")
+		udpAddr     = flag.String("udp-addr", "", "statsd-style UDP telemetry listen address (empty disables)")
+		flushEvery  = flag.Duration("flush-interval", statsd.DefaultFlushInterval, "UDP aggregation window: one sample per system per interval")
+		udpMaxQueue = flag.Int("udp-max-queue", statsd.DefaultMaxQueue, "unprocessed UDP datagrams buffered before backpressure drops")
+		udpAllow    = flag.String("udp-allow", "", "comma-separated source CIDRs allowed to feed -udp-addr (empty allows all)")
+		jobRetain   = flag.Int("jobs", defaultJobRetain, "async jobs retained for polling, LRU-evicted (0 disables /jobs)")
+		jobConc     = flag.Int("job-concurrency", defaultJobConcurrency, "async jobs executing at once; further jobs queue")
+		jobUnits    = flag.Int("job-max-units", defaultJobMaxUnits, "max assessments one job may expand to")
+		stateDir    = flag.String("state-dir", "", "persistence directory (empty disables): memoized assessments and completed job results survive restarts")
 	)
 	flag.Parse()
 
@@ -77,11 +90,11 @@ func main() {
 		thirstyflops.WithCache(*cache),
 	}
 	if *liveWindow > 0 {
-		stream, err := thirstyflops.NewStream(*liveSystem, *liveYear, *liveWindow)
+		reg, err := buildStreams(*liveSystem, *liveSystems, *liveYear, *liveWindow)
 		if err != nil {
 			log.Fatal(err)
 		}
-		opts = append(opts, thirstyflops.WithLiveStream(stream))
+		opts = append(opts, thirstyflops.WithLiveStreams(reg))
 	}
 	if *stateDir != "" {
 		opts = append(opts, thirstyflops.WithPersistence(*stateDir))
@@ -98,6 +111,18 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	s.ingestToken = *ingestToken
+	if *udpAddr != "" {
+		udp, err := newUDPPlane(eng, *udpAddr, *flushEvery, *udpMaxQueue, *udpAllow)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := udp.Start(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("thirstyflopsd UDP telemetry on %s (flush %s)", udp.Addr(), *flushEvery)
+		s.udp = udp
 	}
 	srv := &http.Server{
 		Addr:         *addr,
@@ -134,6 +159,67 @@ func main() {
 	}
 }
 
+// buildStreams assembles the live-stream registry from the flags: one
+// pinned stream per -live-systems entry, plus the single -live-system
+// stream (the pre-registry flag; its empty default registers the
+// wildcard) when -live-systems is unset. Duplicate names are an error —
+// silently replacing a stream would mis-route a fleet.
+func buildStreams(liveSystem, liveSystems string, year, window int) (*thirstyflops.StreamRegistry, error) {
+	reg := thirstyflops.NewStreamRegistry()
+	names := []string{liveSystem}
+	if liveSystems != "" {
+		names = names[:0]
+		seen := map[string]bool{}
+		for _, n := range strings.Split(liveSystems, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if seen[n] {
+				return nil, fmt.Errorf("duplicate system %q in -live-systems", n)
+			}
+			seen[n] = true
+			names = append(names, n)
+		}
+		if len(names) == 0 {
+			return nil, fmt.Errorf("-live-systems names no systems")
+		}
+		if liveSystem != "" {
+			return nil, fmt.Errorf("set -live-system or -live-systems, not both")
+		}
+	}
+	for _, n := range names {
+		stream, err := thirstyflops.NewStream(n, year, window)
+		if err != nil {
+			return nil, err
+		}
+		reg.Register(stream)
+	}
+	return reg, nil
+}
+
+// newUDPPlane wires the statsd front end onto the Engine's stream
+// registry: flushed samples route by system, systems without a
+// registered stream are dropped (and counted) at accumulation time.
+func newUDPPlane(eng *thirstyflops.Engine, addr string, flush time.Duration, maxQueue int, allow string) (*statsd.Server, error) {
+	reg := eng.LiveStreams()
+	if reg == nil || reg.Len() == 0 {
+		return nil, fmt.Errorf("-udp-addr needs live streams (start with -live-window > 0)")
+	}
+	prefixes, err := statsd.ParseAllow(allow)
+	if err != nil {
+		return nil, err
+	}
+	return statsd.NewServer(statsd.Config{
+		Addr:          addr,
+		FlushInterval: flush,
+		MaxQueue:      maxQueue,
+		Allow:         prefixes,
+		Sink:          reg.Ingest,
+		Known:         func(system string) bool { return reg.Resolve(system) != nil },
+	})
+}
+
 // Job-queue serving defaults (overridable by flags).
 const (
 	defaultJobRetain      = 64
@@ -165,11 +251,14 @@ type jobsConfig struct {
 	StateDir    string // persistence directory; completed jobs survive restarts
 }
 
-// server binds the HTTP surface to one Engine plus its job queue.
+// server binds the HTTP surface to one Engine plus its job queue and
+// (when -udp-addr is set) the UDP telemetry plane.
 type server struct {
 	engine      *thirstyflops.Engine
 	jobs        *jobqueue.Queue[jobUnit]
 	jobsStore   *store.Store
+	udp         *statsd.Server
+	ingestToken string
 	maxJobUnits int
 	start       time.Time
 }
@@ -211,9 +300,15 @@ func newServer(eng *thirstyflops.Engine, cfg jobsConfig) (*server, error) {
 	return s, nil
 }
 
-// close cancels background jobs, waits for their workers, and flushes
-// the jobs log. Queue first: its workers are the last writers.
+// close stops the UDP plane (draining queued datagrams through a final
+// flush), cancels background jobs, waits for their workers, and flushes
+// the jobs log. Queue before store: its workers are the last writers.
 func (s *server) close() {
+	if s.udp != nil {
+		if err := s.udp.Close(); err != nil {
+			log.Printf("thirstyflopsd: udp close: %v", err)
+		}
+	}
 	if s.jobs != nil {
 		s.jobs.Close()
 	}
@@ -384,13 +479,16 @@ func seedYearOverrides(q url.Values, seed *uint64, year *int) (*uint64, *int, er
 }
 
 // ingestBody is the POST /ingest response: per-batch accounting plus the
-// stream epoch after the batch, which a client can compare against the
-// `live.epoch` of subsequent assessments.
+// fleet epoch after the batch (the sum of every stream's epoch — still
+// monotonic), which a client can compare against the `live.epoch` of
+// subsequent assessments. Systems maps each live stream that accepted
+// samples to its count, so multi-stream clients can verify routing.
 type ingestBody struct {
-	Accepted int      `json:"accepted"`
-	Rejected int      `json:"rejected"`
-	Epoch    uint64   `json:"epoch"`
-	Errors   []string `json:"errors,omitempty"`
+	Accepted int            `json:"accepted"`
+	Rejected int            `json:"rejected"`
+	Epoch    uint64         `json:"epoch"`
+	Systems  map[string]int `json:"systems,omitempty"`
+	Errors   []string       `json:"errors,omitempty"`
 }
 
 // maxIngestErrors bounds the per-sample error list echoed to the client;
@@ -401,13 +499,33 @@ const (
 	maxIngestBytes  = 16 << 20
 )
 
+// authorized enforces the -ingest-token bearer scheme; an unset token
+// leaves the endpoint open.
+func (s *server) authorized(r *http.Request) bool {
+	if s.ingestToken == "" {
+		return true
+	}
+	auth := r.Header.Get("Authorization")
+	const scheme = "Bearer "
+	if len(auth) <= len(scheme) || !strings.EqualFold(auth[:len(scheme)], scheme) {
+		return false
+	}
+	// Constant-time comparison: the token is a credential.
+	return subtle.ConstantTimeCompare([]byte(auth[len(scheme):]), []byte(s.ingestToken)) == 1
+}
+
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("POST samples as JSON, a JSON array, or NDJSON"))
 		return
 	}
-	stream := s.engine.LiveStream()
-	if stream == nil {
+	if !s.authorized(r) {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="thirstyflopsd"`)
+		writeError(w, http.StatusUnauthorized, errors.New("ingest requires 'Authorization: Bearer <token>'"))
+		return
+	}
+	reg := s.engine.LiveStreams()
+	if reg == nil || reg.Len() == 0 {
 		writeError(w, http.StatusServiceUnavailable, errors.New("live ingestion disabled (start with -live-window > 0)"))
 		return
 	}
@@ -418,36 +536,81 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	accepted, err := s.engine.Ingest(samples...)
-	body := ingestBody{
-		Accepted: accepted,
-		Rejected: len(samples) - accepted,
-		Epoch:    stream.Epoch(),
-	}
-	if err != nil {
-		for _, line := range strings.Split(err.Error(), "\n") {
-			if len(body.Errors) == maxIngestErrors {
-				body.Errors = append(body.Errors, "...")
-				break
-			}
-			body.Errors = append(body.Errors, line)
+	// Route sample-by-sample so the response can attribute acceptance to
+	// each stream: clients verify multi-stream routing from Systems.
+	body := ingestBody{}
+	noStream := 0
+	for i, smp := range samples {
+		stream := reg.Resolve(smp.System)
+		if stream == nil {
+			noStream++
+			body.appendError(fmt.Errorf("sample %d: %w: %q", i, thirstyflops.ErrNoLiveStream, smp.System))
+			continue
 		}
+		if err := stream.Ingest(smp); err != nil {
+			body.appendError(fmt.Errorf("sample %d: %w", i, err))
+			continue
+		}
+		body.Accepted++
+		sys := stream.System()
+		if sys == "" {
+			sys = smp.System // wildcard stream: report the routed name
+		}
+		if body.Systems == nil {
+			body.Systems = make(map[string]int)
+		}
+		body.Systems[sys]++
 	}
+	body.Rejected = len(samples) - body.Accepted
+	body.Epoch = telemetry.Summarize(reg.Statuses()).Epoch
 	status := http.StatusOK
-	if accepted == 0 {
+	switch {
+	case body.Accepted == 0 && noStream == body.Rejected:
+		// Every sample named a system with no registered stream: a
+		// routing miss, not a malformed batch.
+		status = http.StatusNotFound
+	case body.Accepted == 0:
 		// Nothing landed: the whole batch was unusable.
 		status = http.StatusUnprocessableEntity
 	}
 	writeJSON(w, status, body)
 }
 
+// appendError folds one per-sample error into the bounded echo list.
+func (b *ingestBody) appendError(err error) {
+	if len(b.Errors) >= maxIngestErrors {
+		if len(b.Errors) == maxIngestErrors {
+			b.Errors = append(b.Errors, "...")
+		}
+		return
+	}
+	b.Errors = append(b.Errors, err.Error())
+}
+
+// livezBody is the GET /livez response: the backward-compatible fleet
+// summary at the top level (every pre-registry field keeps its place),
+// per-system stream statuses under "streams", and the UDP telemetry
+// plane's listener/aggregator/drop counters under "udp" when -udp-addr
+// is serving.
+type livezBody struct {
+	telemetry.Status
+	Streams []telemetry.Status `json:"streams"`
+	UDP     *statsd.Stats      `json:"udp,omitempty"`
+}
+
 func (s *server) handleLivez(w http.ResponseWriter, r *http.Request) {
-	stream := s.engine.LiveStream()
-	if stream == nil {
+	reg := s.engine.LiveStreams()
+	if reg == nil || reg.Len() == 0 {
 		writeError(w, http.StatusServiceUnavailable, errors.New("no live stream attached"))
 		return
 	}
-	writeJSON(w, http.StatusOK, stream.Status())
+	sts := reg.Statuses()
+	body := livezBody{Status: telemetry.Summarize(sts), Streams: sts}
+	if s.udp != nil {
+		st := s.udp.Stats()
+		body.UDP = &st
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -675,11 +838,24 @@ type jobsHealth struct {
 	Durable  *int   `json:"durable,omitempty"`
 }
 
+// liveHealth summarizes the live-telemetry plane for /healthz: which
+// systems have registered streams (so clients can verify routing
+// targets), whether /ingest requires a token, and the UDP plane's
+// counters when one is listening.
+type liveHealth struct {
+	Systems       []string      `json:"systems"`
+	AuthRequired  bool          `json:"auth_required"`
+	SamplesTotal  uint64        `json:"samples_accepted"`
+	RejectedTotal uint64        `json:"samples_rejected"`
+	UDP           *statsd.Stats `json:"udp,omitempty"`
+}
+
 // healthBody is the /healthz response.
 type healthBody struct {
 	Status        string                  `json:"status"`
 	UptimeSeconds float64                 `json:"uptime_seconds"`
 	Cache         thirstyflops.CacheStats `json:"cache"`
+	Live          *liveHealth             `json:"live,omitempty"`
 	Jobs          *jobsHealth             `json:"jobs,omitempty"`
 }
 
@@ -688,6 +864,19 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Cache:         s.engine.CacheStats(),
+	}
+	if reg := s.engine.LiveStreams(); reg != nil && reg.Len() > 0 {
+		sum := telemetry.Summarize(reg.Statuses())
+		body.Live = &liveHealth{
+			Systems:       reg.Systems(),
+			AuthRequired:  s.ingestToken != "",
+			SamplesTotal:  sum.Accepted,
+			RejectedTotal: sum.Rejected,
+		}
+		if s.udp != nil {
+			st := s.udp.Stats()
+			body.Live.UDP = &st
+		}
 	}
 	if s.jobs != nil {
 		st := s.jobs.Stats()

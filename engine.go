@@ -42,7 +42,7 @@ type Engine struct {
 	shardHint  int
 	planner    bool
 	shards     []*cache.Cache[fingerprint.Key, core.Annual]
-	stream     *telemetry.Stream
+	streams    *telemetry.Registry
 
 	// Persistence tier under the in-memory shards (WithPersistence):
 	// memoized simulated years spill to an append-only disk log keyed by
@@ -95,8 +95,26 @@ func WithWorkers(n int) Option {
 // that chains the configuration fingerprint with the stream epoch, so a
 // cached assessment can never survive past the samples it was computed
 // from.
+//
+// The option is repeatable: each stream registers under its system label
+// in the Engine's stream registry, and samples plus source="live"
+// requests route to their system's stream (a stream with an empty label
+// is the wildcard fallback). Registering a second stream for the same
+// system replaces the first.
 func WithLiveStream(s *telemetry.Stream) Option {
-	return func(e *Engine) { e.stream = s }
+	return func(e *Engine) {
+		if e.streams == nil {
+			e.streams = telemetry.NewRegistry()
+		}
+		e.streams.Register(s)
+	}
+}
+
+// WithLiveStreams attaches a pre-built stream registry wholesale —
+// the daemon shares one registry between the Engine and the UDP
+// telemetry plane. It replaces any streams registered so far.
+func WithLiveStreams(r *telemetry.Registry) Option {
+	return func(e *Engine) { e.streams = r }
 }
 
 // WithPlanner toggles substrate-aware batch planning (default on). When
@@ -396,21 +414,36 @@ func (e *Engine) annualFor(cfg Config, planned bool) (core.Annual, bool, error) 
 
 // --- Live telemetry ---
 
-// LiveStream returns the attached telemetry stream, or nil when the
-// Engine runs simulation-only.
-func (e *Engine) LiveStream() *telemetry.Stream { return e.stream }
+// LiveStream returns the attached telemetry stream when the Engine
+// carries exactly one (or a wildcard stream among several), or nil when
+// the Engine runs simulation-only — the single-stream view kept for
+// callers predating the registry.
+func (e *Engine) LiveStream() *telemetry.Stream {
+	if e.streams == nil {
+		return nil
+	}
+	return e.streams.Single()
+}
 
-// Ingest feeds observed power samples into the attached live stream,
-// returning how many were accepted. Rejected samples (non-finite or
-// negative power, hours behind the retained window, foreign systems) are
-// reported in the joined error while the rest of the batch proceeds.
+// LiveStreams returns the Engine's stream registry (nil when the Engine
+// runs simulation-only): one telemetry.Stream per fleet system, plus an
+// optional wildcard. The daemon's /livez and the UDP telemetry plane
+// read and feed it directly.
+func (e *Engine) LiveStreams() *telemetry.Registry { return e.streams }
+
+// Ingest routes observed power samples to their systems' live streams,
+// returning how many were accepted. A sample naming a system with no
+// registered stream fails with an error wrapping telemetry.ErrNoStream;
+// rejected samples (non-finite or negative power, hours behind the
+// retained window, foreign systems) are reported in the joined error
+// while the rest of the batch proceeds.
 func (e *Engine) Ingest(samples ...telemetry.Sample) (accepted int, err error) {
-	if e.stream == nil {
+	if e.streams == nil || e.streams.Len() == 0 {
 		return 0, fmt.Errorf("thirstyflops: engine has no live stream (construct with WithLiveStream)")
 	}
 	errs := make([]error, 0, 4)
 	for i, s := range samples {
-		if ierr := e.stream.Ingest(s); ierr != nil {
+		if ierr := e.streams.Ingest(s); ierr != nil {
 			errs = append(errs, fmt.Errorf("sample %d: %w", i, ierr))
 			continue
 		}
@@ -423,6 +456,10 @@ func (e *Engine) Ingest(samples ...telemetry.Sample) (accepted int, err error) {
 // records exactly which observed state of the stream the assessment was
 // spliced from.
 type LiveInfo struct {
+	// System is the label of the stream the splice came from ("" when
+	// the wildcard stream answered) — multi-stream clients verify
+	// routing with it.
+	System        string `json:"system,omitempty"`
 	Epoch         uint64 `json:"epoch"`
 	WindowLo      int    `json:"window_lo_hour"`
 	WindowHi      int    `json:"window_hi_hour"`
@@ -451,17 +488,19 @@ func liveKey(base fingerprint.Key, s *telemetry.Stream, epoch uint64) fingerprin
 // The splice is computed from one atomic stream snapshot and memoized
 // under the epoch-chained key.
 func (e *Engine) liveAnnualFor(cfg Config, planned bool) (core.Annual, *LiveInfo, bool, error) {
-	if e.stream == nil {
+	if e.streams == nil || e.streams.Len() == 0 {
 		return core.Annual{}, nil, false, fmt.Errorf("thirstyflops: live source requested but the engine has no stream (construct with WithLiveStream)")
 	}
-	if sys := e.stream.System(); sys != "" && sys != cfg.System.Name {
-		return core.Annual{}, nil, false, fmt.Errorf("thirstyflops: live stream observes %q, request assesses %q", sys, cfg.System.Name)
+	stream := e.streams.Resolve(cfg.System.Name)
+	if stream == nil {
+		return core.Annual{}, nil, false, fmt.Errorf("%w: %q (live source requested)", telemetry.ErrNoStream, cfg.System.Name)
 	}
-	if yr := e.stream.Year(); yr != 0 && yr != cfg.Year {
+	if yr := stream.Year(); yr != 0 && yr != cfg.Year {
 		return core.Annual{}, nil, false, fmt.Errorf("thirstyflops: live stream observes year %d, request assesses %d", yr, cfg.Year)
 	}
-	w := e.stream.Window()
+	w := stream.Window()
 	info := &LiveInfo{
+		System:        stream.System(),
 		Epoch:         w.Epoch,
 		WindowLo:      w.Lo,
 		WindowHi:      w.Hi,
@@ -479,7 +518,7 @@ func (e *Engine) liveAnnualFor(cfg Config, planned bool) (core.Annual, *LiveInfo
 		a, err := compute()
 		return a, info, false, err
 	}
-	key := liveKey(cfg.Fingerprint(), e.stream, w.Epoch)
+	key := liveKey(cfg.Fingerprint(), stream, w.Epoch)
 	shard := e.shards[key.Shard(len(e.shards))]
 	a, cached, err := shard.Get(key, compute)
 	return a, info, cached, err

@@ -2,6 +2,7 @@ package thirstyflops
 
 import (
 	"context"
+	"errors"
 	"math"
 	"strings"
 	"sync"
@@ -187,11 +188,11 @@ func TestEngineLiveErrors(t *testing.T) {
 		t.Errorf("unknown source not rejected: %v", err)
 	}
 
-	// System-pinned stream refuses foreign assessments.
+	// A system-pinned stream leaves foreign assessments unroutable: the
+	// registry answers with the distinct no-stream error.
 	pinned, _ := newLiveEngine(t, "Frontier", 24)
-	if _, err := pinned.Assess(ctx, AssessRequest{System: "Marconi", Source: SourceLive}); err == nil ||
-		!strings.Contains(err.Error(), "Frontier") {
-		t.Errorf("system mismatch not rejected: %v", err)
+	if _, err := pinned.Assess(ctx, AssessRequest{System: "Marconi", Source: SourceLive}); !errors.Is(err, ErrNoLiveStream) {
+		t.Errorf("system mismatch not rejected with ErrNoLiveStream: %v", err)
 	}
 	if _, err := pinned.Assess(ctx, AssessRequest{System: "Frontier", Source: SourceLive}); err != nil {
 		t.Errorf("matching system rejected: %v", err)

@@ -1,0 +1,270 @@
+package statsd
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"thirstyflops/internal/stats"
+	"thirstyflops/internal/telemetry"
+	"thirstyflops/internal/units"
+)
+
+// Sink receives the one telemetry.Sample per system each flush interval
+// collapses to. The engine's stream registry is the production sink; an
+// error wrapping telemetry.ErrNoStream is counted as an unknown-system
+// drop, any other error as a stream rejection.
+type Sink func(telemetry.Sample) error
+
+// acc accumulates one system's metrics over the current flush interval.
+type acc struct {
+	// Gauge readings (instantaneous watts) and their sample-rate weights:
+	// a reading at rate r stands in for 1/r real readings.
+	gauges  []float64
+	weights []float64
+
+	counter      float64 // rate-corrected event count
+	counterLines uint64
+	timers       []float64
+	timerLines   uint64
+}
+
+// Summary is one system's flushed interval: the distribution of its
+// gauge readings plus the counter and timer sidebands. MeanW is what the
+// emitted telemetry.Sample carries.
+type Summary struct {
+	System string `json:"system"`
+
+	Gauges   uint64  `json:"gauge_readings"`
+	Weighted float64 `json:"weighted_readings"` // sum of 1/rate
+	MeanW    float64 `json:"mean_w"`
+	MinW     float64 `json:"min_w"`
+	MaxW     float64 `json:"max_w"`
+	P50W     float64 `json:"p50_w"`
+	P95W     float64 `json:"p95_w"`
+	P99W     float64 `json:"p99_w"`
+
+	Counter    float64 `json:"counter,omitempty"`
+	TimerLines uint64  `json:"timer_readings,omitempty"`
+	TimerMean  float64 `json:"timer_mean_ms,omitempty"`
+	TimerP99   float64 `json:"timer_p99_ms,omitempty"`
+
+	// Hour is the absolute hour-of-year the flush landed in; Emitted
+	// reports whether a Sample reached the sink.
+	Hour    int  `json:"hour"`
+	Emitted bool `json:"emitted"`
+}
+
+// AggregatorConfig sizes a flush aggregator.
+type AggregatorConfig struct {
+	// Sink receives one Sample per system per flush; nil discards (the
+	// summaries are still produced).
+	Sink Sink
+	// Known pre-filters systems at accumulation time, so unknown-system
+	// drops are counted per line instead of once per flush. Nil admits
+	// every system and defers the question to the sink.
+	Known func(system string) bool
+	// Hour maps a flush instant to the absolute hour-of-year stamped on
+	// emitted samples. Nil uses HourOfYear(time.Now()).
+	Hour func() int
+}
+
+// Aggregator collapses each flush interval's metrics into per-system
+// summaries and emits one telemetry.Sample per system per flush. The
+// accumulate path is allocation-free at steady state: buckets resolve
+// through an in-place map lookup and readings append into slices that
+// are recycled (capacity kept, length zeroed) across flushes.
+//
+// An Aggregator is safe for use from multiple goroutines, though the
+// server drives it from one.
+type Aggregator struct {
+	cfg AggregatorConfig
+
+	mu   sync.Mutex
+	accs map[string]*acc
+	drop dropCounters
+
+	lines    uint64
+	accepted uint64
+	flushes  uint64
+	emitted  uint64
+
+	last []Summary
+}
+
+// dropCounters tallies every reason a line or sample fell out of the
+// plane. They live under the aggregator mutex; the listener adds its
+// own overflow/unauthorized counts when assembling Stats.
+type dropCounters struct {
+	Malformed     uint64
+	UnknownSystem uint64
+	Rejected      uint64
+}
+
+// NewAggregator builds a flush aggregator.
+func NewAggregator(cfg AggregatorConfig) *Aggregator {
+	return &Aggregator{cfg: cfg, accs: make(map[string]*acc)}
+}
+
+// Accumulate folds one datagram's bytes into the current interval:
+// parse, bucket→system routing, and per-reason drop counting in one
+// pass. It returns nothing — every line lands in a counter, accepted or
+// not.
+func (a *Aggregator) Accumulate(buf []byte) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	malformed := ParsePacket(buf, a.accumulateLocked)
+	a.drop.Malformed += uint64(malformed)
+	a.lines += uint64(malformed)
+}
+
+// accumulateLocked routes one parsed metric; the caller holds a.mu.
+func (a *Aggregator) accumulateLocked(m Metric) {
+	a.lines++
+	sys, ok := systemOf(m.Bucket)
+	if !ok {
+		a.drop.UnknownSystem++
+		return
+	}
+	// map[string(bytes)] lookups don't allocate; the string key is only
+	// materialized the first time a system appears.
+	ac := a.accs[string(sys)]
+	if ac == nil {
+		if a.cfg.Known != nil && !a.cfg.Known(string(sys)) {
+			a.drop.UnknownSystem++
+			return
+		}
+		ac = &acc{}
+		a.accs[string(sys)] = ac
+	}
+	switch m.Type {
+	case Gauge:
+		if m.Value < 0 {
+			// Physically implausible for a power reading; the stream
+			// would reject it anyway, count it at the door.
+			a.drop.Rejected++
+			return
+		}
+		ac.gauges = append(ac.gauges, m.Value)
+		ac.weights = append(ac.weights, 1/m.Rate)
+	case Counter:
+		ac.counter += m.Value / m.Rate
+		ac.counterLines++
+	case Timer:
+		ac.timers = append(ac.timers, m.Value)
+		ac.timerLines++
+	}
+	a.accepted++
+}
+
+// Flush collapses the interval: per system, the gauge distribution is
+// summarized (rate-weighted mean, min/max, p50/p95/p99) and one
+// telemetry.Sample carrying the mean watts at the current hour goes to
+// the sink. Accumulation buffers are recycled for the next interval.
+// The summaries are returned and retained for Stats.LastFlush.
+func (a *Aggregator) Flush() []Summary {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.flushes++
+	hour := a.hour()
+	out := make([]Summary, 0, len(a.accs))
+	for sys, ac := range a.accs {
+		s := Summary{
+			System:     sys,
+			Gauges:     uint64(len(ac.gauges)),
+			Counter:    ac.counter,
+			TimerLines: ac.timerLines,
+			Hour:       hour,
+		}
+		if len(ac.timers) > 0 {
+			s.TimerMean = stats.Mean(ac.timers)
+			s.TimerP99 = stats.Quantile(ac.timers, 0.99)
+		}
+		if len(ac.gauges) > 0 {
+			var sum, wsum float64
+			min, max := ac.gauges[0], ac.gauges[0]
+			for i, v := range ac.gauges {
+				w := ac.weights[i]
+				sum += v * w
+				wsum += w
+				if v < min {
+					min = v
+				}
+				if v > max {
+					max = v
+				}
+			}
+			s.Weighted = wsum
+			s.MeanW = sum / wsum
+			s.MinW = min
+			s.MaxW = max
+			s.P50W = stats.Quantile(ac.gauges, 0.5)
+			s.P95W = stats.Quantile(ac.gauges, 0.95)
+			s.P99W = stats.Quantile(ac.gauges, 0.99)
+			if a.cfg.Sink != nil {
+				err := a.cfg.Sink(telemetry.Sample{
+					System: sys,
+					Hour:   hour,
+					Power:  units.Watts(s.MeanW),
+				})
+				switch {
+				case err == nil:
+					s.Emitted = true
+					a.emitted++
+				case errors.Is(err, telemetry.ErrNoStream):
+					a.drop.UnknownSystem++
+				default:
+					a.drop.Rejected++
+				}
+			}
+		}
+		// Recycle the accumulation buffers; drop a system that went
+		// silent this interval so a renamed fleet doesn't pin memory.
+		if len(ac.gauges) == 0 && ac.counterLines == 0 && ac.timerLines == 0 {
+			delete(a.accs, sys)
+			continue
+		}
+		ac.gauges = ac.gauges[:0]
+		ac.weights = ac.weights[:0]
+		ac.timers = ac.timers[:0]
+		ac.counter = 0
+		ac.counterLines = 0
+		ac.timerLines = 0
+		out = append(out, s)
+	}
+	sortSummaries(out)
+	a.last = out
+	return out
+}
+
+// hour resolves the flush hour; the caller holds a.mu.
+func (a *Aggregator) hour() int {
+	if a.cfg.Hour != nil {
+		return a.cfg.Hour()
+	}
+	return HourOfYear(time.Now().UTC())
+}
+
+// sortSummaries orders flush output by system for stable serving.
+func sortSummaries(s []Summary) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].System < s[j-1].System; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// HourOfYear maps an instant to the absolute hour inside its UTC year,
+// clamped to the simulated year length (leap-year hour 8784 folds onto
+// the last modeled hour).
+func HourOfYear(t time.Time) int {
+	t = t.UTC()
+	h := int(t.Sub(time.Date(t.Year(), time.January, 1, 0, 0, 0, 0, time.UTC)) / time.Hour)
+	if h >= stats.HoursPerYear {
+		h = stats.HoursPerYear - 1
+	}
+	if h < 0 {
+		h = 0
+	}
+	return h
+}

@@ -1,0 +1,189 @@
+package statsd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"thirstyflops/internal/stats"
+	"thirstyflops/internal/telemetry"
+)
+
+func accumulate(a *Aggregator, lines ...string) {
+	for _, l := range lines {
+		a.Accumulate([]byte(l))
+	}
+}
+
+func TestAggregatorWeightedMeanAndPercentiles(t *testing.T) {
+	var got []telemetry.Sample
+	a := NewAggregator(AggregatorConfig{
+		Sink: func(s telemetry.Sample) error { got = append(got, s); return nil },
+		Hour: func() int { return 42 },
+	})
+	// Readings 100 and 300; the 300 was sampled at rate 0.5, so it stands
+	// in for two readings: mean = (100 + 2*300) / 3.
+	accumulate(a,
+		"fleet.Frontier.power:100|g",
+		"fleet.Frontier.power:300|g|@0.5",
+	)
+	out := a.Flush()
+	if len(out) != 1 {
+		t.Fatalf("flushed %d summaries, want 1", len(out))
+	}
+	s := out[0]
+	want := (100 + 2*300) / 3.0
+	if s.System != "Frontier" || math.Abs(s.MeanW-want) > 1e-9 {
+		t.Errorf("mean = %v (system %q), want %v", s.MeanW, s.System, want)
+	}
+	if s.MinW != 100 || s.MaxW != 300 || s.Gauges != 2 || math.Abs(s.Weighted-3) > 1e-9 {
+		t.Errorf("distribution wrong: %+v", s)
+	}
+	if s.Hour != 42 || !s.Emitted {
+		t.Errorf("hour/emitted wrong: %+v", s)
+	}
+	if len(got) != 1 || got[0].System != "Frontier" || got[0].Hour != 42 ||
+		math.Abs(float64(got[0].Power)-want) > 1e-9 {
+		t.Errorf("sink sample wrong: %+v", got)
+	}
+}
+
+func TestAggregatorPercentilesMatchStats(t *testing.T) {
+	a := NewAggregator(AggregatorConfig{Hour: func() int { return 0 }})
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i + 1)
+		accumulate(a, fmt.Sprintf("fleet.X.power:%d|g", i+1))
+	}
+	s := a.Flush()[0]
+	for _, q := range []struct {
+		got, want float64
+	}{
+		{s.P50W, stats.Quantile(vals, 0.5)},
+		{s.P95W, stats.Quantile(vals, 0.95)},
+		{s.P99W, stats.Quantile(vals, 0.99)},
+	} {
+		if math.Abs(q.got-q.want) > 1e-9 {
+			t.Errorf("quantile = %v, want %v", q.got, q.want)
+		}
+	}
+}
+
+func TestAggregatorCountersAndTimers(t *testing.T) {
+	a := NewAggregator(AggregatorConfig{Hour: func() int { return 0 }})
+	accumulate(a,
+		"fleet.F.power:5|c|@0.1", // 50 rate-corrected events
+		"fleet.F.power:3|c",
+		"fleet.F.power:10|ms",
+		"fleet.F.power:20|ms",
+		"fleet.F.power:30|ms",
+	)
+	s := a.Flush()[0]
+	if math.Abs(s.Counter-53) > 1e-9 {
+		t.Errorf("counter = %v, want 53", s.Counter)
+	}
+	if s.TimerLines != 3 || math.Abs(s.TimerMean-20) > 1e-9 {
+		t.Errorf("timers wrong: %+v", s)
+	}
+	// Counter/timer-only intervals emit no Sample (no gauge mean to carry).
+	if s.Emitted || s.Gauges != 0 {
+		t.Errorf("counter-only interval emitted: %+v", s)
+	}
+}
+
+func TestAggregatorDropAccounting(t *testing.T) {
+	sinkErr := errors.New("stream said no")
+	a := NewAggregator(AggregatorConfig{
+		Known: func(sys string) bool { return sys == "Known" || sys == "Sad" || sys == "Lost" },
+		Hour:  func() int { return 0 },
+		Sink: func(s telemetry.Sample) error {
+			switch s.System {
+			case "Sad":
+				return sinkErr
+			case "Lost":
+				return fmt.Errorf("routing: %w", telemetry.ErrNoStream)
+			}
+			return nil
+		},
+	})
+	accumulate(a,
+		"fleet.Known.power:100|g",
+		"fleet.Sad.power:100|g",
+		"fleet.Lost.power:100|g",
+		"fleet.Nobody.power:100|g", // fails Known
+		"other.bucket:1|g",         // outside the grammar
+		"fleet.Known.power:-5|g",   // negative gauge
+		"totally broken",           // malformed
+	)
+	a.Flush()
+	st := snapshotDrops(a)
+	if st.Malformed != 1 || st.UnknownSystem != 3 || st.Rejected != 2 {
+		// Unknown: Nobody (pre-filter), other.bucket (grammar), Lost (sink
+		// ErrNoStream). Rejected: the negative gauge and Sad's sink error.
+		t.Errorf("drops = %+v, want {Malformed:1 UnknownSystem:3 Rejected:2}", st)
+	}
+}
+
+func snapshotDrops(a *Aggregator) dropCounters {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.drop
+}
+
+func TestAggregatorRecycleAndSilentSystemEviction(t *testing.T) {
+	a := NewAggregator(AggregatorConfig{Hour: func() int { return 0 }})
+	accumulate(a, "fleet.A.power:1|g", "fleet.B.power:2|g")
+	if got := len(a.Flush()); got != 2 {
+		t.Fatalf("first flush: %d summaries", got)
+	}
+	// Only A speaks this interval: B must be evicted, and A's recycled
+	// buffers must not leak last interval's readings.
+	accumulate(a, "fleet.A.power:9|g")
+	out := a.Flush()
+	if len(out) != 1 || out[0].System != "A" || out[0].Gauges != 1 || out[0].MeanW != 9 {
+		t.Fatalf("second flush wrong: %+v", out)
+	}
+	a.mu.Lock()
+	_, bAlive := a.accs["B"]
+	a.mu.Unlock()
+	if bAlive {
+		t.Error("silent system B not evicted at flush")
+	}
+	// Steady state accumulation is allocation-free once buffers exist.
+	packet := []byte("fleet.A.power:100|g\nfleet.A.power:200|g|@0.5\n")
+	a.Accumulate(packet) // warm the buffers past the append growth
+	a.Flush()
+	a.Accumulate(packet)
+	a.Flush()
+	if avg := testing.AllocsPerRun(100, func() { a.Accumulate(packet) }); avg != 0 {
+		t.Errorf("steady-state Accumulate allocates %.1f per datagram, want 0", avg)
+	}
+}
+
+func TestAggregatorFlushOrderingStable(t *testing.T) {
+	a := NewAggregator(AggregatorConfig{Hour: func() int { return 0 }})
+	accumulate(a, "fleet.Zebra.power:1|g", "fleet.Alpha.power:1|g", "fleet.Mid.power:1|g")
+	out := a.Flush()
+	if len(out) != 3 || out[0].System != "Alpha" || out[1].System != "Mid" || out[2].System != "Zebra" {
+		t.Errorf("flush not sorted by system: %+v", out)
+	}
+}
+
+func TestHourOfYear(t *testing.T) {
+	for _, tc := range []struct {
+		t    time.Time
+		want int
+	}{
+		{time.Date(2025, 1, 1, 0, 30, 0, 0, time.UTC), 0},
+		{time.Date(2025, 1, 2, 5, 0, 0, 0, time.UTC), 29},
+		{time.Date(2025, 12, 31, 23, 59, 0, 0, time.UTC), stats.HoursPerYear - 1},
+		// Leap-year hour 8784 folds onto the last modeled hour.
+		{time.Date(2024, 12, 31, 23, 0, 0, 0, time.UTC), stats.HoursPerYear - 1},
+	} {
+		if got := HourOfYear(tc.t); got != tc.want {
+			t.Errorf("HourOfYear(%v) = %d, want %d", tc.t, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package statsd
+
+import (
+	"math"
+	"testing"
+
+	"thirstyflops/internal/telemetry"
+)
+
+// FuzzParsePacket drives arbitrary bytes through the full
+// parse→accumulate→flush pipeline and asserts the telemetry-plane
+// invariants: the parser never panics, every parsed Metric is finite
+// with a rate in (0, 1], and no NaN, infinite, or negative-power sample
+// ever reaches the sink.
+func FuzzParsePacket(f *testing.F) {
+	f.Add([]byte("fleet.Frontier.power:21500000|g|@0.1\nfleet.Marconi.power:9800000|g\n"))
+	f.Add([]byte("fleet.X.power:1e309|g"))
+	f.Add([]byte("fleet.X.power:-5|g\nfleet.X.power:5|c|@0.0001\nglork:320|ms"))
+	f.Add([]byte(":|:|:@|\n\r\n|||"))
+	f.Add([]byte("fleet..power:0|g\nfleet.a.b.power:.5|ms|@1"))
+	f.Add([]byte("NaN:NaN|g\nfleet.Inf.power:inf|g\nfleet.X.power:+Inf|g"))
+	f.Add([]byte{0, 1, 2, '\n', 0xff, ':', '0', '|', 'g'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var parsed int
+		malformed := ParsePacket(data, func(m Metric) {
+			parsed++
+			if math.IsNaN(m.Value) || math.IsInf(m.Value, 0) {
+				t.Fatalf("parser emitted non-finite value %v from %q", m.Value, data)
+			}
+			if !(m.Rate > 0 && m.Rate <= 1) {
+				t.Fatalf("parser emitted rate %v from %q", m.Rate, data)
+			}
+			if len(m.Bucket) == 0 {
+				t.Fatalf("parser emitted empty bucket from %q", data)
+			}
+		})
+		if malformed < 0 {
+			t.Fatalf("negative malformed count %d", malformed)
+		}
+
+		a := NewAggregator(AggregatorConfig{
+			Hour: func() int { return 7 },
+			Sink: func(s telemetry.Sample) error {
+				p := float64(s.Power)
+				if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+					t.Fatalf("sink received power %v from %q", p, data)
+				}
+				if s.Hour != 7 {
+					t.Fatalf("sink received hour %d", s.Hour)
+				}
+				return nil
+			},
+		})
+		a.Accumulate(data)
+		for _, s := range a.Flush() {
+			if math.IsNaN(s.MeanW) || math.IsInf(s.MeanW, 0) || s.MeanW < 0 {
+				t.Fatalf("flush summary mean %v from %q", s.MeanW, data)
+			}
+		}
+	})
+}

@@ -1,0 +1,364 @@
+// Package statsd is the daemon's UDP telemetry plane: a line-rate front
+// end that turns lossy, bursty statsd-style datagrams into the clean
+// hourly telemetry.Sample feed the engine's live streams consume.
+//
+// Wire grammar (one or more newline-separated lines per datagram):
+//
+//	fleet.<system>.power:<value>|g[|@<rate>]   instantaneous IT watts
+//	fleet.<system>.power:<value>|c[|@<rate>]   event counter (sideband)
+//	fleet.<system>.power:<value>|ms[|@<rate>]  sampled distribution (sideband)
+//
+// The pipeline is listener → bounded packet channel → aggregator:
+//
+//   - The listener reads datagrams into pooled buffers and enqueues them
+//     on a channel capped at MaxQueue. A full channel drops the datagram
+//     and counts it (Dropped.Overflow) instead of blocking the socket —
+//     MAX_UNPROCESSED-style backpressure, so a flush stall can never
+//     back up into the kernel and stall reads.
+//   - Datagrams from sources outside the Allow CIDRs are dropped at the
+//     socket (Dropped.Unauthorized) before any parsing.
+//   - The aggregator parses each datagram with the zero-allocation line
+//     parser, accumulates per-system gauge distributions (plus counter
+//     and timer sidebands), and every FlushInterval collapses each
+//     system's interval into mean/min/max/percentile summaries, emitting
+//     one telemetry.Sample (the rate-weighted mean watts, stamped with
+//     the current hour-of-year) per system to the sink.
+//
+// Every loss is attributed: malformed lines, queue overflow, unknown
+// systems (buckets outside the grammar or systems with no registered
+// stream), unauthorized sources, and sink rejections each have their own
+// counter, surfaced on the daemon's /livez and /healthz.
+package statsd
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultFlushInterval = 10 * time.Second
+	DefaultMaxQueue      = 1024
+	// maxDatagram sizes the receive buffers: the UDP maximum, so a jumbo
+	// datagram is never silently truncated by the plane itself.
+	maxDatagram = 64 * 1024
+)
+
+// Config wires a Server.
+type Config struct {
+	// Addr is the UDP listen address (e.g. ":8125", "127.0.0.1:0").
+	Addr string
+	// FlushInterval is the aggregation window; zero means
+	// DefaultFlushInterval.
+	FlushInterval time.Duration
+	// MaxQueue bounds the unprocessed-datagram channel; zero means
+	// DefaultMaxQueue.
+	MaxQueue int
+	// Allow restricts accepted source addresses; empty admits everyone.
+	Allow []netip.Prefix
+
+	// Sink, Known, Hour configure the aggregator (see AggregatorConfig).
+	Sink  Sink
+	Known func(system string) bool
+	Hour  func() int
+}
+
+// Server owns the listener goroutine, the aggregation goroutine, and
+// the flush ticker. Construct with NewServer, Start to bind, Close to
+// drain and stop.
+type Server struct {
+	cfg Config
+	agg *Aggregator
+
+	conn  *net.UDPConn
+	queue chan []byte
+	// free recycles datagram buffers between the reader and the
+	// aggregator without sync.Pool's interface boxing: a channel of
+	// slice headers allocates nothing at steady state.
+	free chan []byte
+
+	datagrams    atomic.Uint64 // read off the socket
+	processed    atomic.Uint64 // handed to the aggregator
+	overflow     atomic.Uint64
+	unauthorized atomic.Uint64
+
+	closeOnce sync.Once
+	done      chan struct{} // closed to stop the flush ticker
+	readerWG  sync.WaitGroup
+	workerWG  sync.WaitGroup
+}
+
+// NewServer builds an unstarted telemetry plane.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("statsd: no listen address")
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = DefaultFlushInterval
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = DefaultMaxQueue
+	}
+	s := &Server{
+		cfg:   cfg,
+		agg:   NewAggregator(AggregatorConfig{Sink: cfg.Sink, Known: cfg.Known, Hour: cfg.Hour}),
+		queue: make(chan []byte, cfg.MaxQueue),
+		free:  make(chan []byte, cfg.MaxQueue+1),
+		done:  make(chan struct{}),
+	}
+	return s, nil
+}
+
+// getBuf recycles a datagram buffer or grows the pool.
+func (s *Server) getBuf() []byte {
+	select {
+	case b := <-s.free:
+		return b
+	default:
+		return make([]byte, maxDatagram)
+	}
+}
+
+// putBuf returns a buffer to the free list (dropped if it is full).
+func (s *Server) putBuf(b []byte) {
+	select {
+	case s.free <- b[:maxDatagram]:
+	default:
+	}
+}
+
+// ParseAllow parses a comma-separated CIDR list into source prefixes; a
+// bare IP is treated as a /32 (or /128) host prefix.
+func ParseAllow(list string) ([]netip.Prefix, error) {
+	var out []netip.Prefix
+	for _, tok := range splitComma(list) {
+		p, err := netip.ParsePrefix(tok)
+		if err != nil {
+			ip, ierr := netip.ParseAddr(tok)
+			if ierr != nil {
+				return nil, fmt.Errorf("statsd: bad allow entry %q: %w", tok, err)
+			}
+			p = netip.PrefixFrom(ip, ip.BitLen())
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// splitComma splits on commas, trimming empty tokens.
+func splitComma(s string) []string {
+	var out []string
+	for len(s) > 0 {
+		i := 0
+		for i < len(s) && s[i] != ',' {
+			i++
+		}
+		if tok := trimSpace(s[:i]); tok != "" {
+			out = append(out, tok)
+		}
+		if i == len(s) {
+			break
+		}
+		s = s[i+1:]
+	}
+	return out
+}
+
+func trimSpace(s string) string {
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t') {
+		s = s[1:]
+	}
+	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// Start binds the UDP socket and launches the read, aggregate, and
+// flush goroutines.
+func (s *Server) Start() error {
+	addr, err := net.ResolveUDPAddr("udp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("statsd: resolve %q: %w", s.cfg.Addr, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return fmt.Errorf("statsd: listen %q: %w", s.cfg.Addr, err)
+	}
+	s.conn = conn
+
+	s.readerWG.Add(1)
+	go s.readLoop()
+
+	s.workerWG.Add(1)
+	go s.aggregateLoop()
+
+	s.workerWG.Add(1)
+	go s.flushLoop()
+	return nil
+}
+
+// Addr reports the bound UDP address (useful with ":0" in tests).
+func (s *Server) Addr() net.Addr {
+	if s.conn == nil {
+		return nil
+	}
+	return s.conn.LocalAddr()
+}
+
+// readLoop pulls datagrams off the socket into pooled buffers and
+// enqueues them; a full queue or an unauthorized source drops the
+// datagram without ever blocking the socket.
+func (s *Server) readLoop() {
+	defer s.readerWG.Done()
+	for {
+		buf := s.getBuf()
+		n, from, err := s.conn.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			// Close tears down the socket; any read error ends the loop
+			// (UDP has no per-peer errors worth retrying on Linux).
+			close(s.queue)
+			return
+		}
+		s.datagrams.Add(1)
+		if !s.allowed(from.Addr()) {
+			s.unauthorized.Add(1)
+			s.putBuf(buf)
+			continue
+		}
+		select {
+		case s.queue <- buf[:n]:
+		default:
+			s.overflow.Add(1)
+			s.putBuf(buf)
+		}
+	}
+}
+
+// allowed checks a source address against the Allow prefixes.
+func (s *Server) allowed(ip netip.Addr) bool {
+	if len(s.cfg.Allow) == 0 {
+		return true
+	}
+	ip = ip.Unmap()
+	for _, p := range s.cfg.Allow {
+		if p.Contains(ip) {
+			return true
+		}
+	}
+	return false
+}
+
+// aggregateLoop drains the packet channel into the aggregator.
+func (s *Server) aggregateLoop() {
+	defer s.workerWG.Done()
+	for buf := range s.queue {
+		s.agg.Accumulate(buf)
+		s.processed.Add(1)
+		s.putBuf(buf)
+	}
+}
+
+// flushLoop ticks the aggregator every FlushInterval.
+func (s *Server) flushLoop() {
+	defer s.workerWG.Done()
+	t := time.NewTicker(s.cfg.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.agg.Flush()
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// Flush forces an immediate aggregation flush — deterministic tests and
+// the final drain use it; the interval ticker keeps running.
+func (s *Server) Flush() []Summary { return s.agg.Flush() }
+
+// Close stops the plane: the socket closes, queued datagrams drain
+// through the aggregator, and one final flush emits whatever the last
+// partial interval held.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.done)
+		if s.conn != nil {
+			err = s.conn.Close()
+			s.readerWG.Wait() // reader exits, closing the queue...
+		}
+		s.workerWG.Wait() // ...the aggregator drains it, the ticker stops,
+		s.agg.Flush()     // and the partial interval flushes.
+	})
+	return err
+}
+
+// DropStats attributes every datagram or line the plane refused.
+type DropStats struct {
+	// Overflow counts datagrams dropped because the bounded packet
+	// channel was full — backpressure, the listener never blocks.
+	Overflow uint64 `json:"overflow"`
+	// Unauthorized counts datagrams from sources outside the allow list.
+	Unauthorized uint64 `json:"unauthorized"`
+	// Malformed counts unparseable lines.
+	Malformed uint64 `json:"malformed"`
+	// UnknownSystem counts lines outside the fleet.<system>.power
+	// grammar plus samples routed to a system with no registered stream.
+	UnknownSystem uint64 `json:"unknown_system"`
+	// Rejected counts implausible readings (negative power) and samples
+	// the stream itself refused.
+	Rejected uint64 `json:"rejected"`
+}
+
+// Stats is the plane's /livez view.
+type Stats struct {
+	Addr          string    `json:"addr,omitempty"`
+	FlushSeconds  float64   `json:"flush_interval_seconds"`
+	Datagrams     uint64    `json:"datagrams"`
+	Processed     uint64    `json:"datagrams_processed"`
+	Lines         uint64    `json:"lines"`
+	Accepted      uint64    `json:"metrics_accepted"`
+	Flushes       uint64    `json:"flushes"`
+	SamplesToSink uint64    `json:"samples_emitted"`
+	QueueLen      int       `json:"queue_len"`
+	QueueCap      int       `json:"queue_cap"`
+	Dropped       DropStats `json:"dropped"`
+	LastFlush     []Summary `json:"last_flush,omitempty"`
+}
+
+// Stats snapshots the plane's counters. Listener counters are atomics;
+// aggregator counters are read under its lock, so the two halves may be
+// one datagram apart under fire — each half is internally consistent.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		FlushSeconds: s.cfg.FlushInterval.Seconds(),
+		Datagrams:    s.datagrams.Load(),
+		Processed:    s.processed.Load(),
+		QueueLen:     len(s.queue),
+		QueueCap:     cap(s.queue),
+	}
+	if s.conn != nil {
+		st.Addr = s.conn.LocalAddr().String()
+	}
+	st.Dropped.Overflow = s.overflow.Load()
+	st.Dropped.Unauthorized = s.unauthorized.Load()
+
+	a := s.agg
+	a.mu.Lock()
+	st.Lines = a.lines
+	st.Accepted = a.accepted
+	st.Flushes = a.flushes
+	st.SamplesToSink = a.emitted
+	st.Dropped.Malformed = a.drop.Malformed
+	st.Dropped.UnknownSystem = a.drop.UnknownSystem
+	st.Dropped.Rejected = a.drop.Rejected
+	st.LastFlush = a.last
+	a.mu.Unlock()
+	return st
+}

@@ -1,0 +1,380 @@
+package statsd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"thirstyflops/internal/telemetry"
+)
+
+// startServer binds a plane on a loopback ephemeral port and returns a
+// connected client socket.
+func startServer(t *testing.T, cfg Config) (*Server, net.Conn) {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.FlushInterval == 0 {
+		cfg.FlushInterval = time.Hour // tests flush manually
+	}
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	client, err := net.Dial("udp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return s, client
+}
+
+// waitFor polls until cond holds; loopback delivery is asynchronous, so
+// every cross-socket assertion goes through here.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// send transmits one datagram and waits for the listener to count it —
+// lockstep pacing, so the kernel socket buffer can never drop and the
+// test can assert exact counters.
+func send(t *testing.T, s *Server, client net.Conn, payload string) {
+	t.Helper()
+	want := s.Stats().Datagrams + 1
+	if _, err := client.Write([]byte(payload)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "datagram receipt", func() bool { return s.Stats().Datagrams >= want })
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	var mu sync.Mutex
+	var got []telemetry.Sample
+	s, client := startServer(t, Config{
+		Known: func(sys string) bool { return sys == "Frontier" || sys == "Marconi" },
+		Hour:  func() int { return 100 },
+		Sink: func(smp telemetry.Sample) error {
+			mu.Lock()
+			got = append(got, smp)
+			mu.Unlock()
+			return nil
+		},
+	})
+
+	// Two systems, duplicated and out-of-order datagrams, a truncated
+	// tail, malformed noise, and an unregistered system.
+	send(t, s, client, "fleet.Frontier.power:100|g\nfleet.Marconi.power:1000|g\n")
+	send(t, s, client, "fleet.Marconi.power:3000|g|@0.5")
+	send(t, s, client, "fleet.Frontier.power:100|g\nfleet.Frontier.power:300|g") // duplicate reading
+	send(t, s, client, "garbage\nfleet.Frontier.power:200|g\nfleet.Ghost.power:5|g\nfleet.Frontier.power:9|")
+
+	waitFor(t, "queue drain", func() bool {
+		st := s.Stats()
+		return st.Processed+st.Dropped.Overflow+st.Dropped.Unauthorized == st.Datagrams && st.QueueLen == 0
+	})
+	sums := s.Flush()
+	if len(sums) != 2 || sums[0].System != "Frontier" || sums[1].System != "Marconi" {
+		t.Fatalf("flush = %+v", sums)
+	}
+	if m := sums[0].MeanW; math.Abs(m-(100+100+300+200)/4.0) > 1e-9 {
+		t.Errorf("Frontier mean = %v", m)
+	}
+	// Marconi: 1000 at weight 1, 3000 at weight 2 → 7000/3.
+	if m := sums[1].MeanW; math.Abs(m-7000.0/3) > 1e-9 {
+		t.Errorf("Marconi mean = %v", m)
+	}
+
+	st := s.Stats()
+	if st.Datagrams != 4 || st.Processed != 4 {
+		t.Errorf("datagrams %d processed %d, want 4/4", st.Datagrams, st.Processed)
+	}
+	if st.Dropped.Malformed != 2 || st.Dropped.UnknownSystem != 1 || st.Dropped.Rejected != 0 {
+		t.Errorf("drops = %+v", st.Dropped)
+	}
+	if st.Lines != st.Accepted+st.Dropped.Malformed+st.Dropped.UnknownSystem+st.Dropped.Rejected {
+		t.Errorf("line accounting broken: %+v", st)
+	}
+	if st.Accepted != 6 || st.SamplesToSink != 2 || st.Flushes != 1 {
+		t.Errorf("accepted %d emitted %d flushes %d", st.Accepted, st.SamplesToSink, st.Flushes)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 || got[0].Hour != 100 || got[1].Hour != 100 {
+		t.Errorf("sink samples = %+v", got)
+	}
+}
+
+// TestServerOverflowBackpressure wedges the aggregator (a flush whose
+// sink blocks holds the aggregator mutex) and fires datagrams until the
+// bounded queue fills: the listener must keep reading, attribute every
+// excess datagram to Dropped.Overflow, and drain cleanly once the flush
+// completes.
+func TestServerOverflowBackpressure(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s, client := startServer(t, Config{
+		MaxQueue: 2,
+		Hour:     func() int { return 0 },
+		Sink: func(telemetry.Sample) error {
+			once.Do(func() {
+				close(entered)
+				<-release
+			})
+			return nil
+		},
+	})
+
+	send(t, s, client, "fleet.X.power:1|g")
+	waitFor(t, "first datagram processed", func() bool { return s.Stats().Processed == 1 })
+
+	flushed := make(chan struct{})
+	go func() { s.Flush(); close(flushed) }()
+	<-entered // flush now owns the aggregator mutex and is parked in the sink
+
+	// With the aggregator wedged, Stats() would block on its mutex too —
+	// pace sends on the listener's raw atomics instead.
+	sendRaw := func(payload string) {
+		want := s.datagrams.Load() + 1
+		if _, err := client.Write([]byte(payload)); err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, "datagram receipt", func() bool { return s.datagrams.Load() >= want })
+	}
+	// The aggregate loop takes one datagram off the queue and blocks in
+	// Accumulate; two more fit the queue; everything beyond must overflow.
+	const extra = 40
+	for i := 0; i < extra; i++ {
+		sendRaw(fmt.Sprintf("fleet.X.power:%d|g", i))
+	}
+	waitFor(t, "overflow drops", func() bool { return s.overflow.Load() >= extra-3 })
+
+	close(release)
+	<-flushed
+	waitFor(t, "drain after release", func() bool {
+		st := s.Stats()
+		return st.Processed+st.Dropped.Overflow == st.Datagrams && st.QueueLen == 0
+	})
+	st := s.Stats()
+	if st.Dropped.Overflow == 0 {
+		t.Error("no overflow recorded")
+	}
+	if st.Datagrams != extra+1 {
+		t.Errorf("datagrams = %d, want %d", st.Datagrams, extra+1)
+	}
+}
+
+func TestServerAllowCIDR(t *testing.T) {
+	allow, err := ParseAllow("10.0.0.0/8, 192.0.2.7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, client := startServer(t, Config{Allow: allow, Hour: func() int { return 0 }})
+	send(t, s, client, "fleet.X.power:1|g") // from 127.0.0.1 — not allowed
+	st := s.Stats()
+	if st.Dropped.Unauthorized != 1 || st.Processed != 0 || st.Lines != 0 {
+		t.Errorf("unauthorized datagram not dropped at the socket: %+v", st)
+	}
+
+	loop, err := ParseAllow("127.0.0.0/8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, client2 := startServer(t, Config{Allow: loop, Hour: func() int { return 0 }})
+	send(t, s2, client2, "fleet.X.power:1|g")
+	waitFor(t, "allowed datagram", func() bool { return s2.Stats().Accepted == 1 })
+}
+
+func TestParseAllow(t *testing.T) {
+	if got, err := ParseAllow(""); err != nil || len(got) != 0 {
+		t.Errorf("empty list: %v, %v", got, err)
+	}
+	got, err := ParseAllow(" 10.0.0.0/8 ,127.0.0.1, ::1 ")
+	if err != nil || len(got) != 3 {
+		t.Fatalf("ParseAllow: %v, %v", got, err)
+	}
+	if got[1].Bits() != 32 || got[2].Bits() != 128 {
+		t.Errorf("bare IPs not host prefixes: %v", got)
+	}
+	if _, err := ParseAllow("not-a-cidr"); err == nil {
+		t.Error("bad entry accepted")
+	}
+}
+
+// TestServerSoak fires bursty, concurrent, duplicated, out-of-order,
+// truncated, and malformed datagrams at a live plane (with periodic
+// flushes racing the feed) and asserts the accounting identities at
+// quiescence. Loopback UDP may shed excess load in the kernel, so the
+// identities are stated over datagrams *received*, which is exactly what
+// the counters attribute. Run with -race this doubles as the data-race
+// soak for the listener/aggregator/flush triangle.
+func TestServerSoak(t *testing.T) {
+	var mu sync.Mutex
+	var sunk []telemetry.Sample
+	s, _ := startServer(t, Config{
+		MaxQueue: 8, // small enough that bursts genuinely overflow
+		Known:    func(sys string) bool { return sys != "Nobody" },
+		Hour:     func() int { return 55 },
+		Sink: func(smp telemetry.Sample) error {
+			mu.Lock()
+			sunk = append(sunk, smp)
+			mu.Unlock()
+			return nil
+		},
+	})
+
+	payloads := []string{
+		"fleet.Frontier.power:21500000|g|@0.1",
+		"fleet.Frontier.power:9800000|g\nfleet.Marconi.power:1200000|g",
+		"fleet.Marconi.power:1200000|g\nfleet.Marconi.power:1200000|g", // duplicates
+		"fleet.Polaris.power:5|c|@0.25\nfleet.Polaris.power:320|ms",
+		"fleet.Nobody.power:1|g",     // unknown system
+		"fleet.Frontier.power:-10|g", // rejected reading
+		"fleet.Frontier.power:99|",   // truncated
+		"complete garbage \x01\x02",
+	}
+
+	const workers, perWorker = 4, 120
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			conn, err := net.Dial("udp", s.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			for i := 0; i < perWorker; i++ {
+				if _, err := conn.Write([]byte(payloads[rng.Intn(len(payloads))])); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%16 == 0 {
+					time.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
+				}
+			}
+		}(int64(w))
+	}
+	stop := make(chan struct{})
+	var raceWG sync.WaitGroup
+	raceWG.Add(2)
+	go func() { // flushes racing the feed
+		defer raceWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.Flush()
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+	}()
+	go func() { // stats reader racing both
+		defer raceWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = s.Stats()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Quiescence: the datagram counter stops moving and the queue drains.
+	var last uint64
+	waitFor(t, "receive quiescence", func() bool {
+		st := s.Stats()
+		stable := st.Datagrams == last && st.QueueLen == 0 &&
+			st.Datagrams == st.Processed+st.Dropped.Overflow+st.Dropped.Unauthorized
+		last = st.Datagrams
+		return stable
+	})
+	close(stop)
+	raceWG.Wait()
+	s.Flush()
+
+	st := s.Stats()
+	if st.Datagrams == 0 || st.Accepted == 0 {
+		t.Fatalf("soak delivered nothing: %+v", st)
+	}
+	if st.Datagrams != st.Processed+st.Dropped.Overflow+st.Dropped.Unauthorized {
+		t.Errorf("datagram accounting broken: %+v", st)
+	}
+	if st.Lines != st.Accepted+st.Dropped.Malformed+st.Dropped.UnknownSystem+st.Dropped.Rejected {
+		t.Errorf("line accounting broken: %+v", st)
+	}
+	// The mix guarantees processed datagrams of every failure class.
+	if st.Processed > 50 && (st.Dropped.Malformed == 0 || st.Dropped.UnknownSystem == 0 || st.Dropped.Rejected == 0) {
+		t.Errorf("drop attribution missing a class: %+v", st.Dropped)
+	}
+
+	// Spliced-series sanity: every sample that reached the sink is a
+	// finite, positive power at the configured hour, from a known system.
+	mu.Lock()
+	defer mu.Unlock()
+	for _, smp := range sunk {
+		p := float64(smp.Power)
+		if math.IsNaN(p) || math.IsInf(p, 0) || p <= 0 {
+			t.Fatalf("sink saw power %v", p)
+		}
+		if smp.Hour != 55 {
+			t.Fatalf("sink saw hour %d", smp.Hour)
+		}
+		switch smp.System {
+		case "Frontier", "Marconi", "Polaris":
+		default:
+			t.Fatalf("sink saw system %q", smp.System)
+		}
+		// All payload gauges sit in [1.2e6, 2.15e7]; means must too.
+		if p < 1.2e6 || p > 2.15e7 {
+			t.Fatalf("mean %v outside the feed's envelope", p)
+		}
+	}
+}
+
+func TestServerCloseDrainsPartialInterval(t *testing.T) {
+	var mu sync.Mutex
+	var got []telemetry.Sample
+	s, client := startServer(t, Config{
+		Hour: func() int { return 9 },
+		Sink: func(smp telemetry.Sample) error {
+			mu.Lock()
+			got = append(got, smp)
+			mu.Unlock()
+			return nil
+		},
+	})
+	send(t, s, client, "fleet.X.power:777|g")
+	waitFor(t, "processing", func() bool { return s.Stats().Processed == 1 })
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || float64(got[0].Power) != 777 {
+		t.Fatalf("final drain lost the partial interval: %+v", got)
+	}
+}

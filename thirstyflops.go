@@ -354,6 +354,9 @@ type (
 	Stream = telemetry.Stream
 	// StreamStatus reports a stream's coverage and ingestion lag.
 	StreamStatus = telemetry.Status
+	// StreamRegistry routes samples and live assessments across one
+	// Stream per fleet system.
+	StreamRegistry = telemetry.Registry
 	// SchedResult summarizes a scheduling simulation.
 	SchedResult = sched.Result
 	// Placement records where the simulator ran one job.
@@ -413,6 +416,16 @@ func PowerLogFor(sys System, d DemandModel, seed uint64, year int) PowerLog {
 func NewStream(system string, year int, windowHours int) (*Stream, error) {
 	return telemetry.NewStream(system, year, windowHours)
 }
+
+// NewStreamRegistry builds an empty per-system stream registry. Register
+// one Stream per fleet system (plus an optional wildcard), attach it
+// with WithLiveStreams, and samples plus source="live" requests route by
+// system name.
+func NewStreamRegistry() *StreamRegistry { return telemetry.NewRegistry() }
+
+// ErrNoLiveStream reports a sample or live assessment routed to a system
+// with no registered stream; the daemon maps it to a 404-style answer.
+var ErrNoLiveStream = telemetry.ErrNoStream
 
 // DecodeSamples parses an ingest body (single JSON object, JSON array,
 // or NDJSON stream) into live samples; maxSamples <= 0 applies the
