@@ -16,6 +16,11 @@
 # The docs target runs the documentation drift gate: route list in
 # docs/HTTP_API.md vs the daemon mux (cmd/docscheck), go vet, and an
 # examples build.
+# The chaos target runs the full randomized fault-schedule suite
+# (CHAOS=1 unlocks the long multi-seed schedules; the short
+# deterministic smoke variant already runs in the default test tier)
+# under the race detector, alongside the store fault-injection and
+# engine degraded-mode tests.
 
 GATED_BENCHES = ^(BenchmarkEngineAssessCold|BenchmarkEngineAssessColdIsolated|BenchmarkEngineAssessCached|BenchmarkConfigFingerprint|BenchmarkAssessYear|BenchmarkFCFS|BenchmarkEASYBackfill|BenchmarkStartTimeRanking|BenchmarkStartTimeRankingFullYear|BenchmarkWUECurveSeries|BenchmarkWUECurveTable|BenchmarkWeatherYear|BenchmarkGridYear)$$
 
@@ -27,7 +32,7 @@ GATED_STORE_BENCHES = ^(BenchmarkStoreAppend|BenchmarkStoreGet|BenchmarkWarmStar
 
 GATED_STATSD_BENCHES = ^(BenchmarkParseLine|BenchmarkParsePacket|BenchmarkAggregatorAccumulate|BenchmarkUDPIngest)$$
 
-.PHONY: build test race bench bench-core bench-daemon bench-plan bench-store bench-statsd docs
+.PHONY: build test race bench bench-core bench-daemon bench-plan bench-store bench-statsd docs chaos
 
 build:
 	go build ./...
@@ -67,3 +72,7 @@ docs:
 	go vet ./...
 	go build ./examples/...
 	go run ./cmd/docscheck
+
+chaos:
+	CHAOS=1 go test -race -count=1 -run '^TestChaos' ./cmd/thirstyflopsd
+	go test -race -count=1 -run 'Fault|Wedge|Degraded|Panic|Resilience|Breaker' ./...

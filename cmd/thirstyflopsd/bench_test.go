@@ -27,7 +27,11 @@ func benchServer(b *testing.B) (*httptest.Server, *thirstyflops.Engine) {
 		b.Fatal(err)
 	}
 	eng := thirstyflops.NewEngine(thirstyflops.WithLiveStream(stream))
-	ts := httptest.NewServer(newMux(eng))
+	h, err := newMux(eng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
 	b.Cleanup(ts.Close)
 	return ts, eng
 }

@@ -1,0 +1,333 @@
+package main
+
+// Chaos harness: the daemon under randomized, seeded fault schedules —
+// the disk flapping between dead and healthy, configurations that panic
+// mid-assessment, and client bursts past the admission gate — while
+// concurrent clients verify four invariants on every round:
+//
+//  1. The daemon never exits: every issued request receives an HTTP
+//     response with an expected status, never a torn connection.
+//  2. Degraded serving is correct serving: any 200 assessment matches
+//     the healthy baseline bit-for-bit (modulo the cached flag).
+//  3. /healthz tells the truth: its degraded field always agrees with
+//     its own breaker snapshot, and recovery really closes the breaker.
+//  4. Accounting identities close at quiescence: nothing pending,
+//     nothing wedged, every injected failure counted somewhere.
+//
+// TestChaosSmoke is the short deterministic variant that runs in the
+// default `go test ./...` tier; TestChaosFull (make chaos, CHAOS=1)
+// runs longer randomized schedules across several seeds.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"thirstyflops"
+	"thirstyflops/internal/breaker"
+	"thirstyflops/internal/faultinject"
+)
+
+type chaosParams struct {
+	seed          int64
+	rounds        int
+	clients       int
+	reqsPerClient int
+}
+
+func TestChaosSmoke(t *testing.T) {
+	runChaos(t, chaosParams{seed: 1, rounds: 3, clients: 4, reqsPerClient: 8})
+}
+
+func TestChaosFull(t *testing.T) {
+	if os.Getenv("CHAOS") == "" {
+		t.Skip("set CHAOS=1 (or run `make chaos`) for the full randomized schedule")
+	}
+	for _, seed := range []int64{7, 42, 1337} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runChaos(t, chaosParams{seed: seed, rounds: 8, clients: 8, reqsPerClient: 24})
+		})
+	}
+}
+
+// chaosBaseline precomputes the healthy answers every 200 response is
+// held to, from a pristine memory-only engine: system/seed -> compact
+// JSON with Cached normalized false.
+func chaosBaseline(t *testing.T, systems []string, seeds []uint64) map[string][]byte {
+	t.Helper()
+	mem := thirstyflops.NewEngine()
+	baseline := make(map[string][]byte)
+	for _, sys := range systems {
+		for _, sd := range seeds {
+			sd := sd
+			res, err := mem.Assess(context.Background(), thirstyflops.AssessRequest{System: sys, Seed: &sd})
+			if err != nil {
+				t.Fatalf("baseline %s/%d: %v", sys, sd, err)
+			}
+			res.Cached = false
+			b, err := json.Marshal(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseline[fmt.Sprintf("%s/%d", sys, sd)] = b
+		}
+	}
+	return baseline
+}
+
+func runChaos(t *testing.T, p chaosParams) {
+	systems := []string{"Marconi", "Fugaku", "Polaris", "Frontier"}
+	seeds := []uint64{1, 2, 3}
+	baseline := chaosBaseline(t, systems, seeds)
+
+	in := faultinject.New(faultinject.OS{}, p.seed)
+	var panicMode atomic.Bool
+	eng := thirstyflops.NewEngine(
+		thirstyflops.WithPersistence(t.TempDir()),
+		thirstyflops.WithStoreFS(in),
+		thirstyflops.WithDiskBreaker(breaker.Options{Threshold: 2, Cooldown: 10 * time.Millisecond}),
+		thirstyflops.WithAssessHook(func(system string) error {
+			if panicMode.Load() && system == "Fugaku" {
+				panic("chaos: poisoned config")
+			}
+			return nil
+		}),
+	)
+	if err := eng.PersistenceError(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := newServer(eng, jobsConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler(hardenConfig{
+		MaxInflight: 4,
+		QueueDepth:  2,
+		QueueWait:   20 * time.Millisecond,
+	}))
+	defer ts.Close()
+	defer eng.Close()
+
+	var (
+		issued   atomic.Int64
+		answered atomic.Int64
+		statusMu sync.Mutex
+		statuses = map[int]int{}
+	)
+	note := func(code int) {
+		answered.Add(1)
+		statusMu.Lock()
+		statuses[code]++
+		statusMu.Unlock()
+	}
+
+	// checkHealthz asserts invariant 3 on one live sample: the degraded
+	// flag must agree with the breaker snapshot in the same body.
+	checkHealthz := func(client *http.Client) error {
+		resp, err := client.Get(ts.URL + "/healthz")
+		if err != nil {
+			return fmt.Errorf("healthz: %w", err)
+		}
+		defer resp.Body.Close()
+		note(resp.StatusCode)
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("healthz status %d under chaos", resp.StatusCode)
+		}
+		var hb struct {
+			Status   string            `json:"status"`
+			Degraded bool              `json:"degraded"`
+			Breaker  *breaker.Snapshot `json:"breaker"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&hb); err != nil {
+			return fmt.Errorf("healthz decode: %w", err)
+		}
+		wantStatus := "ok"
+		if hb.Degraded {
+			wantStatus = "degraded"
+		}
+		if hb.Status != wantStatus {
+			return fmt.Errorf("healthz status %q with degraded=%v", hb.Status, hb.Degraded)
+		}
+		open := hb.Breaker != nil && hb.Breaker.State != "closed"
+		if hb.Degraded != open {
+			return fmt.Errorf("healthz degraded=%v disagrees with breaker %+v", hb.Degraded, hb.Breaker)
+		}
+		return nil
+	}
+
+	// checkAssess issues one assessment and, when it lands 200, holds it
+	// to the healthy baseline (invariant 2). Under chaos the other
+	// acceptable outcomes are 429 (shed), 500 (poisoned config), and 503
+	// (deadline) — never a transport error (invariant 1).
+	checkAssess := func(client *http.Client, sys string, sd uint64) error {
+		url := fmt.Sprintf("%s/assess?system=%s&seed=%d", ts.URL, sys, sd)
+		resp, err := client.Get(url)
+		if err != nil {
+			return fmt.Errorf("assess %s/%d: %w", sys, sd, err)
+		}
+		defer resp.Body.Close()
+		note(resp.StatusCode)
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusTooManyRequests:
+			if resp.Header.Get("Retry-After") == "" {
+				return fmt.Errorf("429 without Retry-After")
+			}
+			return nil
+		case http.StatusInternalServerError, http.StatusServiceUnavailable:
+			io.Copy(io.Discard, resp.Body)
+			return nil
+		default:
+			return fmt.Errorf("assess %s/%d: unexpected status %d", sys, sd, resp.StatusCode)
+		}
+		var res thirstyflops.AssessResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			return fmt.Errorf("assess %s/%d decode: %w", sys, sd, err)
+		}
+		want, ok := baseline[fmt.Sprintf("%s/%d", sys, sd)]
+		if !ok {
+			return nil // probe seed outside the baseline set
+		}
+		res.Cached = false
+		got, err := json.Marshal(&res)
+		if err != nil {
+			return err
+		}
+		if string(got) != string(want) {
+			return fmt.Errorf("assess %s/%d diverged from healthy baseline:\n got %s\nwant %s", sys, sd, got, want)
+		}
+		return nil
+	}
+
+	oversized := strings.Repeat(" ", maxBodyBytes+1) + "{}"
+	errs := make(chan error, p.rounds*p.clients*p.reqsPerClient)
+	rng := rand.New(rand.NewSource(p.seed))
+	for round := 0; round < p.rounds; round++ {
+		// Round 0 always kills the disk so every run exercises the
+		// breaker; later rounds flip by schedule (disk flapping).
+		diskDown := round == 0 || rng.Intn(2) == 0
+		panicMode.Store(rng.Intn(3) == 0)
+		in.Clear()
+		if diskDown {
+			in.Add(faultinject.Rule{Op: faultinject.OpWrite, Prob: 1})
+			in.Add(faultinject.Rule{Op: faultinject.OpTruncate, Prob: 1})
+			if rng.Intn(2) == 0 {
+				in.Add(faultinject.Rule{Op: faultinject.OpSync, Prob: 1})
+			}
+			if rng.Intn(2) == 0 {
+				in.Add(faultinject.Rule{Op: faultinject.OpRead, Prob: 0.5})
+			}
+			if rng.Intn(2) == 0 {
+				in.Add(faultinject.Rule{Op: faultinject.OpRename, Prob: 1})
+			}
+		}
+		var wg sync.WaitGroup
+		for c := 0; c < p.clients; c++ {
+			wg.Add(1)
+			crng := rand.New(rand.NewSource(p.seed*1_000_003 + int64(round*1000+c)))
+			go func(crng *rand.Rand) {
+				defer wg.Done()
+				client := &http.Client{Timeout: 30 * time.Second}
+				for i := 0; i < p.reqsPerClient; i++ {
+					issued.Add(1)
+					var err error
+					switch crng.Intn(8) {
+					case 0:
+						err = checkHealthz(client)
+					case 1:
+						// Oversized bodies 413 unless shed at the gate first.
+						resp, perr := client.Post(ts.URL+"/assess", "application/json", strings.NewReader(oversized))
+						if perr != nil {
+							err = fmt.Errorf("oversized post: %w", perr)
+							break
+						}
+						note(resp.StatusCode)
+						if resp.StatusCode != http.StatusRequestEntityTooLarge && resp.StatusCode != http.StatusTooManyRequests {
+							err = fmt.Errorf("oversized post status %d, want 413 or 429", resp.StatusCode)
+						}
+						resp.Body.Close()
+					default:
+						sys := systems[crng.Intn(len(systems))]
+						sd := seeds[crng.Intn(len(seeds))]
+						err = checkAssess(client, sys, sd)
+					}
+					if err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(crng)
+		}
+		wg.Wait()
+	}
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Quiescence: clear every fault, stop panicking, and drive probe
+	// traffic with fresh fingerprints until the half-open probe closes
+	// the breaker again (disk flapping must end in recovery, not in a
+	// latched-open tier).
+	in.Clear()
+	panicMode.Store(false)
+	probeSeed := uint64(1_000_000)
+	client := &http.Client{Timeout: 30 * time.Second}
+	pollUntil(t, "breaker to close after the chaos schedule", func() bool {
+		probeSeed++
+		issued.Add(1)
+		if err := checkAssess(client, "Frontier", probeSeed); err != nil {
+			t.Fatal(err)
+		}
+		return !eng.DiskDegraded()
+	})
+	issued.Add(1)
+	if err := checkHealthz(client); err != nil {
+		t.Fatal(err)
+	}
+
+	// Accounting identities at quiescence.
+	if got, want := answered.Load(), issued.Load(); got != want {
+		t.Errorf("answered %d of %d issued requests: a request vanished", got, want)
+	}
+	d := eng.CacheStats().Disk
+	if d == nil {
+		t.Fatal("disk tier missing from stats")
+	}
+	if d.Wedged {
+		t.Error("store still wedged after recovery")
+	}
+	if d.WriteErrors == 0 {
+		t.Error("chaos schedule never landed a disk write fault")
+	}
+	if d.Degraded || (d.Breaker != nil && d.Breaker.State != "closed") {
+		t.Errorf("disk tier not recovered: %+v", d.Breaker)
+	}
+	if d.Skips == 0 {
+		t.Error("no disk accesses were skipped despite a tripped breaker")
+	}
+	// Drain the write queue and re-check: sync proves the write path and
+	// leaves nothing pending.
+	pollUntil(t, "write queue to drain", func() bool {
+		return eng.CacheStats().Disk.Pending == 0
+	})
+
+	statusMu.Lock()
+	t.Logf("chaos(seed=%d): %d requests, statuses %v; disk appends=%d dropped=%d writeErrs=%d readErrs=%d rehabs=%d skips=%d trips=%d",
+		p.seed, issued.Load(), statuses, d.Appends, d.Dropped, d.WriteErrors, d.ReadErrors, d.Rehabs, d.Skips, d.Breaker.Trips)
+	statusMu.Unlock()
+}

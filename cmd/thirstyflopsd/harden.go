@@ -1,0 +1,207 @@
+package main
+
+// Hardening middleware: the daemon must outlive its own handlers. A
+// panicking handler answers 500 and increments a counter instead of
+// killing the process; an admission gate bounds concurrent requests and
+// queued waiters, answering 429 + Retry-After past the bound; and a
+// per-request deadline flows through r.Context() so a stuck assessment
+// cannot pin a connection forever. /healthz and /livez bypass the gate
+// and the deadline — health must answer precisely when the daemon is
+// drowning.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// hardenConfig sizes the middleware. Zero values disable the
+// corresponding layer; panic recovery is always on.
+type hardenConfig struct {
+	MaxInflight    int           // concurrent admitted requests (<= 0 unlimited)
+	QueueDepth     int           // waiters tolerated past the inflight bound
+	QueueWait      time.Duration // longest a waiter holds its queue slot
+	RequestTimeout time.Duration // per-request deadline (<= 0 none)
+}
+
+// gate is the admission semaphore: MaxInflight slots, at most QueueDepth
+// goroutines parked waiting for one, each for at most QueueWait.
+type gate struct {
+	slots    chan struct{}
+	depth    int
+	wait     time.Duration
+	waiting  atomic.Int64
+	rejected atomic.Uint64
+}
+
+func newGate(cfg hardenConfig) *gate {
+	if cfg.MaxInflight <= 0 {
+		return nil
+	}
+	wait := cfg.QueueWait
+	if wait <= 0 {
+		wait = time.Second
+	}
+	return &gate{
+		slots: make(chan struct{}, cfg.MaxInflight),
+		depth: cfg.QueueDepth,
+		wait:  wait,
+	}
+}
+
+// retryAfter is the 429 header value: whole seconds, at least 1 — by the
+// time a full queue-wait has passed, a slot has either freed or the
+// client should be backing off anyway.
+func (g *gate) retryAfter() string {
+	secs := int(g.wait / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// admit blocks until a slot frees, the queue-wait expires, or the client
+// leaves. ok means the request may proceed and the caller must release()
+// after serving; rejected distinguishes "answer 429" from "the client
+// already hung up, write nothing".
+func (g *gate) admit(r *http.Request) (ok, rejected bool) {
+	select {
+	case g.slots <- struct{}{}:
+		return true, false
+	default:
+	}
+	if int(g.waiting.Add(1)) > g.depth {
+		g.waiting.Add(-1)
+		g.rejected.Add(1)
+		return false, true
+	}
+	defer g.waiting.Add(-1)
+	t := time.NewTimer(g.wait)
+	defer t.Stop()
+	select {
+	case g.slots <- struct{}{}:
+		return true, false
+	case <-t.C:
+		g.rejected.Add(1)
+		return false, true
+	case <-r.Context().Done():
+		return false, false
+	}
+}
+
+func (g *gate) release() { <-g.slots }
+
+// alwaysServed are the paths exempt from admission and deadlines: the
+// endpoints that report overload must not be victims of it.
+func alwaysServed(path string) bool {
+	return path == "/healthz" || path == "/livez"
+}
+
+// withRecovery converts a handler panic into a 500 and a counter. The
+// net/http default — kill the goroutine, log, keep the connection
+// state ambiguous — is fine for one request but leaves no trace on
+// /healthz; a daemon absorbing panicking configurations needs both the
+// survival and the accounting.
+func (s *server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if err, ok := rec.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+				// The server's own sentinel for deliberately torn
+				// responses; re-raise it untouched.
+				panic(rec)
+			}
+			s.panics.Add(1)
+			log.Printf("thirstyflopsd: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			// Best effort: if the handler already wrote a status line,
+			// this header write is a no-op and the log above is the
+			// whole story.
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error (see server log)"))
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withTimeout installs the per-request deadline on r.Context(). Handlers
+// already map context expiry onto 503 via statusFor, so the deadline
+// needs no enforcement of its own beyond being present.
+func (s *server) withTimeout(next http.Handler, d time.Duration) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if alwaysServed(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// withAdmission bounds concurrency: past MaxInflight in-flight requests
+// and QueueDepth waiters, the daemon sheds load with 429 + Retry-After
+// instead of accumulating goroutines until the accept queue, memory, or
+// the file-descriptor table gives out first.
+func (s *server) withAdmission(next http.Handler) http.Handler {
+	if s.gate == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if alwaysServed(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ok, rejected := s.gate.admit(r)
+		if !ok {
+			if rejected {
+				w.Header().Set("Retry-After", s.gate.retryAfter())
+				writeError(w, http.StatusTooManyRequests, errors.New("server at capacity; retry after the indicated delay"))
+			}
+			return
+		}
+		defer s.gate.release()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// handler assembles the hardened chain around the mux. Recovery wraps
+// outermost so a panic anywhere below — including the gate itself —
+// still answers 500; the deadline starts ticking before the request
+// queues for admission, so queue time spends the same budget.
+func (s *server) handler(cfg hardenConfig) http.Handler {
+	s.gate = newGate(cfg)
+	var h http.Handler = s.mux()
+	h = s.withAdmission(h)
+	h = s.withTimeout(h, cfg.RequestTimeout)
+	h = s.withRecovery(h)
+	return h
+}
+
+// httpHealth is the middleware block of the /healthz response.
+type httpHealth struct {
+	Panics   uint64 `json:"panics"`   // handler panics absorbed
+	Rejected uint64 `json:"rejected"` // 429s shed by the admission gate
+	Inflight int    `json:"inflight"` // requests currently holding a slot
+	Waiting  int    `json:"waiting"`  // requests parked in the queue
+}
+
+func (s *server) httpStats() httpHealth {
+	h := httpHealth{Panics: s.panics.Load()}
+	if s.gate != nil {
+		h.Rejected = s.gate.rejected.Load()
+		h.Inflight = len(s.gate.slots)
+		h.Waiting = int(s.gate.waiting.Load())
+	}
+	return h
+}

@@ -1,0 +1,305 @@
+package main
+
+// Hardening middleware tests: panics answer 500 without killing the
+// daemon, the admission gate sheds load with 429 + Retry-After while
+// health stays reachable, the request deadline reaches handler contexts,
+// and oversized bodies map to 413 on every JSON POST route.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"thirstyflops"
+)
+
+// hardenedServer builds a daemon around eng with the given middleware
+// sizing, exposing the server for its counters.
+func hardenedServer(t *testing.T, eng *thirstyflops.Engine, cfg hardenConfig) (*httptest.Server, *server) {
+	t.Helper()
+	s, err := newServer(eng, jobsConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.handler(cfg))
+	t.Cleanup(ts.Close)
+	return ts, s
+}
+
+// pollUntil retries cond for up to 5s.
+func pollUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestPanicRecoveryKeepsDaemonServing(t *testing.T) {
+	eng := thirstyflops.NewEngine(thirstyflops.WithAssessHook(func(system string) error {
+		if system == "Fugaku" {
+			panic("poisoned config")
+		}
+		return nil
+	}))
+	ts, s := hardenedServer(t, eng, hardenConfig{})
+
+	// The poisoned configuration answers 500 — twice, because a
+	// panicking computation must not leave a phantom memo behind.
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, ts.URL+"/assess", `{"system":"Fugaku"}`)
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("panicking assess %d status = %d, want 500", i, resp.StatusCode)
+		}
+	}
+	// The daemon survived and still serves healthy configurations.
+	resp := postJSON(t, ts.URL+"/assess", `{"system":"Frontier"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-panic assess status = %d, want 200", resp.StatusCode)
+	}
+	if got := s.httpStats().Panics; got != 2 {
+		t.Fatalf("httpStats.Panics = %d, want 2", got)
+	}
+	// /healthz surfaces the count.
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hz.Body.Close()
+	var body struct {
+		HTTP httpHealth `json:"http"`
+	}
+	if err := json.NewDecoder(hz.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.HTTP.Panics != 2 {
+		t.Fatalf("/healthz http.panics = %d, want 2", body.HTTP.Panics)
+	}
+}
+
+func TestAdmissionGateShedsLoad(t *testing.T) {
+	block := make(chan struct{})
+	eng := thirstyflops.NewEngine(thirstyflops.WithAssessHook(func(system string) error {
+		if system == "Polaris" {
+			<-block
+		}
+		return nil
+	}))
+	ts, s := hardenedServer(t, eng, hardenConfig{MaxInflight: 1, QueueDepth: 0, QueueWait: 50 * time.Millisecond})
+
+	done := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/assess?system=Polaris")
+		if err != nil {
+			done <- -1
+			return
+		}
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	pollUntil(t, "the blocking request to hold the slot", func() bool {
+		return s.httpStats().Inflight == 1
+	})
+
+	// Queue depth 0: the next request is shed immediately.
+	resp, err := http.Get(ts.URL + "/assess?system=Frontier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	// Health bypasses the gate: it answers while the daemon is full.
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz under overload = %d, want 200", hz.StatusCode)
+	}
+	var body struct {
+		HTTP httpHealth `json:"http"`
+	}
+	if err := json.NewDecoder(hz.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.HTTP.Rejected == 0 || body.HTTP.Inflight != 1 {
+		t.Fatalf("overload health = %+v, want rejected > 0 and inflight 1", body.HTTP)
+	}
+
+	close(block)
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("blocked request finished %d, want 200", code)
+	}
+}
+
+func TestAdmissionQueueWaitExpires(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	eng := thirstyflops.NewEngine(thirstyflops.WithAssessHook(func(system string) error {
+		if system == "Polaris" {
+			<-block
+		}
+		return nil
+	}))
+	ts, s := hardenedServer(t, eng, hardenConfig{MaxInflight: 1, QueueDepth: 2, QueueWait: 30 * time.Millisecond})
+
+	go http.Get(ts.URL + "/assess?system=Polaris")
+	pollUntil(t, "the blocking request to hold the slot", func() bool {
+		return s.httpStats().Inflight == 1
+	})
+
+	// This one is admitted to the queue, waits out QueueWait, then 429s.
+	start := time.Now()
+	resp, err := http.Get(ts.URL + "/assess?system=Frontier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queued request status = %d, want 429 after the wait expires", resp.StatusCode)
+	}
+	if waited := time.Since(start); waited < 30*time.Millisecond {
+		t.Fatalf("shed after %v, before the 30ms queue wait", waited)
+	}
+	if resp.Header.Get("Retry-After") != "1" {
+		t.Fatalf("Retry-After = %q, want the 1s floor", resp.Header.Get("Retry-After"))
+	}
+}
+
+func TestRequestTimeoutReachesHandlers(t *testing.T) {
+	s, err := newServer(thirstyflops.NewEngine(), jobsConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.withTimeout(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if alwaysServed(r.URL.Path) {
+			if _, ok := r.Context().Deadline(); ok {
+				t.Error("health route got a deadline")
+			}
+			writeJSON(w, http.StatusOK, struct{}{})
+			return
+		}
+		if _, ok := r.Context().Deadline(); !ok {
+			t.Error("request context has no deadline")
+		}
+		<-r.Context().Done()
+		writeError(w, statusFor(r.Context(), r.Context().Err()), r.Context().Err())
+	}), 20*time.Millisecond)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/assess", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("expired request status = %d, want 503", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("exempt health status = %d, want 200", rec.Code)
+	}
+}
+
+func TestOversizedBodiesAnswer413(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// Leading whitespace is read (and counted by MaxBytesReader) before
+	// the decoder sees a token, so the overflow trips regardless of the
+	// JSON that follows.
+	big := strings.Repeat(" ", maxBodyBytes+1) + "{}"
+	for _, route := range []string{"/assess", "/sweep", "/water500"} {
+		resp := postJSON(t, ts.URL+route, big)
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("oversized POST %s status = %d, want 413", route, resp.StatusCode)
+		}
+	}
+}
+
+func TestJobsPersistenceFailureDegradesInsteadOfDying(t *testing.T) {
+	// The jobs log mirrors the assess log's contract: an unusable state
+	// dir downgrades /jobs to memory-only retention, it does not refuse
+	// to start (newServer used to return an error here and main would
+	// log.Fatal).
+	s, err := newServer(thirstyflops.NewEngine(), jobsConfig{
+		Retain: 2, Concurrency: 1, StateDir: "/dev/null/not-a-dir",
+	})
+	if err != nil {
+		t.Fatalf("newServer with impossible state dir = %v, want degraded start", err)
+	}
+	t.Cleanup(s.close)
+	if s.jobsStore != nil {
+		t.Fatal("jobsStore opened under an impossible state dir")
+	}
+	if s.jobs == nil {
+		t.Fatal("job queue disabled by persistence failure, want memory-only retention")
+	}
+	ts := httptest.NewServer(s.handler(hardenConfig{}))
+	t.Cleanup(ts.Close)
+
+	resp := postJSON(t, ts.URL+"/jobs", `{"systems": ["Marconi"]}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("memory-only job submit status = %d, want 202", resp.StatusCode)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	pollUntil(t, "job completes without a jobs log", func() bool {
+		st, err := http.Get(ts.URL + "/jobs/" + sub.ID)
+		if err != nil {
+			return false
+		}
+		defer st.Body.Close()
+		var snap struct {
+			Status string `json:"status"`
+		}
+		if json.NewDecoder(st.Body).Decode(&snap) != nil {
+			return false
+		}
+		return snap.Status == "done"
+	})
+}
+
+func TestPersistenceFailureDegradesInsteadOfDying(t *testing.T) {
+	// A state path that cannot exist: the engine must come up serving
+	// memory-only with the failure surfaced, mirroring main()'s
+	// warn-and-continue, and /healthz must report degraded.
+	eng := thirstyflops.NewEngine(thirstyflops.WithPersistence("/dev/null/not-a-dir"))
+	if eng.PersistenceError() == nil {
+		t.Fatal("impossible state dir produced no persistence error")
+	}
+	ts, _ := hardenedServer(t, eng, hardenConfig{})
+
+	resp := postJSON(t, ts.URL+"/assess", `{"system":"Frontier"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("memory-only assess status = %d, want 200", resp.StatusCode)
+	}
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hz.Body.Close()
+	var body struct {
+		Status   string `json:"status"`
+		Degraded bool   `json:"degraded"`
+	}
+	if err := json.NewDecoder(hz.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !body.Degraded || body.Status != "degraded" {
+		t.Fatalf("healthz = %+v, want degraded", body)
+	}
+}

@@ -58,6 +58,7 @@ import (
 	"time"
 
 	"thirstyflops"
+	"thirstyflops/internal/breaker"
 	"thirstyflops/internal/jobqueue"
 	"thirstyflops/internal/statsd"
 	"thirstyflops/internal/store"
@@ -82,6 +83,10 @@ func main() {
 		jobConc     = flag.Int("job-concurrency", defaultJobConcurrency, "async jobs executing at once; further jobs queue")
 		jobUnits    = flag.Int("job-max-units", defaultJobMaxUnits, "max assessments one job may expand to")
 		stateDir    = flag.String("state-dir", "", "persistence directory (empty disables): memoized assessments and completed job results survive restarts")
+		maxInflight = flag.Int("max-inflight", 256, "concurrent requests served before new ones queue for admission (0 = unlimited)")
+		admitQueue  = flag.Int("admission-queue", 64, "requests allowed to wait for a slot past -max-inflight before 429")
+		queueWait   = flag.Duration("queue-wait", time.Second, "longest a queued request waits for a slot before 429 + Retry-After")
+		reqTimeout  = flag.Duration("request-timeout", 0, "per-request deadline propagated through the handler context (0 = none)")
 	)
 	flag.Parse()
 
@@ -101,7 +106,9 @@ func main() {
 	}
 	eng := thirstyflops.NewEngine(opts...)
 	if err := eng.PersistenceError(); err != nil {
-		log.Fatal(err)
+		// Degraded, not dead: the engine serves memory-only and /healthz
+		// reports degraded=true until an operator intervenes.
+		log.Printf("thirstyflopsd: persistence unavailable, serving memory-only: %v", err)
 	}
 	s, err := newServer(eng, jobsConfig{
 		Retain:      *jobRetain,
@@ -125,10 +132,17 @@ func main() {
 		s.udp = udp
 	}
 	srv := &http.Server{
-		Addr:         *addr,
-		Handler:      s.mux(),
-		ReadTimeout:  30 * time.Second,
-		WriteTimeout: 5 * time.Minute, // full-series responses are large
+		Addr: *addr,
+		Handler: s.handler(hardenConfig{
+			MaxInflight:    *maxInflight,
+			QueueDepth:     *admitQueue,
+			QueueWait:      *queueWait,
+			RequestTimeout: *reqTimeout,
+		}),
+		ReadTimeout:       30 * time.Second,
+		ReadHeaderTimeout: 10 * time.Second, // slow-header connections release early
+		WriteTimeout:      5 * time.Minute,  // full-series responses are large
+		IdleTimeout:       2 * time.Minute,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -261,6 +275,11 @@ type server struct {
 	ingestToken string
 	maxJobUnits int
 	start       time.Time
+
+	// Hardening state (harden.go): the admission semaphore (nil when
+	// unlimited) and the absorbed-panic counter surfaced on /healthz.
+	gate   *gate
+	panics atomic.Uint64
 }
 
 // jobsStoreSchema versions the durable job records (gob-encoded
@@ -279,25 +298,38 @@ func newServer(eng *thirstyflops.Engine, cfg jobsConfig) (*server, error) {
 	if cfg.Retain > 0 {
 		var opts []jobqueue.Option[jobUnit]
 		if cfg.StateDir != "" {
-			if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
-				return nil, fmt.Errorf("state dir: %w", err)
-			}
-			st, err := store.Open(filepath.Join(cfg.StateDir, "jobs.log"), store.Options{
-				Schema: jobsStoreSchema,
-				// Durability over latency for completed sweeps: job
-				// completion is rare next to the assess path, so block
-				// on queue pressure instead of dropping results.
-				BlockOnFull: true,
-			})
+			// Degraded, not dead: like the engine's assess log, an
+			// unusable jobs log downgrades to memory-only retention
+			// with a warning rather than refusing to start.
+			st, err := openJobsStore(cfg.StateDir)
 			if err != nil {
-				return nil, fmt.Errorf("open jobs log: %w", err)
+				log.Printf("thirstyflopsd: jobs persistence unavailable, retaining in memory only: %v", err)
+			} else {
+				s.jobsStore = st
+				opts = append(opts, jobqueue.WithPersister(&jobsPersister{st: st}))
 			}
-			s.jobsStore = st
-			opts = append(opts, jobqueue.WithPersister(&jobsPersister{st: st}))
 		}
 		s.jobs = jobqueue.New[jobUnit](cfg.Retain, cfg.Concurrency, opts...)
 	}
 	return s, nil
+}
+
+// openJobsStore creates the state dir and opens the durable jobs log.
+func openJobsStore(dir string) (*store.Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("state dir: %w", err)
+	}
+	st, err := store.Open(filepath.Join(dir, "jobs.log"), store.Options{
+		Schema: jobsStoreSchema,
+		// Durability over latency for completed sweeps: job
+		// completion is rare next to the assess path, so block
+		// on queue pressure instead of dropping results.
+		BlockOnFull: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("open jobs log: %w", err)
+	}
+	return st, nil
 }
 
 // close stops the UDP plane (draining queued datagrams through a final
@@ -378,17 +410,17 @@ func (s *server) mux() *http.ServeMux {
 }
 
 // newMux routes the JSON API onto an Engine with default job-queue
-// sizing — the historical constructor, kept for tests and benchmarks.
-func newMux(eng *thirstyflops.Engine) *http.ServeMux {
+// sizing and the always-on recovery middleware — the historical
+// constructor, kept for tests and benchmarks.
+func newMux(eng *thirstyflops.Engine) (http.Handler, error) {
 	s, err := newServer(eng, jobsConfig{
 		Retain:      defaultJobRetain,
 		Concurrency: defaultJobConcurrency,
 	})
 	if err != nil {
-		// Without a StateDir newServer opens nothing that can fail.
-		panic(err)
+		return nil, err
 	}
-	return s.mux()
+	return s.handler(hardenConfig{}), nil
 }
 
 // errorBody is the JSON error shape.
@@ -422,12 +454,35 @@ func decodeBody(r *http.Request, v any) error {
 	return fmt.Errorf("bad request body: %w", err)
 }
 
+// maxBodyBytes bounds the synchronous JSON routes (/assess, /sweep,
+// /water500): their requests are parameter documents, not payloads, so a
+// megabyte is already generous. /ingest and /jobs keep their own larger
+// bounds.
+const maxBodyBytes = 1 << 20
+
+// decodeBounded bounds the body at limit bytes before strict parsing and
+// maps the two failure shapes onto their statuses: overflow is 413
+// (split or shrink the request), everything else 400. The zero status
+// return means the decode succeeded.
+func decodeBounded(w http.ResponseWriter, r *http.Request, limit int64, v any) (int, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	if err := decodeBody(r, v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit)
+		}
+		return http.StatusBadRequest, err
+	}
+	return 0, nil
+}
+
 func (s *server) handleAssess(w http.ResponseWriter, r *http.Request) {
 	var req thirstyflops.AssessRequest
 	switch r.Method {
 	case http.MethodPost:
-		if err := decodeBody(r, &req); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+		if status, err := decodeBounded(w, r, maxBodyBytes, &req); err != nil {
+			writeError(w, status, err)
 			return
 		}
 	case http.MethodGet:
@@ -533,7 +588,13 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// count limit alone would still buffer one arbitrarily large token.
 	samples, err := thirstyflops.DecodeSamples(http.MaxBytesReader(w, r.Body, maxIngestBytes), 0)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			// Overflow is 413 on every JSON POST route, not a decode error.
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, err)
 		return
 	}
 	// Route sample-by-sample so the response can attribute acceptance to
@@ -619,8 +680,8 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req thirstyflops.SweepRequest
-	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if status, err := decodeBounded(w, r, maxBodyBytes, &req); err != nil {
+		writeError(w, status, err)
 		return
 	}
 	res, err := s.engine.Sweep(r.Context(), req)
@@ -638,8 +699,8 @@ func (s *server) handleWater500(w http.ResponseWriter, r *http.Request) {
 	}
 	var req thirstyflops.Water500Request
 	if r.Method == http.MethodPost {
-		if err := decodeBody(r, &req); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+		if status, err := decodeBounded(w, r, maxBodyBytes, &req); err != nil {
+			writeError(w, status, err)
 			return
 		}
 	}
@@ -671,14 +732,7 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var batch thirstyflops.BatchRequest
-	r.Body = http.MaxBytesReader(w, r.Body, maxJobBytes)
-	if err := decodeBody(r, &batch); err != nil {
-		status := http.StatusBadRequest
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			// Distinguish "split your submission" from "malformed JSON".
-			status = http.StatusRequestEntityTooLarge
-		}
+	if status, err := decodeBounded(w, r, maxJobBytes, &batch); err != nil {
 		writeError(w, status, err)
 		return
 	}
@@ -831,11 +885,16 @@ func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // jobsHealth summarizes the queue for /healthz. Durable is the number of
-// completed jobs persisted on disk (present only with -state-dir).
+// completed jobs persisted on disk (present only with -state-dir); the
+// resilience counters record contained RunFunc panics and the persist
+// retry ledger.
 type jobsHealth struct {
-	Retained int    `json:"retained"`
-	Lookups  uint64 `json:"lookups"`
-	Durable  *int   `json:"durable,omitempty"`
+	Retained     int    `json:"retained"`
+	Lookups      uint64 `json:"lookups"`
+	Durable      *int   `json:"durable,omitempty"`
+	Panics       uint64 `json:"panics"`
+	SaveRetries  uint64 `json:"save_retries"`
+	SaveFailures uint64 `json:"save_failures"`
 }
 
 // liveHealth summarizes the live-telemetry plane for /healthz: which
@@ -850,11 +909,19 @@ type liveHealth struct {
 	UDP           *statsd.Stats `json:"udp,omitempty"`
 }
 
-// healthBody is the /healthz response.
+// healthBody is the /healthz response. Status flips to "degraded" (and
+// Degraded to true) while the disk tier is bypassed — breaker open or
+// persistence never attached; the daemon still serves from memory, so
+// liveness probes keep passing while capacity probes can tell the
+// difference. Breaker mirrors cache.disk.breaker at the top level for
+// dashboards that only scrape scalar fields.
 type healthBody struct {
 	Status        string                  `json:"status"`
+	Degraded      bool                    `json:"degraded"`
 	UptimeSeconds float64                 `json:"uptime_seconds"`
 	Cache         thirstyflops.CacheStats `json:"cache"`
+	Breaker       *breaker.Snapshot       `json:"breaker,omitempty"`
+	HTTP          httpHealth              `json:"http"`
 	Live          *liveHealth             `json:"live,omitempty"`
 	Jobs          *jobsHealth             `json:"jobs,omitempty"`
 }
@@ -864,6 +931,14 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Cache:         s.engine.CacheStats(),
+		HTTP:          s.httpStats(),
+	}
+	if s.engine.DiskDegraded() {
+		body.Status = "degraded"
+		body.Degraded = true
+	}
+	if d := body.Cache.Disk; d != nil {
+		body.Breaker = d.Breaker
 	}
 	if reg := s.engine.LiveStreams(); reg != nil && reg.Len() > 0 {
 		sum := telemetry.Summarize(reg.Statuses())
@@ -880,7 +955,14 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.jobs != nil {
 		st := s.jobs.Stats()
-		body.Jobs = &jobsHealth{Retained: st.Entries, Lookups: st.Hits + st.Misses}
+		jh := s.jobs.Health()
+		body.Jobs = &jobsHealth{
+			Retained:     st.Entries,
+			Lookups:      st.Hits + st.Misses,
+			Panics:       jh.Panics,
+			SaveRetries:  jh.SaveRetries,
+			SaveFailures: jh.SaveFailures,
+		}
 		if s.jobsStore != nil {
 			n := s.jobsStore.Stats().Entries
 			body.Jobs.Durable = &n

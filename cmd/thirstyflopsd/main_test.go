@@ -24,7 +24,11 @@ func newTestServer(t *testing.T) (*httptest.Server, *thirstyflops.Engine) {
 		t.Fatal(err)
 	}
 	eng := thirstyflops.NewEngine(thirstyflops.WithLiveStream(stream))
-	ts := httptest.NewServer(newMux(eng))
+	h, err := newMux(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
 	t.Cleanup(ts.Close)
 	return ts, eng
 }
@@ -424,7 +428,11 @@ func TestIngestErrors(t *testing.T) {
 
 func TestLiveRoutesWithoutStream(t *testing.T) {
 	eng := thirstyflops.NewEngine() // no WithLiveStream
-	ts := httptest.NewServer(newMux(eng))
+	h, err := newMux(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
 	t.Cleanup(ts.Close)
 
 	resp := postJSON(t, ts.URL+"/ingest", `{"hour":0,"power_w":1}`)
@@ -459,7 +467,11 @@ func TestGracefulShutdownDrainsInflight(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := thirstyflops.NewEngine(thirstyflops.WithLiveStream(stream))
-	srv := &http.Server{Handler: newMux(eng)}
+	h, err := newMux(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: h}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -13,10 +13,12 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"thirstyflops/internal/breaker"
 	"thirstyflops/internal/cache"
 	"thirstyflops/internal/configio"
 	"thirstyflops/internal/core"
 	"thirstyflops/internal/embodied"
+	"thirstyflops/internal/faultinject"
 	"thirstyflops/internal/fingerprint"
 	"thirstyflops/internal/plan"
 	"thirstyflops/internal/store"
@@ -51,12 +53,29 @@ type Engine struct {
 	// persistence is off; storeErr records why an Open failed (the
 	// Engine then runs memory-only).
 	persistDir string
+	storeFS    faultinject.FS
 	store      *store.Store
 	storeErr   error
+
+	// disk is the error-budget circuit breaker in front of the
+	// persistence tier (non-nil exactly when store is): consecutive
+	// append/read failures trip it open, the Engine serves memory-only
+	// (skips counted), and a half-open probe — a store.Sync, which
+	// exercises the whole write path including rehabilitation — closes
+	// it when the disk recovers.
+	disk        *breaker.Breaker
+	breakerOpts breaker.Options
+
+	// assessHook, when set, runs before every simulation — the
+	// fault-injection seam on the assess path (WithAssessHook). A
+	// returned error fails the assessment; the hook may also sleep
+	// (latency injection) or panic (containment testing).
+	assessHook func(system string) error
 
 	diskHits      atomic.Uint64
 	diskMisses    atomic.Uint64
 	diskDecodeErr atomic.Uint64
+	diskSkips     atomic.Uint64
 
 	// Substrate-layer lookups made on this Engine's behalf, split by
 	// whether the triggering assessment was scheduled by the sweep
@@ -142,6 +161,33 @@ func WithPersistence(dir string) Option {
 	return func(e *Engine) { e.persistDir = dir }
 }
 
+// WithStoreFS sets the filesystem the persistence tier runs on (default
+// the real one). Tests inject a faultinject.Injector to replay disk
+// failures deterministically through the whole engine stack.
+func WithStoreFS(fs faultinject.FS) Option {
+	return func(e *Engine) { e.storeFS = fs }
+}
+
+// WithDiskBreaker tunes the persistence tier's circuit breaker — the
+// failure threshold, the open-state cooldown, and (in tests) the clock.
+// Without it the breaker runs with the breaker package defaults.
+func WithDiskBreaker(opts breaker.Options) Option {
+	return func(e *Engine) { e.breakerOpts = opts }
+}
+
+// WithAssessHook installs a hook that runs before every simulation —
+// the fault-injection seam on the assess path. A returned error fails
+// that assessment (per-unit: the rest of a batch proceeds); the hook
+// may also sleep to inject latency, or panic to exercise containment.
+// Wire a faultinject.Injector with
+//
+//	WithAssessHook(func(system string) error {
+//	    return inj.Fire(faultinject.OpAssess, system)
+//	})
+func WithAssessHook(h func(system string) error) Option {
+	return func(e *Engine) { e.assessHook = h }
+}
+
 // assessStoreSchema versions the on-disk assessment records. Bump it
 // whenever the configuration fingerprint encoding (internal/fingerprint
 // writers or core.Config.Fingerprint field coverage) or the gob shape of
@@ -198,14 +244,23 @@ func NewEngine(opts ...Option) *Engine {
 		}
 	}
 	if e.persistDir != "" {
+		e.disk = breaker.New(e.breakerOpts)
 		if err := os.MkdirAll(e.persistDir, 0o755); err != nil {
 			e.storeErr = fmt.Errorf("thirstyflops: persistence dir: %w", err)
 		} else if st, err := store.Open(filepath.Join(e.persistDir, assessLogName), store.Options{
 			Schema: assessStoreSchema,
+			FS:     e.storeFS,
+			// Asynchronous write failures (batch append, flush, automatic
+			// compaction) spend the breaker's error budget; the store has
+			// already counted and contained them.
+			OnWriteError: func(err error) { e.disk.Record(err) },
 		}); err != nil {
 			e.storeErr = fmt.Errorf("thirstyflops: open persistence log: %w", err)
 		} else {
 			e.store = st
+		}
+		if e.store == nil {
+			e.disk = nil
 		}
 	}
 	return e
@@ -271,6 +326,20 @@ type DiskStats struct {
 	Compactions    uint64 `json:"compactions"`
 	Recovered      int    `json:"recovered"`
 	TruncatedBytes int64  `json:"truncated_bytes"`
+
+	// Resilience view: Degraded is true while the circuit breaker holds
+	// the disk tier out of the serving path (the Engine answers
+	// memory-only, counting each bypassed disk access in Skips);
+	// WriteErrors/ReadErrors/Rehabs/Wedged/Pending mirror the store's own
+	// failure accounting, and Breaker snapshots the state machine.
+	Degraded    bool              `json:"degraded"`
+	Skips       uint64            `json:"skips"`
+	WriteErrors uint64            `json:"write_errors"`
+	ReadErrors  uint64            `json:"read_errors"`
+	Rehabs      uint64            `json:"rehabs"`
+	Wedged      bool              `json:"wedged"`
+	Pending     int               `json:"pending"`
+	Breaker     *breaker.Snapshot `json:"breaker,omitempty"`
 }
 
 // SubstrateStats snapshots the substrate layer (the memoized generator
@@ -314,6 +383,7 @@ func (e *Engine) CacheStats() CacheStats {
 	}
 	if e.store != nil {
 		st := e.store.Stats()
+		snap := e.disk.Snapshot()
 		out.Disk = &DiskStats{
 			Hits:           e.diskHits.Load(),
 			Misses:         e.diskMisses.Load(),
@@ -325,18 +395,78 @@ func (e *Engine) CacheStats() CacheStats {
 			Compactions:    st.Compactions,
 			Recovered:      st.Recovered,
 			TruncatedBytes: st.TruncatedBytes,
+			Degraded:       snap.State != "closed",
+			Skips:          e.diskSkips.Load(),
+			WriteErrors:    st.WriteErrors,
+			ReadErrors:     st.ReadErrors,
+			Rehabs:         st.Rehabs,
+			Wedged:         st.Wedged,
+			Pending:        st.Pending,
+			Breaker:        &snap,
 		}
 	}
 	return out
 }
 
+// DiskDegraded reports whether the persistence tier is currently out of
+// the serving path — either the breaker is not closed, or persistence
+// was requested but never opened (storeErr). False when persistence was
+// never requested.
+func (e *Engine) DiskDegraded() bool {
+	if e.storeErr != nil {
+		return true
+	}
+	if e.disk == nil {
+		return false
+	}
+	return e.disk.State() != breaker.Closed
+}
+
+// diskGate asks the breaker whether a disk access may proceed. A Probe
+// decision runs a store.Sync — draining the queue, rehabilitating a
+// wedged write path, and fsyncing, so "the probe succeeded" means the
+// write path demonstrably works — and reports it to the breaker; a Deny
+// counts a skip. Successful reads and writes are deliberately NOT
+// reported as breaker successes: the store's writes are asynchronous
+// (their failures arrive later via OnWriteError), so only a probe —
+// which proves the write path synchronously — may close the breaker or
+// reset the failure run.
+func (e *Engine) diskGate() bool {
+	switch e.disk.Acquire() {
+	case breaker.Go:
+		return true
+	case breaker.Probe:
+		err := e.store.Sync()
+		e.disk.ProbeResult(err)
+		if err != nil {
+			e.diskSkips.Add(1)
+			return false
+		}
+		return true
+	default:
+		e.diskSkips.Add(1)
+		return false
+	}
+}
+
 // diskLookup consults the persistence log for a memoized year. Decode
 // failures (a record written by a buggy or interrupted producer) are
 // counted and treated as misses — the year is recomputed and the fresh
-// append supersedes the bad record.
+// append supersedes the bad record. Read failures spend the breaker's
+// error budget; while the breaker is open the lookup is skipped
+// entirely and the Engine serves memory-only.
 func (e *Engine) diskLookup(key fingerprint.Key) (core.Annual, bool) {
+	if !e.diskGate() {
+		e.diskMisses.Add(1)
+		return core.Annual{}, false
+	}
 	raw, ok, err := e.store.Get(key[:])
-	if err != nil || !ok {
+	if err != nil {
+		e.disk.Record(err)
+		e.diskMisses.Add(1)
+		return core.Annual{}, false
+	}
+	if !ok {
 		e.diskMisses.Add(1)
 		return core.Annual{}, false
 	}
@@ -354,12 +484,35 @@ func (e *Engine) diskLookup(key fingerprint.Key) (core.Annual, bool) {
 // append is asynchronous and may be dropped under queue pressure
 // (observable as DiskStats.Dropped); the persistence tier is a cache,
 // so a dropped record merely costs a recompute after the next restart.
+// While the breaker is open the append is skipped (drop-and-count). A
+// full queue (ErrBusy) is backpressure, not a disk failure, and does
+// not spend the error budget — the disk's own failures arrive through
+// the store's OnWriteError callback.
 func (e *Engine) diskAppend(key fingerprint.Key, a core.Annual) {
+	if !e.diskGate() {
+		return
+	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(a); err != nil {
 		return
 	}
-	_ = e.store.Put(key[:], buf.Bytes())
+	if err := e.store.Put(key[:], buf.Bytes()); err != nil && !errors.Is(err, store.ErrBusy) {
+		e.disk.Record(err)
+	}
+}
+
+// simulate runs the (hooked) hourly simulation for cfg — the single
+// funnel every memo/disk miss falls through, so the assess-path fault
+// hook sees exactly the computations that really happen.
+func (e *Engine) simulate(cfg Config, planned bool) (core.Annual, error) {
+	if e.assessHook != nil {
+		if err := e.assessHook(cfg.System.Name); err != nil {
+			return core.Annual{}, err
+		}
+	}
+	a, tr, err := cfg.AssessTraced()
+	e.noteSubstrate(planned, tr)
+	return a, err
 }
 
 // noteSubstrate folds one assessment's substrate trace into the
@@ -386,8 +539,7 @@ func (e *Engine) noteSubstrate(planned bool, tr core.SubstrateTrace) {
 // hit touches neither disk nor substrate.
 func (e *Engine) annualFor(cfg Config, planned bool) (core.Annual, bool, error) {
 	if e.maxEntries <= 0 && e.store == nil {
-		a, tr, err := cfg.AssessTraced()
-		e.noteSubstrate(planned, tr)
+		a, err := e.simulate(cfg, planned)
 		return a, false, err
 	}
 	key := cfg.Fingerprint()
@@ -397,8 +549,7 @@ func (e *Engine) annualFor(cfg Config, planned bool) (core.Annual, bool, error) 
 				return a, nil
 			}
 		}
-		a, tr, err := cfg.AssessTraced()
-		e.noteSubstrate(planned, tr)
+		a, err := e.simulate(cfg, planned)
 		if err == nil && e.store != nil {
 			e.diskAppend(key, a)
 		}
@@ -765,6 +916,19 @@ func (e *Engine) AssessMany(ctx context.Context, reqs []AssessRequest) ([]*Asses
 // shared components, and split into contiguous per-worker spans
 // (internal/plan). Results are always returned in request order
 // regardless of execution order.
+// assessSafe is assessResolved with per-unit panic containment: a
+// panicking configuration fails that one unit with an error instead of
+// killing the worker goroutine (and with it the process) — a batch of
+// ten thousand units survives one poisoned config.
+func (e *Engine) assessSafe(ctx context.Context, req AssessRequest, cfg Config, planned bool) (res *AssessResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("thirstyflops: assessment panic: %v", r)
+		}
+	}()
+	return e.assessResolved(ctx, req, cfg, planned)
+}
+
 func (e *Engine) AssessBatch(ctx context.Context, reqs []AssessRequest, onResult func(i int, res *AssessResult, err error)) ([]*AssessResult, error) {
 	results := make([]*AssessResult, len(reqs))
 	errs := make([]error, len(reqs))
@@ -828,7 +992,7 @@ func (e *Engine) AssessBatch(ctx context.Context, reqs []AssessRequest, onResult
 						}
 						return
 					}
-					res, err := e.assessResolved(ctx, reqs[i], cfgs[i], true)
+					res, err := e.assessSafe(ctx, reqs[i], cfgs[i], true)
 					note(i, res, err)
 				}
 			}(span)
@@ -845,7 +1009,7 @@ func (e *Engine) AssessBatch(ctx context.Context, reqs []AssessRequest, onResult
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				res, err := e.assessResolved(ctx, reqs[i], cfgs[i], false)
+				res, err := e.assessSafe(ctx, reqs[i], cfgs[i], false)
 				note(i, res, err)
 			}
 		}()

@@ -6,9 +6,14 @@
 package cache
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 )
+
+// errComputePanicked is returned to goroutines that were waiting on a
+// singleflight computation whose goroutine panicked out from under them.
+var errComputePanicked = errors.New("cache: computation panicked")
 
 // entry is one memoized value threaded on the LRU list. The zero list
 // position is maintained by Cache; prev/next are protected by Cache.mu.
@@ -72,6 +77,12 @@ func (c *Cache[K, V]) pushFront(e *entry[K, V]) {
 // residency. The second return reports whether the value was served from
 // cache (true even if the caller ends up waiting for a computation
 // started by another goroutine). compute runs outside the cache lock.
+//
+// Errors are not memoized: a failed computation's entry is removed once
+// it settles, so the next Get retries. Goroutines already waiting on the
+// in-flight computation still share its error (one failing compute per
+// stampede, not one per caller), but a transient failure — an injected
+// fault, a cancelled dependency — never poisons the key until eviction.
 func (c *Cache[K, V]) Get(key K, compute func() (V, error)) (V, bool, error) {
 	if c.max <= 0 {
 		v, err := compute()
@@ -96,9 +107,41 @@ func (c *Cache[K, V]) Get(key K, compute func() (V, error)) (V, bool, error) {
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {
+		defer func() {
+			if e.done.Load() {
+				return
+			}
+			// compute panicked: the once is consumed but nothing was
+			// published. Drop the entry so the key retries instead of
+			// serving a zero value forever, and let the panic continue
+			// to the caller (whose recovery owns the accounting).
+			c.mu.Lock()
+			if cur, ok := c.entries[key]; ok && cur == e {
+				c.unlink(e)
+				delete(c.entries, key)
+			}
+			c.mu.Unlock()
+		}()
 		e.val, e.err = compute()
 		e.done.Store(true)
 	})
+	if !e.done.Load() {
+		// A waiter latched onto a computation that panicked: the panic
+		// unwound the computing goroutine, not this one, so surface the
+		// loss as an error rather than a phantom zero value.
+		var zero V
+		return zero, cached, errComputePanicked
+	}
+	if e.err != nil {
+		c.mu.Lock()
+		// Only the entry that failed is dropped: a concurrent replacement
+		// under the same key (a retry that already succeeded) stays.
+		if cur, ok := c.entries[key]; ok && cur == e {
+			c.unlink(e)
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
 	return e.val, cached, e.err
 }
 

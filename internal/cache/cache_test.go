@@ -29,18 +29,48 @@ func TestGetMemoizes(t *testing.T) {
 	}
 }
 
-func TestGetMemoizesErrors(t *testing.T) {
+func TestGetRetriesAfterError(t *testing.T) {
 	c := New[string, int](4)
 	calls := 0
-	boom := func() (int, error) { calls++; return 0, fmt.Errorf("boom") }
-	if _, _, err := c.Get("k", boom); err == nil {
+	flaky := func() (int, error) {
+		calls++
+		if calls == 1 {
+			return 0, fmt.Errorf("boom")
+		}
+		return 9, nil
+	}
+	if _, _, err := c.Get("k", flaky); err == nil {
 		t.Fatal("error swallowed")
 	}
-	if _, cached, err := c.Get("k", boom); err == nil || !cached {
-		t.Fatal("cached error not replayed")
+	// A failed computation must not poison the key: the next Get
+	// recomputes instead of replaying the error until eviction.
+	v, cached, err := c.Get("k", flaky)
+	if err != nil || cached || v != 9 {
+		t.Fatalf("retry Get = (%d, %v, %v), want a fresh successful compute", v, cached, err)
 	}
-	if calls != 1 {
-		t.Errorf("failed compute ran %d times, want 1 (errors memoized)", calls)
+	if calls != 2 {
+		t.Errorf("compute ran %d times, want 2 (error evicted, success memoized)", calls)
+	}
+	if v, cached, _ := c.Get("k", flaky); !cached || v != 9 {
+		t.Fatal("successful retry was not memoized")
+	}
+}
+
+func TestGetPanickingComputeDoesNotPoison(t *testing.T) {
+	c := New[string, int](4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate to the computing caller")
+			}
+		}()
+		c.Get("k", func() (int, error) { panic("boom") })
+	}()
+	// The consumed-once entry must not linger serving zero values: the
+	// next Get recomputes.
+	v, cached, err := c.Get("k", func() (int, error) { return 5, nil })
+	if err != nil || cached || v != 5 {
+		t.Fatalf("Get after panicking compute = (%d, %v, %v), want a fresh 5", v, cached, err)
 	}
 }
 

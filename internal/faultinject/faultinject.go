@@ -1,0 +1,392 @@
+// Package faultinject is the deterministic fault-injection seam behind
+// the resilience test suites: a pluggable filesystem interface (the
+// exact surface internal/store touches), a passthrough OS
+// implementation, and an Injector that wraps any FS with a seeded fault
+// schedule — fail the Nth write, short writes, ENOSPC, fsync errors,
+// injected latency — so dependency failures replay bit-for-bit in
+// tests instead of needing a full disk or a dying drive.
+//
+// The Injector also serves as a generic fault source for non-filesystem
+// seams: the Engine's assess-path hook fires OpAssess through the same
+// rule table, so one seeded schedule can drive disk flapping and
+// compute faults in a single chaos run.
+//
+// Determinism: rule evaluation draws from a rand.Rand seeded at New,
+// under the Injector's lock, in rule order. For a deterministic
+// operation sequence the injected fault sequence is therefore exactly
+// reproducible from the seed; concurrent callers still get a
+// per-seed-reproducible *distribution* of faults.
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Op classifies the injectable operations.
+type Op uint8
+
+// Operation classes. OpAssess is not a filesystem operation: it is the
+// engine's assess-path hook, fired explicitly via Fire.
+const (
+	OpOpen Op = iota
+	OpRead
+	OpWrite
+	OpSync
+	OpTruncate
+	OpRename
+	OpRemove
+	OpAssess
+	opCount
+)
+
+var opNames = [opCount]string{
+	OpOpen: "open", OpRead: "read", OpWrite: "write", OpSync: "sync",
+	OpTruncate: "truncate", OpRename: "rename", OpRemove: "remove",
+	OpAssess: "assess",
+}
+
+// String names the operation class ("write", "sync", ...).
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return "unknown"
+}
+
+// ErrInjected is the default injected failure. Rules may carry any
+// error instead (ErrNoSpace, io.ErrShortWrite, a custom sentinel);
+// tests distinguish injected faults from real ones by errors.Is.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// ErrNoSpace is an injected ENOSPC: it satisfies both
+// errors.Is(err, ErrInjected) and errors.Is(err, syscall.ENOSPC).
+var ErrNoSpace = &injectedError{msg: "faultinject: injected ENOSPC", under: syscall.ENOSPC}
+
+type injectedError struct {
+	msg   string
+	under error
+}
+
+func (e *injectedError) Error() string { return e.msg }
+func (e *injectedError) Unwrap() []error {
+	return []error{ErrInjected, e.under}
+}
+
+// File is the file surface internal/store (and anything else riding the
+// seam) needs. *os.File satisfies it.
+type File interface {
+	io.Reader
+	io.ReaderAt
+	io.Writer
+	io.Seeker
+	Truncate(size int64) error
+	Sync() error
+	Stat() (os.FileInfo, error)
+	Close() error
+}
+
+// FS is the filesystem surface. OS is the passthrough implementation;
+// Injector wraps any FS with a fault schedule.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+// OpenFile opens via os.OpenFile.
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Rename renames via os.Rename.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove removes via os.Remove.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// Rule is one entry in the fault schedule. A rule matches calls by
+// operation class and (optionally) a path substring; whether a matching
+// call fires is decided by Nth (deterministic: the Nth matching call,
+// 1-based) or Prob (seeded coin flip per matching call). Times bounds
+// how many calls a rule may fault in total (0 = Nth rules fire once,
+// Prob rules fire without bound).
+//
+// A firing rule waits Delay, then fails the call with Err (ErrInjected
+// when nil and Delay is zero; a rule with only a Delay is latency
+// injection and lets the call proceed). Short applies to writes: half
+// the buffer reaches the inner file before the error, modeling a
+// partially applied write the way a filling disk produces one.
+type Rule struct {
+	Op    Op
+	Path  string // substring match on the file path; "" matches all
+	Nth   uint64 // fire on the Nth matching call (1-based)
+	Prob  float64
+	Times int
+	Err   error
+	Short bool
+	Delay time.Duration
+}
+
+// rule is a Rule plus its live match/fire counters.
+type rule struct {
+	Rule
+	matches uint64
+	fires   int
+}
+
+// fault is one firing decision, applied by the caller after the
+// Injector's lock is released (so injected latency never serializes
+// unrelated operations).
+type fault struct {
+	err   error
+	short bool
+	delay time.Duration
+}
+
+// Stats is a point-in-time snapshot of the injector counters, keyed by
+// operation-class name.
+type Stats struct {
+	Calls    map[string]uint64 `json:"calls"`
+	Injected map[string]uint64 `json:"injected"`
+	Delayed  uint64            `json:"delayed"`
+}
+
+// Injector wraps an FS with a mutable, seeded fault schedule. Safe for
+// concurrent use; rules may be added and cleared while files are open
+// (a cleared schedule is how tests model faults going away).
+type Injector struct {
+	inner FS
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	rules    []*rule
+	calls    [opCount]uint64
+	injected [opCount]uint64
+	delayed  uint64
+}
+
+// New wraps inner with an empty fault schedule drawing randomness from
+// seed. Add rules with Add; a bare Injector is a passthrough.
+func New(inner FS, seed int64, rules ...Rule) *Injector {
+	in := &Injector{inner: inner, rng: rand.New(rand.NewSource(seed))}
+	for _, r := range rules {
+		in.Add(r)
+	}
+	return in
+}
+
+// Add appends a rule to the schedule.
+func (in *Injector) Add(r Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append(in.rules, &rule{Rule: r})
+}
+
+// Clear drops every rule — the faults have "gone away". Counters are
+// kept; files already open keep injecting nothing from then on.
+func (in *Injector) Clear() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = nil
+}
+
+// Stats snapshots the call and injection counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s := Stats{
+		Calls:    make(map[string]uint64),
+		Injected: make(map[string]uint64),
+		Delayed:  in.delayed,
+	}
+	for op := Op(0); op < opCount; op++ {
+		if in.calls[op] > 0 {
+			s.Calls[op.String()] = in.calls[op]
+		}
+		if in.injected[op] > 0 {
+			s.Injected[op.String()] = in.injected[op]
+		}
+	}
+	return s
+}
+
+// InjectedTotal reports how many calls have been failed so far.
+func (in *Injector) InjectedTotal() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var n uint64
+	for _, v := range in.injected {
+		n += v
+	}
+	return n
+}
+
+// decide evaluates the schedule for one call and returns the fault to
+// apply, or nil. The first matching rule that fires wins.
+func (in *Injector) decide(op Op, path string) *fault {
+	in.mu.Lock()
+	in.calls[op]++
+	var hit *fault
+	for _, r := range in.rules {
+		if r.Op != op {
+			continue
+		}
+		if r.Path != "" && !contains(path, r.Path) {
+			continue
+		}
+		r.matches++
+		fires := false
+		switch {
+		case r.Nth > 0:
+			limit := r.Times
+			if limit <= 0 {
+				limit = 1
+			}
+			fires = r.matches >= r.Nth && r.fires < limit
+		case r.Prob > 0:
+			fires = (r.Times <= 0 || r.fires < r.Times) && in.rng.Float64() < r.Prob
+		}
+		if !fires {
+			continue
+		}
+		r.fires++
+		err := r.Err
+		if err == nil && r.Short {
+			err = io.ErrShortWrite
+		}
+		if err == nil && r.Delay == 0 {
+			err = ErrInjected
+		}
+		hit = &fault{err: err, short: r.Short, delay: r.Delay}
+		break
+	}
+	if hit != nil {
+		if hit.err != nil {
+			in.injected[op]++
+		}
+		if hit.delay > 0 {
+			in.delayed++
+		}
+	}
+	in.mu.Unlock()
+	if hit != nil && hit.delay > 0 {
+		time.Sleep(hit.delay)
+	}
+	return hit
+}
+
+// contains reports whether s contains sub (strings.Contains without the
+// import — the package stays std-lean for the zero-dep seam).
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// Fire evaluates the schedule for an arbitrary (non-filesystem) seam —
+// the Engine's assess path fires OpAssess here — applying any injected
+// delay and returning the injected error, or nil.
+func (in *Injector) Fire(op Op, path string) error {
+	if f := in.decide(op, path); f != nil {
+		return f.err
+	}
+	return nil
+}
+
+// OpenFile opens through the schedule; the returned File injects on
+// every subsequent operation.
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if f := in.decide(OpOpen, name); f != nil && f.err != nil {
+		return nil, f.err
+	}
+	f, err := in.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &file{in: in, f: f, name: name}, nil
+}
+
+// Rename renames through the schedule.
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if f := in.decide(OpRename, newpath); f != nil && f.err != nil {
+		return f.err
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+// Remove removes through the schedule.
+func (in *Injector) Remove(name string) error {
+	if f := in.decide(OpRemove, name); f != nil && f.err != nil {
+		return f.err
+	}
+	return in.inner.Remove(name)
+}
+
+// file is an injecting File wrapper.
+type file struct {
+	in   *Injector
+	f    File
+	name string
+}
+
+func (w *file) Read(p []byte) (int, error) {
+	if f := w.in.decide(OpRead, w.name); f != nil && f.err != nil {
+		return 0, f.err
+	}
+	return w.f.Read(p)
+}
+
+func (w *file) ReadAt(p []byte, off int64) (int, error) {
+	if f := w.in.decide(OpRead, w.name); f != nil && f.err != nil {
+		return 0, f.err
+	}
+	return w.f.ReadAt(p, off)
+}
+
+// Write applies the schedule: a Short fault lands the first half of the
+// buffer in the inner file before failing, so the on-disk state carries
+// a genuinely torn frame the way a real ENOSPC mid-write would.
+func (w *file) Write(p []byte) (int, error) {
+	if f := w.in.decide(OpWrite, w.name); f != nil && f.err != nil {
+		n := 0
+		if f.short && len(p) > 0 {
+			n, _ = w.f.Write(p[:len(p)/2])
+		}
+		return n, f.err
+	}
+	return w.f.Write(p)
+}
+
+func (w *file) Sync() error {
+	if f := w.in.decide(OpSync, w.name); f != nil && f.err != nil {
+		return f.err
+	}
+	return w.f.Sync()
+}
+
+func (w *file) Truncate(size int64) error {
+	if f := w.in.decide(OpTruncate, w.name); f != nil && f.err != nil {
+		return f.err
+	}
+	return w.f.Truncate(size)
+}
+
+func (w *file) Seek(offset int64, whence int) (int64, error) { return w.f.Seek(offset, whence) }
+func (w *file) Stat() (os.FileInfo, error)                   { return w.f.Stat() }
+func (w *file) Close() error                                 { return w.f.Close() }

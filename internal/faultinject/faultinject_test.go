@@ -1,0 +1,197 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func openTemp(t *testing.T, fs FS) File {
+	t.Helper()
+	f, err := fs.OpenFile(filepath.Join(t.TempDir(), "f"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestPassthroughWithoutRules(t *testing.T) {
+	in := New(OS{}, 1)
+	f := openTemp(t, in)
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	buf := make([]byte, 5)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("read %q, want hello", buf)
+	}
+}
+
+func TestFailNthWrite(t *testing.T) {
+	in := New(OS{}, 1, Rule{Op: OpWrite, Nth: 3, Err: ErrNoSpace})
+	f := openTemp(t, in)
+	for i := 1; i <= 5; i++ {
+		_, err := f.Write([]byte("x"))
+		if i == 3 {
+			if !errors.Is(err, ErrNoSpace) || !errors.Is(err, syscall.ENOSPC) || !errors.Is(err, ErrInjected) {
+				t.Fatalf("write %d: got %v, want injected ENOSPC", i, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("write %d: unexpected error %v", i, err)
+		}
+	}
+	st := in.Stats()
+	if st.Injected["write"] != 1 {
+		t.Fatalf("injected write count = %d, want 1", st.Injected["write"])
+	}
+}
+
+func TestShortWriteLandsHalf(t *testing.T) {
+	in := New(OS{}, 1, Rule{Op: OpWrite, Nth: 1, Short: true})
+	f := openTemp(t, in)
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("err = %v, want short write", err)
+	}
+	if n != 5 {
+		t.Fatalf("n = %d, want 5 (half the buffer)", n)
+	}
+	st, err2 := f.Stat()
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if st.Size() != 5 {
+		t.Fatalf("file holds %d bytes, want the torn half (5)", st.Size())
+	}
+}
+
+func TestSyncAndRenameFaults(t *testing.T) {
+	in := New(OS{}, 1,
+		Rule{Op: OpSync, Nth: 1},
+		Rule{Op: OpRename, Nth: 1},
+	)
+	f := openTemp(t, in)
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Sync err = %v, want injected", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("second Sync should pass: %v", err)
+	}
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a"), filepath.Join(dir, "b")
+	if err := os.WriteFile(a, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Rename(a, b); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Rename err = %v, want injected", err)
+	}
+	if err := in.Rename(a, b); err != nil {
+		t.Fatalf("second Rename should pass: %v", err)
+	}
+}
+
+func TestPathFilter(t *testing.T) {
+	in := New(OS{}, 1, Rule{Op: OpWrite, Nth: 1, Path: "jobs.log"})
+	dir := t.TempDir()
+	assess, err := in.OpenFile(filepath.Join(dir, "assess.log"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer assess.Close()
+	jobs, err := in.OpenFile(filepath.Join(dir, "jobs.log"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jobs.Close()
+	if _, err := assess.Write([]byte("x")); err != nil {
+		t.Fatalf("assess.log write should pass the filter: %v", err)
+	}
+	if _, err := jobs.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("jobs.log write err = %v, want injected", err)
+	}
+}
+
+// TestProbDeterministicFromSeed locks the seeded schedule: the same
+// seed must fault the same calls, and a different seed a different set.
+func TestProbDeterministicFromSeed(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		in := New(OS{}, seed, Rule{Op: OpAssess, Prob: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Fire(OpAssess, "") != nil
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 42 diverged from itself at call %d", i)
+		}
+	}
+	c := pattern(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical 64-call schedules")
+	}
+}
+
+func TestTimesBoundsProbRule(t *testing.T) {
+	in := New(OS{}, 7, Rule{Op: OpAssess, Prob: 1.0, Times: 3})
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if in.Fire(OpAssess, "") != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("rule fired %d times, want Times=3", fired)
+	}
+}
+
+func TestDelayOnlyRuleInjectsLatencyNotError(t *testing.T) {
+	in := New(OS{}, 1, Rule{Op: OpAssess, Nth: 1, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := in.Fire(OpAssess, ""); err != nil {
+		t.Fatalf("latency-only rule returned error %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("call returned after %v, want >= 20ms injected latency", d)
+	}
+	if st := in.Stats(); st.Delayed != 1 || st.Injected["assess"] != 0 {
+		t.Fatalf("stats = %+v, want 1 delay and no injected error", st)
+	}
+}
+
+func TestClearStopsInjection(t *testing.T) {
+	in := New(OS{}, 1, Rule{Op: OpWrite, Prob: 1.0})
+	f := openTemp(t, in)
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected error before Clear, got %v", err)
+	}
+	in.Clear()
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("write after Clear: %v", err)
+	}
+	if got := in.InjectedTotal(); got != 1 {
+		t.Fatalf("InjectedTotal = %d, want 1", got)
+	}
+}

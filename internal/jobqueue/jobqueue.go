@@ -21,8 +21,10 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"thirstyflops/internal/cache"
@@ -209,6 +211,21 @@ func WithPersister[R any](p Persister[R]) Option[R] {
 	return func(q *Queue[R]) { q.persist = p }
 }
 
+// WithSaveRetry tunes the bounded exponential-backoff retry around a
+// failing SaveJob (default 3 attempts starting at 25ms, doubling).
+// Persistence stays best-effort: once attempts are exhausted the failure
+// is counted (Health().SaveFailures) and the job stays in memory only.
+func WithSaveRetry[R any](attempts int, backoff time.Duration) Option[R] {
+	return func(q *Queue[R]) {
+		if attempts > 0 {
+			q.saveAttempts = attempts
+		}
+		if backoff > 0 {
+			q.saveBackoff = backoff
+		}
+	}
+}
+
 // Queue owns job submission, execution, retention, cancellation, and
 // (optionally) durable terminal state.
 type Queue[R any] struct {
@@ -219,8 +236,33 @@ type Queue[R any] struct {
 	wg      sync.WaitGroup
 	persist Persister[R]
 
+	saveAttempts int
+	saveBackoff  time.Duration
+
+	panics       atomic.Uint64
+	saveRetries  atomic.Uint64
+	saveFailures atomic.Uint64
+
 	mu     sync.Mutex
 	closed bool
+}
+
+// Health reports the queue's resilience counters: contained RunFunc
+// panics (each failed exactly one job), persist retries that eventually
+// succeeded, and saves abandoned after the retry budget.
+type Health struct {
+	Panics       uint64 `json:"panics"`
+	SaveRetries  uint64 `json:"save_retries"`
+	SaveFailures uint64 `json:"save_failures"`
+}
+
+// Health snapshots the resilience counters.
+func (q *Queue[R]) Health() Health {
+	return Health{
+		Panics:       q.panics.Load(),
+		SaveRetries:  q.saveRetries.Load(),
+		SaveFailures: q.saveFailures.Load(),
+	}
 }
 
 // New builds a queue retaining at most `retain` jobs (LRU, minimum 1)
@@ -238,10 +280,12 @@ func New[R any](retain, concurrent int, opts ...Option[R]) *Queue[R] {
 	}
 	base, stop := context.WithCancel(context.Background())
 	q := &Queue[R]{
-		retain: cache.New[string, *Job[R]](retain),
-		slots:  make(chan struct{}, concurrent),
-		base:   base,
-		stop:   stop,
+		retain:       cache.New[string, *Job[R]](retain),
+		slots:        make(chan struct{}, concurrent),
+		base:         base,
+		stop:         stop,
+		saveAttempts: 3,
+		saveBackoff:  25 * time.Millisecond,
 	}
 	for _, o := range opts {
 		o(q)
@@ -329,12 +373,52 @@ func (q *Queue[R]) saveJob(j *Job[R]) {
 		return
 	}
 	pj.Snapshot = j.Snapshot()
-	if err := q.persist.SaveJob(pj); err != nil {
+	if err := q.saveWithRetry(pj); err != nil {
 		return
 	}
 	if got, ok := q.retain.Lookup(j.id); !ok || got != j {
 		_ = q.persist.DeleteJob(j.id)
 	}
+}
+
+// saveWithRetry drives SaveJob through the bounded exponential-backoff
+// retry. Transient persist failures (a briefly wedged disk log) heal
+// without losing durable state; a persistent one is abandoned after the
+// attempt budget — the job stays served from memory. Shutdown aborts
+// the backoff wait so Close never hangs on a dead persister.
+func (q *Queue[R]) saveWithRetry(pj PersistedJob[R]) error {
+	backoff := q.saveBackoff
+	for attempt := 1; ; attempt++ {
+		err := q.persist.SaveJob(pj)
+		if err == nil {
+			return nil
+		}
+		if attempt >= q.saveAttempts {
+			q.saveFailures.Add(1)
+			return err
+		}
+		q.saveRetries.Add(1)
+		select {
+		case <-time.After(backoff):
+		case <-q.base.Done():
+			q.saveFailures.Add(1)
+			return err
+		}
+		backoff *= 2
+	}
+}
+
+// runSafe executes the job's RunFunc with panic containment: a panicking
+// batch fails that one job (counted in Health().Panics) instead of
+// killing the process and every other in-flight job with it.
+func (q *Queue[R]) runSafe(ctx context.Context, j *Job[R], run RunFunc[R]) (results []R, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			q.panics.Add(1)
+			results, err = nil, fmt.Errorf("jobqueue: job panicked: %v", r)
+		}
+	}()
+	return run(ctx, j.progress)
 }
 
 // newID returns a 16-hex-character random job identifier.
@@ -396,7 +480,7 @@ func (q *Queue[R]) Submit(total int, run RunFunc[R]) (*Job[R], error) {
 			return
 		}
 		j.setRunning()
-		results, err := run(ctx, j.progress)
+		results, err := q.runSafe(ctx, j, run)
 		j.finish(results, err)
 		q.saveJob(j)
 	}()

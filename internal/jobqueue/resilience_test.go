@@ -1,0 +1,129 @@
+package jobqueue
+
+// Resilience tests: a panicking RunFunc fails exactly its own job, and
+// transient persist failures heal through the bounded retry while
+// persistent ones are abandoned with accounting.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPanickingJobFailsAloneQueueSurvives(t *testing.T) {
+	q := New[int](4, 2)
+	defer q.Close()
+
+	bad, err := q.Submit(1, func(ctx context.Context, progress func(int)) ([]int, error) {
+		panic("poisoned batch")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := wait(t, bad)
+	if s.Status != StatusFailed {
+		t.Fatalf("panicking job status = %s, want failed", s.Status)
+	}
+	if !strings.Contains(s.Error, "panic") {
+		t.Fatalf("job error %q does not surface the panic", s.Error)
+	}
+	if h := q.Health(); h.Panics != 1 {
+		t.Fatalf("Health.Panics = %d, want 1", h.Panics)
+	}
+
+	// The worker survived: the queue still executes jobs to completion.
+	good, err := q.Submit(1, func(ctx context.Context, progress func(int)) ([]int, error) {
+		return []int{7}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := wait(t, good); s.Status != StatusDone {
+		t.Fatalf("post-panic job status = %s, want done", s.Status)
+	}
+}
+
+// flakyPersister fails the first `failures` SaveJob calls, then defers
+// to the wrapped in-memory persister.
+type flakyPersister struct {
+	*memPersister
+	mu       sync.Mutex
+	failures int
+	saves    int
+}
+
+func (p *flakyPersister) SaveJob(pj PersistedJob[int]) error {
+	p.mu.Lock()
+	p.saves++
+	fail := p.saves <= p.failures
+	p.mu.Unlock()
+	if fail {
+		return errors.New("flaky: disk briefly wedged")
+	}
+	return p.memPersister.SaveJob(pj)
+}
+
+func TestSaveRetryHealsTransientFailure(t *testing.T) {
+	p := &flakyPersister{memPersister: newMemPersister(), failures: 2}
+	q := New[int](4, 1, WithPersister[int](p), WithSaveRetry[int](3, time.Millisecond))
+	defer q.Close()
+
+	j, err := q.Submit(1, func(ctx context.Context, progress func(int)) ([]int, error) {
+		return []int{1}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait(t, j)
+	// finish -> saveJob happens in the execution goroutine after the
+	// done channel closes; poll for the persisted copy.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		saved, _ := p.LoadJobs()
+		if len(saved) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never persisted despite the retry budget covering the transient failures")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	h := q.Health()
+	if h.SaveRetries != 2 || h.SaveFailures != 0 {
+		t.Fatalf("health = %+v, want 2 retries and no abandoned saves", h)
+	}
+}
+
+func TestSaveRetryAbandonsPersistentFailure(t *testing.T) {
+	p := &flakyPersister{memPersister: newMemPersister(), failures: 1 << 30}
+	q := New[int](4, 1, WithPersister[int](p), WithSaveRetry[int](3, time.Millisecond))
+	defer q.Close()
+
+	j, err := q.Submit(1, func(ctx context.Context, progress func(int)) ([]int, error) {
+		return []int{1}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := wait(t, j); s.Status != StatusDone {
+		t.Fatalf("persist failure must not fail the job: %+v", s)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for q.Health().SaveFailures == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned save never counted")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	h := q.Health()
+	if h.SaveRetries != 2 {
+		t.Fatalf("SaveRetries = %d, want 2 (attempts 3, both waits taken)", h.SaveRetries)
+	}
+	// The job still serves from memory.
+	if got, ok := q.Get(j.ID()); !ok || got != j {
+		t.Fatal("unpersisted job fell out of retention")
+	}
+}

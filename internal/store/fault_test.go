@@ -1,0 +1,305 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"thirstyflops/internal/faultinject"
+)
+
+// openFault opens a store on an injector-backed filesystem. The writer
+// goroutine races the test's explicit Sync calls, so these tests assert
+// converged invariants (counters, index truth, reopen contents) rather
+// than which call observed a given fault.
+func openFault(t *testing.T, in *faultinject.Injector, opts Options) (*Store, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fault.log")
+	opts.Schema = 1
+	opts.FS = in
+	s, err := Open(path, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, path
+}
+
+// syncUntilHealthy retries Sync until the write path recovers or the
+// deadline passes, returning the last error.
+func syncUntilHealthy(t *testing.T, s *Store) {
+	t.Helper()
+	var err error
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if err = s.Sync(); err == nil {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("write path never recovered: %v", err)
+}
+
+func TestWedgeRehabRecovery(t *testing.T) {
+	in := faultinject.New(faultinject.OS{}, 1)
+	s, path := openFault(t, in, Options{})
+
+	if err := s.Put([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("healthy Sync: %v", err)
+	}
+
+	// The next file write fails with ENOSPC; the one after succeeds, so
+	// rehabilitation's re-queued append lands.
+	in.Add(faultinject.Rule{Op: faultinject.OpWrite, Nth: 1, Err: faultinject.ErrNoSpace})
+	if err := s.Put([]byte("k2"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	syncUntilHealthy(t, s)
+
+	for _, k := range []string{"k1", "k2"} {
+		v, ok, err := s.Get([]byte(k))
+		if err != nil || !ok {
+			t.Fatalf("Get(%s) after recovery: ok=%v err=%v", k, ok, err)
+		}
+		want := "v" + k[1:]
+		if string(v) != want {
+			t.Fatalf("Get(%s) = %q, want %q", k, v, want)
+		}
+	}
+	st := s.Stats()
+	if st.WriteErrors == 0 {
+		t.Fatal("injected ENOSPC was not counted in WriteErrors")
+	}
+	if st.Rehabs == 0 {
+		t.Fatal("recovery did not count a rehabilitation")
+	}
+	if st.Wedged {
+		t.Fatal("store still wedged after successful Sync")
+	}
+	if st.Pending != 0 {
+		t.Fatalf("Pending = %d at quiescence, want 0", st.Pending)
+	}
+
+	// The recovered log must replay both entries bit-identically.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path, Options{Schema: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 2 {
+		t.Fatalf("reopened store has %d entries, want 2", s2.Len())
+	}
+	v, ok, err := s2.Get([]byte("k2"))
+	if err != nil || !ok || string(v) != "v2" {
+		t.Fatalf("reopened Get(k2) = %q ok=%v err=%v", v, ok, err)
+	}
+}
+
+func TestShortWriteTornFrameRecovered(t *testing.T) {
+	in := faultinject.New(faultinject.OS{}, 1)
+	s, path := openFault(t, in, Options{})
+
+	if err := s.Put([]byte("base"), []byte("stable-value")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Half the next flushed buffer lands before the error: a genuinely
+	// torn frame past the stable watermark, which rehab must truncate.
+	in.Add(faultinject.Rule{Op: faultinject.OpWrite, Nth: 1, Short: true})
+	if err := s.Put([]byte("torn"), []byte("eventually-lands")); err != nil {
+		t.Fatal(err)
+	}
+	syncUntilHealthy(t, s)
+
+	v, ok, err := s.Get([]byte("torn"))
+	if err != nil || !ok || string(v) != "eventually-lands" {
+		t.Fatalf("Get(torn) = %q ok=%v err=%v", v, ok, err)
+	}
+	if st := s.Stats(); st.Rehabs == 0 {
+		t.Fatal("short write did not trigger rehabilitation")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// On disk there must be no torn debris: a fresh Open recovers both
+	// frames with nothing truncated.
+	s2, err := Open(path, Options{Schema: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st := s2.Stats()
+	if st.Recovered != 2 || st.TruncatedBytes != 0 {
+		t.Fatalf("reopen recovered=%d truncated=%d, want 2 entries and no torn tail", st.Recovered, st.TruncatedBytes)
+	}
+}
+
+func TestFsyncErrorCountedNotWedged(t *testing.T) {
+	in := faultinject.New(faultinject.OS{}, 1)
+	s, _ := openFault(t, in, Options{})
+
+	if err := s.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// The store never fsyncs on its own async drains, so the first OpSync
+	// is this Sync call: deterministic.
+	in.Add(faultinject.Rule{Op: faultinject.OpSync, Nth: 1})
+	if err := s.Sync(); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Sync err = %v, want injected", err)
+	}
+	st := s.Stats()
+	if st.Wedged {
+		t.Fatal("fsync failure wedged the store; flushed frames are intact and appends should continue")
+	}
+	if st.WriteErrors != 1 {
+		t.Fatalf("WriteErrors = %d, want 1", st.WriteErrors)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("second Sync: %v", err)
+	}
+	if v, ok, err := s.Get([]byte("k")); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get(k) = %q ok=%v err=%v", v, ok, err)
+	}
+}
+
+func TestCompactRenameFailureLeavesLogIntact(t *testing.T) {
+	in := faultinject.New(faultinject.OS{}, 1)
+	s, path := openFault(t, in, Options{CompactMinBytes: -1})
+
+	for i := 0; i < 4; i++ {
+		if err := s.Put([]byte("k"), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	in.Add(faultinject.Rule{Op: faultinject.OpRename, Nth: 1})
+	if err := s.Compact(); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Compact err = %v, want injected rename failure", err)
+	}
+	// The atomic rename never happened: the original log still serves,
+	// the tmp snapshot is cleaned up, and a retry compacts for real.
+	if v, ok, err := s.Get([]byte("k")); err != nil || !ok || string(v) != "v3" {
+		t.Fatalf("Get after failed compaction = %q ok=%v err=%v", v, ok, err)
+	}
+	if _, err := os.Stat(path + ".compact"); !os.IsNotExist(err) {
+		t.Fatalf("tmp snapshot not cleaned up after failed rename: %v", err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatalf("retry Compact: %v", err)
+	}
+	st := s.Stats()
+	if st.Compactions != 1 || st.DeadBytes != 0 {
+		t.Fatalf("after retry: compactions=%d dead=%d, want 1 and 0", st.Compactions, st.DeadBytes)
+	}
+	if v, ok, err := s.Get([]byte("k")); err != nil || !ok || string(v) != "v3" {
+		t.Fatalf("Get after retried compaction = %q ok=%v err=%v", v, ok, err)
+	}
+}
+
+func TestPersistentFailureDropsAndCounts(t *testing.T) {
+	in := faultinject.New(faultinject.OS{}, 1)
+	s, _ := openFault(t, in, Options{FlushEvery: 5 * time.Millisecond})
+
+	// Every write and every truncate fails: appends wedge and every
+	// rehabilitation fails too, so the backlog must be dropped-and-counted
+	// rather than pinned forever.
+	in.Add(faultinject.Rule{Op: faultinject.OpWrite, Prob: 1})
+	in.Add(faultinject.Rule{Op: faultinject.OpTruncate, Prob: 1})
+	if err := s.Put([]byte("doomed"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := s.Stats()
+		if st.Dropped >= 1 && st.Pending == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("backlog never dropped under a dead disk: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Dropped puts leave the index: reads stay truthful about what the
+	// log can serve.
+	if _, ok, err := s.Get([]byte("doomed")); ok || err != nil {
+		t.Fatalf("Get(doomed) = ok=%v err=%v, want a clean miss", ok, err)
+	}
+
+	// The disk comes back: the store rehabilitates and serves writes again.
+	in.Clear()
+	if err := s.Put([]byte("alive"), []byte("again")); err != nil {
+		t.Fatal(err)
+	}
+	syncUntilHealthy(t, s)
+	if v, ok, err := s.Get([]byte("alive")); err != nil || !ok || string(v) != "again" {
+		t.Fatalf("Get(alive) = %q ok=%v err=%v", v, ok, err)
+	}
+	st := s.Stats()
+	if st.Wedged || st.Pending != 0 {
+		t.Fatalf("store not healthy after faults cleared: %+v", st)
+	}
+}
+
+func TestOnWriteErrorDelivered(t *testing.T) {
+	var mu sync.Mutex
+	var got []error
+	in := faultinject.New(faultinject.OS{}, 1)
+	s, _ := openFault(t, in, Options{
+		FlushEvery: 5 * time.Millisecond,
+		OnWriteError: func(err error) {
+			mu.Lock()
+			got = append(got, err)
+			mu.Unlock()
+		},
+	})
+
+	in.Add(faultinject.Rule{Op: faultinject.OpWrite, Nth: 1, Err: faultinject.ErrNoSpace})
+	if err := s.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("OnWriteError never called for an async write failure")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	mu.Lock()
+	err := got[0]
+	mu.Unlock()
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("OnWriteError got %v, want the injected fault", err)
+	}
+	syncUntilHealthy(t, s)
+}
+
+func TestOpenFileFailureSurfaces(t *testing.T) {
+	in := faultinject.New(faultinject.OS{}, 1,
+		faultinject.Rule{Op: faultinject.OpOpen, Nth: 1})
+	_, err := Open(filepath.Join(t.TempDir(), "x.log"), Options{Schema: 1, FS: in})
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Open err = %v, want injected", err)
+	}
+}

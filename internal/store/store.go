@@ -24,6 +24,20 @@
 // are acknowledged (visible to Get, durable after Sync) strictly in
 // append order, the recovered entries are always a prefix of what was
 // acknowledged before the crash.
+//
+// Write failures degrade, they don't wedge callers: when an append or
+// flush fails mid-batch (ENOSPC, a dying disk, an injected fault), the
+// store marks itself wedged and stops appending — appending past a torn
+// frame would corrupt the log — then, on the next drain, rehabilitates:
+// the file is truncated back to the last offset known fully flushed,
+// unpublished operations are re-queued, and appending resumes. While
+// the disk keeps failing, queued writes are dropped and counted
+// (Stats.Dropped) so memory stays bounded and callers never block on a
+// dead device; every failure is counted (Stats.WriteErrors) and
+// reported through Options.OnWriteError so the tier above can trip a
+// breaker. All filesystem access goes through the internal/faultinject
+// seam (Options.FS), which is how the failure modes are replayed
+// deterministically in tests.
 package store
 
 import (
@@ -36,6 +50,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"thirstyflops/internal/faultinject"
 )
 
 // On-disk framing constants.
@@ -99,6 +115,18 @@ type Options struct {
 	// bytes exceed both this floor and the live volume. Negative
 	// disables automatic compaction (explicit Compact still works).
 	CompactMinBytes int64
+
+	// FS is the filesystem the store runs on (default the real one).
+	// Tests inject a faultinject.Injector here to replay disk failures
+	// deterministically.
+	FS faultinject.FS
+
+	// OnWriteError, when set, is called once per asynchronous write-path
+	// failure (batch append, flush, automatic compaction) from the
+	// writer or ticker goroutine, outside the store lock. Synchronous
+	// paths (Sync, Compact) return their errors to the caller instead.
+	// The callback must not call back into the store.
+	OnWriteError func(error)
 }
 
 // withDefaults resolves zero options.
@@ -111,6 +139,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CompactMinBytes == 0 {
 		o.CompactMinBytes = 1 << 20
+	}
+	if o.FS == nil {
+		o.FS = faultinject.OS{}
 	}
 	return o
 }
@@ -133,11 +164,14 @@ type wop struct {
 	r   *ref // the index entry this put publishes into
 }
 
-// pub is one appended-but-unflushed put, published when the buffer hits
-// the file.
+// pub is one appended-but-unflushed operation, published (puts: offset
+// becomes readable; deletes: tombstone becomes dead weight) when the
+// buffer reaches the file, or re-queued by rehabilitation when the
+// flush that should have published it failed.
 type pub struct {
+	op    byte
 	key   string
-	r     *ref
+	r     *ref // nil for deletes
 	off   int64
 	n     int64
 	frame int64
@@ -154,6 +188,15 @@ type Stats struct {
 
 	Appended    uint64 `json:"appended"`    // records written to the file
 	Compactions uint64 `json:"compactions"` // snapshot rewrites
+
+	// Resilience counters: disk failures observed, recoveries performed,
+	// and whether the write path is currently wedged (appends suspended
+	// until the next rehabilitation attempt succeeds).
+	WriteErrors uint64 `json:"write_errors"` // failed appends/flushes/fsyncs/compactions
+	ReadErrors  uint64 `json:"read_errors"`  // failed Get/Range disk reads
+	Rehabs      uint64 `json:"rehabs"`       // successful truncate-and-requeue recoveries
+	Wedged      bool   `json:"wedged"`       // write path suspended by an unrecovered failure
+	Pending     int    `json:"pending"`      // queued + appended-but-unpublished operations
 
 	SizeBytes int64 `json:"size_bytes"` // logical file size incl. buffered
 	LiveBytes int64 `json:"live_bytes"` // frames still referenced by the index
@@ -175,18 +218,22 @@ type Store struct {
 	notEmpty *sync.Cond // writer waits for queued ops
 	notFull  *sync.Cond // BlockOnFull producers wait for queue space
 
-	f       *os.File
+	f       faultinject.File
 	w       *bufio.Writer
 	size    int64 // logical size including bytes still in w
+	stable  int64 // offset of the last fully flushed frame boundary
 	index   map[string]*ref
 	pending []wop // bounded by opts.QueueLen
 	unpub   []pub // appended to w, offsets not yet published
 	live    int64
 	dead    int64
+	wedged  bool // write path suspended after a failure; rehab pending
 	closing bool
 
 	gets, hits, puts, dropped uint64
 	appended, compactions     uint64
+	writeErrs, readErrs       uint64
+	rehabs                    uint64
 	recovered                 int
 	truncated                 int64
 	invalidated               bool
@@ -202,7 +249,7 @@ type Store struct {
 // misread.
 func Open(path string, opts Options) (*Store, error) {
 	opts = opts.withDefaults()
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := opts.FS.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -257,6 +304,7 @@ func (s *Store) recover() error {
 			return err
 		}
 		s.size = HeaderSize
+		s.stable = HeaderSize
 		return nil
 	}
 
@@ -308,6 +356,7 @@ func (s *Store) recover() error {
 		s.truncated = fileSize - valid
 	}
 	s.size = valid
+	s.stable = valid
 	s.recovered = len(s.index)
 	return nil
 }
@@ -514,6 +563,7 @@ func (s *Store) Get(key []byte) ([]byte, bool, error) {
 	}
 	out = make([]byte, r.n)
 	if _, err := s.f.ReadAt(out, r.off); err != nil {
+		s.readErrs++
 		return nil, false, fmt.Errorf("store: read %s at %d: %w", s.path, r.off, err)
 	}
 	return out, true, nil
@@ -538,6 +588,7 @@ func (s *Store) Range(fn func(key, val []byte) error) error {
 		} else {
 			v = make([]byte, r.n)
 			if _, err := s.f.ReadAt(v, r.off); err != nil {
+				s.readErrs++
 				return fmt.Errorf("store: read %s at %d: %w", s.path, r.off, err)
 			}
 		}
@@ -560,6 +611,11 @@ func (s *Store) Stats() Stats {
 		Dropped:        s.dropped,
 		Appended:       s.appended,
 		Compactions:    s.compactions,
+		WriteErrors:    s.writeErrs,
+		ReadErrors:     s.readErrs,
+		Rehabs:         s.rehabs,
+		Wedged:         s.wedged,
+		Pending:        len(s.pending) + len(s.unpub),
 		SizeBytes:      s.size,
 		LiveBytes:      s.live,
 		DeadBytes:      s.dead,
@@ -570,7 +626,7 @@ func (s *Store) Stats() Stats {
 }
 
 // appendLocked frames one queued op into the buffered writer and stages
-// its offset publication. Callers hold s.mu.
+// its publication. Callers hold s.mu.
 func (s *Store) appendLocked(op wop) error {
 	frame := encodeRecord(op.op, op.key, op.val)
 	if _, err := s.w.Write(frame); err != nil {
@@ -581,23 +637,32 @@ func (s *Store) appendLocked(op wop) error {
 	switch op.op {
 	case opPut:
 		valOff := s.size + frameLen - int64(len(op.val))
-		s.unpub = append(s.unpub, pub{key: op.key, r: op.r, off: valOff, n: int64(len(op.val)), frame: frameLen})
+		s.unpub = append(s.unpub, pub{op: opPut, key: op.key, r: op.r, off: valOff, n: int64(len(op.val)), frame: frameLen})
 	case opDelete:
-		s.dead += frameLen
+		// The tombstone's dead-byte weight is accounted at publication,
+		// so a flush failure (the frame never really landed) can be
+		// rolled back by rehabilitation without unwinding accounting.
+		s.unpub = append(s.unpub, pub{op: opDelete, key: op.key, frame: frameLen})
 	}
 	s.size += frameLen
 	return nil
 }
 
-// flushLocked pushes buffered frames to the OS and publishes their
-// offsets: refs still current in the index switch from the pinned value
-// to the file location; superseded ones settle as dead bytes. With sync
-// it also fsyncs. Callers hold s.mu.
-func (s *Store) flushLocked(sync bool) error {
+// flushLocked pushes buffered frames to the OS and publishes them: put
+// refs still current in the index switch from the pinned value to the
+// file location (superseded ones settle as dead bytes), tombstones
+// settle their dead weight, and the stable watermark advances — on a
+// later write failure the file is truncated back to it. Callers hold
+// s.mu.
+func (s *Store) flushLocked() error {
 	if err := s.w.Flush(); err != nil {
 		return err
 	}
 	for _, p := range s.unpub {
+		if p.op == opDelete {
+			s.dead += p.frame
+			continue
+		}
 		if cur, ok := s.index[p.key]; ok && cur == p.r {
 			p.r.off, p.r.n, p.r.frame = p.off, p.n, p.frame
 			p.r.val = nil
@@ -607,51 +672,165 @@ func (s *Store) flushLocked(sync bool) error {
 		}
 	}
 	s.unpub = s.unpub[:0]
-	if sync {
-		return s.f.Sync()
-	}
+	s.stable = s.size
 	return nil
 }
 
-// drainLocked appends and flushes every queued op. Callers hold s.mu.
-func (s *Store) drainLocked(sync bool) error {
-	batch := s.pending
-	s.pending = nil
-	var firstErr error
-	for _, op := range batch {
-		if err := s.appendLocked(op); err != nil && firstErr == nil {
-			firstErr = err
+// wedgeLocked records a write-path failure and suspends appends until a
+// rehabilitation succeeds. Callers hold s.mu.
+func (s *Store) wedgeLocked() {
+	s.wedged = true
+	s.writeErrs++
+}
+
+// rehabLocked recovers a wedged write path: the buffered writer's state
+// (possibly mid-frame) is discarded, the file is truncated back to the
+// stable watermark — everything beyond it is flush debris that was
+// never published — and every unpublished operation whose index entry
+// is still current is re-queued ahead of the pending batch, so nothing
+// acknowledged is lost when the disk comes back. Callers hold s.mu.
+func (s *Store) rehabLocked() error {
+	s.w.Reset(s.f) // drops buffered bytes and clears the sticky error
+	if err := s.f.Truncate(s.stable); err != nil {
+		return err
+	}
+	if _, err := s.f.Seek(s.stable, io.SeekStart); err != nil {
+		return err
+	}
+	s.w.Reset(s.f)
+	requeue := make([]wop, 0, len(s.unpub))
+	for _, p := range s.unpub {
+		switch p.op {
+		case opPut:
+			// Only the index-current version re-appends; a superseded
+			// one's replacement is itself queued or unpublished and
+			// carries the key forward.
+			if cur, ok := s.index[p.key]; ok && cur == p.r {
+				requeue = append(requeue, wop{op: opPut, key: p.key, val: p.r.val, r: p.r})
+			}
+		case opDelete:
+			requeue = append(requeue, wop{op: opDelete, key: p.key})
 		}
 	}
-	if err := s.flushLocked(sync); err != nil && firstErr == nil {
-		firstErr = err
+	s.unpub = s.unpub[:0]
+	s.pending = append(requeue, s.pending...)
+	s.size = s.stable
+	s.wedged = false
+	s.rehabs++
+	return nil
+}
+
+// discardLocked drops the entire queued backlog after a failed
+// rehabilitation — the disk is still refusing writes, and holding the
+// backlog would pin memory without bound (or block BlockOnFull
+// producers forever). Dropped puts leave the index so reads stay
+// truthful about what the log can actually serve; every loss is
+// counted. Callers hold s.mu.
+func (s *Store) discardLocked() {
+	for _, p := range s.unpub {
+		if p.op == opPut {
+			if cur, ok := s.index[p.key]; ok && cur == p.r {
+				delete(s.index, p.key)
+			}
+		}
+		s.dropped++
+	}
+	s.unpub = s.unpub[:0]
+	for _, op := range s.pending {
+		if op.op == opPut {
+			if cur, ok := s.index[op.key]; ok && cur == op.r {
+				delete(s.index, op.key)
+			}
+		}
+		s.dropped++
+	}
+	s.pending = nil
+	s.notFull.Broadcast()
+}
+
+// drainLocked appends and flushes every queued op, rehabilitating a
+// wedged write path first. On failure the store wedges (or stays
+// wedged, dropping the backlog) and the error is returned; with sync
+// it also fsyncs — an fsync failure is counted but does not wedge,
+// because the flushed frames are structurally intact. Callers hold
+// s.mu.
+func (s *Store) drainLocked(sync bool) error {
+	if s.wedged {
+		if err := s.rehabLocked(); err != nil {
+			s.writeErrs++
+			s.discardLocked()
+			return err
+		}
+	}
+	batch := s.pending
+	s.pending = nil
+	for i, op := range batch {
+		if err := s.appendLocked(op); err != nil {
+			// Hand the unappended tail back to the queue; the appended
+			// prefix sits in unpub and is re-queued by rehabilitation.
+			s.pending = append(batch[i:], s.pending...)
+			s.wedgeLocked()
+			return err
+		}
+	}
+	if err := s.flushLocked(); err != nil {
+		s.wedgeLocked()
+		return err
 	}
 	s.notFull.Broadcast()
-	return firstErr
+	if sync {
+		if err := s.f.Sync(); err != nil {
+			s.writeErrs++
+			return err
+		}
+	}
+	return nil
 }
 
 // writer is the background goroutine draining the bounded queue in
 // batches: wake on work, append the whole batch, flush, publish, check
 // compaction, repeat. On close it drains the remainder and fsyncs.
+// Failures are counted and reported through Options.OnWriteError
+// outside the lock; the next iteration retries via rehabilitation.
 func (s *Store) writer() {
 	s.mu.Lock()
 	for {
-		for len(s.pending) == 0 && !s.closing {
+		for len(s.pending) == 0 && !s.wedged && !s.closing {
 			s.notEmpty.Wait()
 		}
-		if len(s.pending) == 0 && s.closing {
-			s.flushLocked(true)
+		if s.closing && (len(s.pending) == 0 || s.wedged) {
+			s.drainLocked(true)
 			s.mu.Unlock()
 			close(s.writerDone)
 			return
 		}
-		s.drainLocked(false)
-		s.maybeCompactLocked()
+		err := s.drainLocked(false)
+		var cerr error
+		if err == nil {
+			cerr = s.maybeCompactLocked()
+		}
+		if cb := s.opts.OnWriteError; cb != nil && (err != nil || cerr != nil) {
+			s.mu.Unlock()
+			if err != nil {
+				cb(err)
+			}
+			if cerr != nil {
+				cb(cerr)
+			}
+			s.mu.Lock()
+		}
+		if err != nil && !s.closing {
+			// Don't spin on a dead disk: park until the next enqueue or
+			// close wakes us (the flush ticker retries rehabilitation on
+			// its own period meanwhile).
+			s.notEmpty.Wait()
+		}
 	}
 }
 
-// ticker periodically flushes straggling buffered frames and re-checks
-// the compaction condition, so an idle store still converges.
+// ticker periodically flushes straggling buffered frames, retries
+// rehabilitation of a wedged write path, and re-checks the compaction
+// condition, so an idle store still converges.
 func (s *Store) ticker() {
 	t := time.NewTicker(s.opts.FlushEvery)
 	defer t.Stop()
@@ -660,11 +839,25 @@ func (s *Store) ticker() {
 		select {
 		case <-t.C:
 			s.mu.Lock()
-			if !s.closing {
-				s.flushLocked(false)
-				s.maybeCompactLocked()
+			if s.closing {
+				s.mu.Unlock()
+				continue
 			}
+			err := s.drainLocked(false)
+			var cerr error
+			if err == nil {
+				cerr = s.maybeCompactLocked()
+			}
+			cb := s.opts.OnWriteError
 			s.mu.Unlock()
+			if cb != nil {
+				if err != nil {
+					cb(err)
+				}
+				if cerr != nil {
+					cb(cerr)
+				}
+			}
 		case <-s.stopTicker:
 			return
 		}
@@ -683,14 +876,21 @@ func (s *Store) Sync() error {
 }
 
 // maybeCompactLocked rewrites the file when dead bytes exceed both the
-// configured floor and the live volume. Callers hold s.mu.
-func (s *Store) maybeCompactLocked() {
-	if s.opts.CompactMinBytes < 0 {
-		return
+// configured floor and the live volume. A wedged store never compacts —
+// rehabilitation comes first. A failed compaction is counted (the
+// original log is intact: the atomic rename never happened) and
+// returned for reporting. Callers hold s.mu.
+func (s *Store) maybeCompactLocked() error {
+	if s.opts.CompactMinBytes < 0 || s.wedged {
+		return nil
 	}
 	if s.dead > s.opts.CompactMinBytes && s.dead > s.live {
-		s.compactLocked()
+		if err := s.compactLocked(); err != nil {
+			s.writeErrs++
+			return err
+		}
 	}
+	return nil
 }
 
 // Compact rewrites the log to contain exactly the live record set: a
@@ -718,11 +918,11 @@ func (s *Store) compactLocked() error {
 		return err
 	}
 	tmpPath := s.path + ".compact"
-	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	tmp, err := s.opts.FS.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmpPath) // no-op after a successful rename
+	defer s.opts.FS.Remove(tmpPath) // no-op after a successful rename
 
 	var hdr [HeaderSize]byte
 	copy(hdr[:4], magic)
@@ -779,26 +979,31 @@ func (s *Store) compactLocked() error {
 		tmp.Close()
 		return err
 	}
-	if err := os.Rename(tmpPath, s.path); err != nil {
+	if err := s.opts.FS.Rename(tmpPath, s.path); err != nil {
 		tmp.Close()
 		return err
 	}
 	// The rename made tmp the log; swap handles and retarget the refs.
+	// The snapshot is fully flushed and fsynced, so the stable watermark
+	// is its whole size; a seek failure wedges (position unknown) and
+	// rehabilitation re-seeks.
 	old := s.f
 	s.f = tmp
 	old.Close()
-	if _, err := s.f.Seek(0, io.SeekEnd); err != nil {
-		return err
-	}
-	s.w.Reset(s.f)
 	for _, m := range moves {
 		m.r.off, m.r.n, m.r.frame = m.off, m.n, m.frame
 		m.r.val = nil
 	}
 	s.size = size
+	s.stable = size
 	s.live = live
 	s.dead = 0
 	s.compactions++
+	if _, err := s.f.Seek(0, io.SeekEnd); err != nil {
+		s.wedgeLocked()
+		return err
+	}
+	s.w.Reset(s.f)
 	return nil
 }
 
