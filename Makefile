@@ -12,7 +12,10 @@
 # recompute pair) against BENCH_PR5.json,
 # bench-statsd gates the UDP telemetry plane (zero-allocation line
 # parser, per-datagram aggregate path, end-to-end loopback ingest)
-# against BENCH_PR6.json.
+# against BENCH_PR6.json,
+# bench-wire gates the negotiated serving codecs (binary wire frame vs
+# JSON for full-year series results, NDJSON job-result streaming, and
+# the encode/decode micro-benches behind them) against BENCH_PR8.json.
 # The docs target runs the documentation drift gate: route list in
 # docs/HTTP_API.md vs the daemon mux (cmd/docscheck), go vet, and an
 # examples build.
@@ -32,7 +35,9 @@ GATED_STORE_BENCHES = ^(BenchmarkStoreAppend|BenchmarkStoreGet|BenchmarkWarmStar
 
 GATED_STATSD_BENCHES = ^(BenchmarkParseLine|BenchmarkParsePacket|BenchmarkAggregatorAccumulate|BenchmarkUDPIngest)$$
 
-.PHONY: build test race bench bench-core bench-daemon bench-plan bench-store bench-statsd docs chaos
+GATED_WIRE_BENCHES = ^(BenchmarkDaemonAssessWire|BenchmarkDaemonAssessSeriesJSON|BenchmarkDaemonAssessSeriesWire|BenchmarkDaemonJobResultStream|BenchmarkWireEncodeResult|BenchmarkWireEncodeSeriesResult|BenchmarkJSONEncodeSeriesResult|BenchmarkWireDecodeSeriesResult)$$
+
+.PHONY: build test race bench bench-core bench-daemon bench-plan bench-store bench-statsd bench-wire docs chaos
 
 build:
 	go build ./...
@@ -43,7 +48,7 @@ test:
 race:
 	go test -race ./...
 
-bench: bench-core bench-daemon bench-plan bench-store bench-statsd
+bench: bench-core bench-daemon bench-plan bench-store bench-statsd bench-wire
 
 bench-core:
 	go test -run '^$$' -bench '$(GATED_BENCHES)' -benchmem -benchtime=500ms -count=1 . \
@@ -67,6 +72,12 @@ bench-store:
 bench-statsd:
 	go test -run '^$$' -bench '$(GATED_STATSD_BENCHES)' -benchmem -benchtime=500ms -count=1 ./internal/statsd \
 		| go run ./cmd/benchcheck -baseline BENCH_PR6.json
+
+# One invocation over both packages so benchcheck sees the daemon-level
+# negotiated paths and the wire micro-benches on a single stream.
+bench-wire:
+	go test -run '^$$' -bench '$(GATED_WIRE_BENCHES)' -benchmem -benchtime=500ms -count=1 ./cmd/thirstyflopsd ./internal/wire \
+		| go run ./cmd/benchcheck -baseline BENCH_PR8.json
 
 docs:
 	go vet ./...

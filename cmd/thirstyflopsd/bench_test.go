@@ -3,11 +3,13 @@ package main
 // Load benchmarks of the serving path itself — the ROADMAP's
 // "thirstyflopsd load benchmark" extension. They exercise the daemon
 // through real HTTP round trips (httptest server, keep-alive client,
-// parallel requesters) so the measured cost includes routing, JSON
-// codecs, and the Engine behind them. The numbers are recorded in
-// BENCH_PR3.json and gated by `make bench` via cmd/benchcheck.
+// parallel requesters) so the measured cost includes routing, the
+// negotiated codecs (JSON, binary wire, NDJSON streaming), and the
+// Engine behind them. The numbers are recorded in BENCH_PR3.json and
+// BENCH_PR8.json and gated by `make bench` via cmd/benchcheck.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -37,6 +39,12 @@ func benchServer(b *testing.B) (*httptest.Server, *thirstyflops.Engine) {
 }
 
 func do(b *testing.B, client *http.Client, method, url, body string) {
+	doAccept(b, client, method, url, "", body)
+}
+
+// doAccept is do with an explicit Accept header, for the negotiated
+// binary and streaming paths.
+func doAccept(b *testing.B, client *http.Client, method, url, accept, body string) {
 	var r io.Reader
 	if body != "" {
 		r = strings.NewReader(body)
@@ -44,6 +52,9 @@ func do(b *testing.B, client *http.Client, method, url, body string) {
 	req, err := http.NewRequest(method, url, r)
 	if err != nil {
 		b.Fatal(err)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
 	}
 	resp, err := client.Do(req)
 	if err != nil {
@@ -71,6 +82,55 @@ func BenchmarkDaemonAssess(b *testing.B) {
 	})
 }
 
+// BenchmarkDaemonAssessWire is the same cached /assess load served as
+// the binary wire frame instead of JSON.
+func BenchmarkDaemonAssessWire(b *testing.B) {
+	ts, _ := benchServer(b)
+	do(b, ts.Client(), http.MethodPost, ts.URL+"/assess", `{"system": "Frontier"}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := ts.Client()
+		for pb.Next() {
+			doAccept(b, client, http.MethodPost, ts.URL+"/assess", ctWire, `{"system": "Frontier"}`)
+		}
+	})
+}
+
+// seriesBody asks for the full-year hourly series — the payload the
+// binary codec exists for (~35KB of JSON numbers per column).
+const seriesBody = `{"system": "Frontier", "include_series": true}`
+
+// BenchmarkDaemonAssessSeriesJSON serves a cached full-year series
+// result as JSON: the baseline the wire ratio is measured against.
+func BenchmarkDaemonAssessSeriesJSON(b *testing.B) {
+	ts, _ := benchServer(b)
+	do(b, ts.Client(), http.MethodPost, ts.URL+"/assess", seriesBody)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := ts.Client()
+		for pb.Next() {
+			do(b, client, http.MethodPost, ts.URL+"/assess", seriesBody)
+		}
+	})
+}
+
+// BenchmarkDaemonAssessSeriesWire serves the identical series result as
+// a columnar wire frame.
+func BenchmarkDaemonAssessSeriesWire(b *testing.B) {
+	ts, _ := benchServer(b)
+	do(b, ts.Client(), http.MethodPost, ts.URL+"/assess", seriesBody)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := ts.Client()
+		for pb.Next() {
+			doAccept(b, client, http.MethodPost, ts.URL+"/assess", ctWire, seriesBody)
+		}
+	})
+}
+
 // BenchmarkDaemonAssessLive measures the observed-demand path: live
 // splice served from the epoch-keyed cache.
 func BenchmarkDaemonAssessLive(b *testing.B) {
@@ -90,6 +150,39 @@ func BenchmarkDaemonAssessLive(b *testing.B) {
 			do(b, client, http.MethodGet, url, "")
 		}
 	})
+}
+
+// BenchmarkDaemonJobResultStream streams a 10k-unit job result as
+// NDJSON per op: the chunked writer against a result set far past the
+// JSON page cap.
+func BenchmarkDaemonJobResultStream(b *testing.B) {
+	srv, err := newServer(thirstyflops.NewEngine(), jobsConfig{Retain: 4, Concurrency: 1, MaxUnits: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(srv.close)
+	ts := httptest.NewServer(srv.mux())
+	b.Cleanup(ts.Close)
+	const n = 10_000
+	job, err := srv.jobs.Submit(n, func(ctx context.Context, progress func(int)) ([]jobUnit, error) {
+		units := make([]jobUnit, n)
+		for i := range units {
+			units[i] = jobUnit{Index: i, Error: "synthetic"}
+		}
+		return units, nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	<-job.Done()
+	url := ts.URL + "/jobs/" + job.ID() + "/result"
+	client := ts.Client()
+	doAccept(b, client, http.MethodGet, url, ctNDJSON, "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doAccept(b, client, http.MethodGet, url, ctNDJSON, "")
+	}
 }
 
 // BenchmarkDaemonIngest measures NDJSON batch ingestion: one POST of 24

@@ -168,8 +168,9 @@ func runChaos(t *testing.T, p chaosParams) {
 
 	// checkAssess issues one assessment and, when it lands 200, holds it
 	// to the healthy baseline (invariant 2). Under chaos the other
-	// acceptable outcomes are 429 (shed), 500 (poisoned config), and 503
-	// (deadline) — never a transport error (invariant 1).
+	// acceptable outcomes are 429 (shed), 500 (poisoned config), 503
+	// (canceled), and 504 (deadline) — never a transport error
+	// (invariant 1).
 	checkAssess := func(client *http.Client, sys string, sd uint64) error {
 		url := fmt.Sprintf("%s/assess?system=%s&seed=%d", ts.URL, sys, sd)
 		resp, err := client.Get(url)
@@ -185,7 +186,7 @@ func runChaos(t *testing.T, p chaosParams) {
 				return fmt.Errorf("429 without Retry-After")
 			}
 			return nil
-		case http.StatusInternalServerError, http.StatusServiceUnavailable:
+		case http.StatusInternalServerError, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
 			io.Copy(io.Discard, resp.Body)
 			return nil
 		default:

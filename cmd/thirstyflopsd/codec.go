@@ -1,0 +1,267 @@
+package main
+
+// The daemon's encoding layer, split out of the handlers: every route
+// produces its response through the writers here, so content
+// negotiation, compact-vs-pretty JSON, and the binary/streaming codecs
+// live in exactly one place.
+//
+// Three response encodings are negotiated via the Accept header:
+//
+//   - application/json (default): compact by default; `?pretty=1`
+//     restores indented output for humans reading with curl.
+//   - application/x-thirstyflops-wire: the internal/wire binary frame,
+//     served for AssessResult payloads (POST/GET /assess). A pooled
+//     encoder keeps the hot path allocation-free.
+//   - application/x-ndjson: GET /jobs/{id}/result streamed one unit per
+//     line from the job's Page cursors, so a million-unit sweep is
+//     written chunk by chunk instead of materializing a page response.
+//
+// Errors are always compact application/json.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"thirstyflops"
+	"thirstyflops/internal/jobqueue"
+	"thirstyflops/internal/wire"
+)
+
+// Negotiable media types. ctWire is wire.MediaType re-exported so
+// handlers and docs reference one name.
+const (
+	ctJSON   = "application/json"
+	ctWire   = wire.MediaType
+	ctNDJSON = "application/x-ndjson"
+)
+
+// errorBody is the JSON error shape.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeJSON emits compact JSON — the request-independent writer used by
+// middleware and error paths. Handlers with a request in hand use
+// writeBody so `?pretty=1` works.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", ctJSON)
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("thirstyflopsd: write: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// wantPretty reports whether the request opted into indented JSON. The
+// no-query fast path skips url.Values allocation on the hot path.
+func wantPretty(r *http.Request) bool {
+	if r.URL.RawQuery == "" {
+		return false
+	}
+	return r.URL.Query().Get("pretty") == "1"
+}
+
+// writeBody emits a success payload as JSON: compact by default,
+// indented under `?pretty=1`.
+func writeBody(w http.ResponseWriter, r *http.Request, status int, v any) {
+	w.Header().Set("Content-Type", ctJSON)
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	if wantPretty(r) {
+		enc.SetIndent("", "  ")
+	}
+	if err := enc.Encode(v); err != nil {
+		log.Printf("thirstyflopsd: write: %v", err)
+	}
+}
+
+// acceptsMedia reports whether the Accept header lists want. The scan
+// allocates nothing: comma-separated entries are walked in place and
+// media-type parameters (";q=...") ignored.
+func acceptsMedia(header, want string) bool {
+	for header != "" {
+		var part string
+		if i := strings.IndexByte(header, ','); i >= 0 {
+			part, header = header[:i], header[i+1:]
+		} else {
+			part, header = header, ""
+		}
+		if i := strings.IndexByte(part, ';'); i >= 0 {
+			part = part[:i]
+		}
+		if strings.EqualFold(strings.TrimSpace(part), want) {
+			return true
+		}
+	}
+	return false
+}
+
+// writeResult emits one AssessResult under content negotiation: the
+// binary wire frame when the client accepts it, JSON otherwise. The
+// wire path encodes into a pooled buffer and sets Content-Length, so a
+// cached assessment is served without a single per-request allocation
+// in the encoder.
+func writeResult(w http.ResponseWriter, r *http.Request, res *thirstyflops.AssessResult) {
+	if !acceptsMedia(r.Header.Get("Accept"), ctWire) {
+		writeBody(w, r, http.StatusOK, res)
+		return
+	}
+	enc := wire.GetEncoder()
+	defer wire.PutEncoder(enc)
+	frame := enc.EncodeResult(res)
+	w.Header().Set("Content-Type", ctWire)
+	w.Header().Set("Content-Length", strconv.Itoa(len(frame)))
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(frame); err != nil {
+		log.Printf("thirstyflopsd: write: %v", err)
+	}
+}
+
+// streamChunk is the Page window the NDJSON writer advances by: large
+// enough to amortize flushes, small enough that the bytes buffered
+// between flushes stay constant regardless of how many units the job
+// holds.
+const streamChunk = 256
+
+// jobStreamHeader is the first NDJSON line of a streamed result set:
+// the job identity and cursor, before any unit.
+type jobStreamHeader struct {
+	ID     string          `json:"id"`
+	Status jobqueue.Status `json:"status"`
+	Error  string          `json:"error,omitempty"`
+	Total  int             `json:"total"`
+	Offset int             `json:"offset"`
+}
+
+// jobStreamTrailer is the final NDJSON line: how many units were
+// written and, when the limit stopped short of the stored results, the
+// cursor to resume from. A stream that ends without a trailer was
+// truncated (client cancel, write failure).
+type jobStreamTrailer struct {
+	Count      int  `json:"count"`
+	NextOffset *int `json:"next_offset,omitempty"`
+}
+
+// streamJobResult writes one terminal job's units as NDJSON, unit by
+// unit from Page cursors: header line, one line per unit, trailer line.
+// Peak memory is bounded by one streamChunk window (Page returns views
+// into the stored results; only one unit is ever marshaled at a time),
+// independent of the job's size. limit <= 0 streams everything from
+// offset on.
+func streamJobResult(w http.ResponseWriter, r *http.Request, job *jobqueue.Job[jobUnit], offset, limit int) {
+	snap := job.Snapshot()
+	w.Header().Set("Content-Type", ctNDJSON)
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(jobStreamHeader{
+		ID: snap.ID, Status: snap.Status, Error: snap.Error,
+		Total: snap.Total, Offset: offset,
+	}); err != nil {
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	flush()
+
+	cursor, count := offset, 0
+	for {
+		chunk := streamChunk
+		if limit > 0 && limit-count < chunk {
+			chunk = limit - count
+		}
+		if chunk == 0 {
+			break
+		}
+		page, ready := job.Page(cursor, chunk)
+		if !ready || len(page) == 0 {
+			break
+		}
+		for i := range page {
+			if r.Context().Err() != nil {
+				// Client gone: stop writing; no trailer marks the
+				// truncation.
+				return
+			}
+			if err := enc.Encode(&page[i]); err != nil {
+				return
+			}
+		}
+		cursor += len(page)
+		count += len(page)
+		flush()
+	}
+	trailer := jobStreamTrailer{Count: count}
+	if stored, _ := job.ResultLen(); cursor < stored && count > 0 {
+		trailer.NextOffset = &cursor
+	}
+	if err := enc.Encode(trailer); err != nil {
+		return
+	}
+	flush()
+}
+
+// decodeBody strictly parses a JSON request body; an empty body yields
+// the zero request so curl-without-payload works for defaultable calls.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	err := dec.Decode(v)
+	if err == nil || errors.Is(err, io.EOF) {
+		return nil
+	}
+	return fmt.Errorf("bad request body: %w", err)
+}
+
+// maxBodyBytes bounds the synchronous JSON routes (/assess, /sweep,
+// /water500): their requests are parameter documents, not payloads, so a
+// megabyte is already generous. /ingest and /jobs keep their own larger
+// bounds.
+const maxBodyBytes = 1 << 20
+
+// decodeBounded bounds the body at limit bytes before strict parsing and
+// maps the two failure shapes onto their statuses: overflow is 413
+// (split or shrink the request), everything else 400. The zero status
+// return means the decode succeeded.
+func decodeBounded(w http.ResponseWriter, r *http.Request, limit int64, v any) (int, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	if err := decodeBody(r, v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit)
+		}
+		return http.StatusBadRequest, err
+	}
+	return 0, nil
+}
+
+// statusFor maps an engine error onto an HTTP status. The two
+// context-shaped failures are told apart: a deadline expiry can only be
+// the server's own -request-timeout (a client disconnect surfaces as
+// context.Canceled), so it answers 504 — dashboards distinguish slow
+// assessments from shed load — while cancellation and a disabled
+// subsystem stay 503. Everything else is the client's request shape
+// (unknown system, invalid document, bad parameters): a 400.
+func statusFor(ctx context.Context, err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case ctx.Err() != nil || errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}

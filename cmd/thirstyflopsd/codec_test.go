@@ -1,0 +1,465 @@
+package main
+
+// Tests for the daemon's encoding layer (codec.go): content negotiation,
+// compact-vs-pretty JSON, the binary wire path, NDJSON job-result
+// streaming, and the serving-path regressions fixed alongside the split
+// (empty ingest batch, lost pagination cursor on failed jobs).
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"thirstyflops"
+	"thirstyflops/internal/jobqueue"
+	"thirstyflops/internal/wire"
+)
+
+func TestAcceptsMedia(t *testing.T) {
+	for _, tc := range []struct {
+		header string
+		want   bool
+	}{
+		{"", false},
+		{"application/json", false},
+		{"*/*", false},
+		{ctWire, true},
+		{"APPLICATION/X-THIRSTYFLOPS-WIRE", true},
+		{"application/json, " + ctWire, true},
+		{ctWire + ";q=0.9, application/json", true},
+		{" " + ctWire + " ", true},
+		{ctWire + "x", false},
+		{"application/x-ndjson", false},
+	} {
+		if got := acceptsMedia(tc.header, ctWire); got != tc.want {
+			t.Errorf("acceptsMedia(%q) = %v, want %v", tc.header, got, tc.want)
+		}
+	}
+	if !acceptsMedia("application/x-ndjson", ctNDJSON) {
+		t.Error("ndjson accept not recognized")
+	}
+}
+
+// TestIngestEmptyBatchAnswers400 is the regression test for the
+// empty-batch bug: a well-formed `[]` used to fall through the
+// Accepted==0 && Rejected==0 arm and (with no live stream configured the
+// right way) could misreport as a routing-shaped failure. It must be a
+// plain 400 naming the emptiness.
+func TestIngestEmptyBatchAnswers400(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/ingest", `[]`)
+	if resp.StatusCode == http.StatusNotFound {
+		t.Fatal("empty batch misreported as 404 (no live stream for system)")
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch status = %d, want 400", resp.StatusCode)
+	}
+	var body errorBody
+	decode(t, resp, &body)
+	if !strings.Contains(body.Error, "empty batch") {
+		t.Fatalf("error %q does not name the empty batch", body.Error)
+	}
+}
+
+// TestJSONCompactByDefault pins the wire format of every JSON success
+// body: compact unless the request opts into `?pretty=1`.
+func TestJSONCompactByDefault(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	read := func(url string) []byte {
+		t.Helper()
+		resp := postJSON(t, url, `{"system": "Frontier"}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+
+	compact := read(ts.URL + "/assess")
+	if bytes.Contains(compact, []byte("\n ")) || bytes.Count(compact, []byte("\n")) != 1 {
+		t.Fatalf("default body is not compact:\n%s", compact[:min(len(compact), 200)])
+	}
+	pretty := read(ts.URL + "/assess?pretty=1")
+	if !bytes.Contains(pretty, []byte("\n  \"")) {
+		t.Fatalf("?pretty=1 body is not indented:\n%s", pretty[:min(len(pretty), 200)])
+	}
+	// Both spellings decode to the same result.
+	var a, b thirstyflops.AssessResult
+	if err := json.Unmarshal(compact, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(pretty, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.System != b.System || a.OperationalL != b.OperationalL {
+		t.Error("compact and pretty bodies decode to different results")
+	}
+
+	// Errors stay compact JSON even under ?pretty=1.
+	resp := postJSON(t, ts.URL+"/assess?pretty=1", `{"system": "NoSuchMachine"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown system status = %d", resp.StatusCode)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	if bytes.Contains(raw, []byte("\n ")) {
+		t.Fatalf("error body is indented:\n%s", raw)
+	}
+}
+
+// postAccept posts a JSON body with an explicit Accept header.
+func postAccept(t *testing.T, url, accept, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", accept)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestAssessWireNegotiation serves the same assessment as JSON and as a
+// binary wire frame and requires them to decode to the identical result.
+func TestAssessWireNegotiation(t *testing.T) {
+	ts, _ := newTestServer(t)
+	body := `{"system": "Frontier", "scenarios": true, "withdrawal": true, "include_series": true}`
+
+	// Warm the cache so both responses carry Cached=true and compare
+	// bit-for-bit.
+	if resp := postJSON(t, ts.URL+"/assess", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warmup status = %d", resp.StatusCode)
+	}
+
+	wresp := postAccept(t, ts.URL+"/assess", ctWire, body)
+	if wresp.StatusCode != http.StatusOK {
+		t.Fatalf("wire status = %d", wresp.StatusCode)
+	}
+	if ct := wresp.Header.Get("Content-Type"); ct != ctWire {
+		t.Fatalf("wire Content-Type = %q", ct)
+	}
+	frame, err := io.ReadAll(wresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl := wresp.ContentLength; cl != int64(len(frame)) {
+		t.Fatalf("Content-Length %d != body %d", cl, len(frame))
+	}
+	fromWire, err := wire.DecodeResult(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jresp := postAccept(t, ts.URL+"/assess", "application/json", body)
+	var fromJSON thirstyflops.AssessResult
+	decode(t, jresp, &fromJSON)
+
+	if !fromWire.Cached || !fromJSON.Cached {
+		t.Fatalf("expected both cached: wire=%v json=%v", fromWire.Cached, fromJSON.Cached)
+	}
+	wj, err := json.Marshal(fromWire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jj, err := json.Marshal(&fromJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wj, jj) {
+		t.Errorf("wire and JSON paths served different results:\nwire: %.200s\njson: %.200s", wj, jj)
+	}
+	if fromWire.Series == nil || fromWire.Series.Len() == 0 {
+		t.Error("wire result lost the series")
+	}
+	if len(fromWire.Scenarios) != 5 {
+		t.Errorf("wire result scenarios = %d, want 5", len(fromWire.Scenarios))
+	}
+}
+
+// jobsServer builds a daemon whose job queue is reachable for direct
+// Submit, so tests can fabricate terminal jobs of any size without
+// paying for real assessments.
+func jobsServer(t *testing.T, retain int) (*httptest.Server, *server) {
+	t.Helper()
+	srv, err := newServer(thirstyflops.NewEngine(), jobsConfig{Retain: retain, Concurrency: 2, MaxUnits: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.close)
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+// fabricateJob submits a job that instantly finishes with n synthetic
+// units and the given error (nil = done, non-nil = failed), and waits
+// for it to turn terminal.
+func fabricateJob(t *testing.T, srv *server, n int, jobErr error) *jobqueue.Job[jobUnit] {
+	t.Helper()
+	job, err := srv.jobs.Submit(n, func(ctx context.Context, progress func(int)) ([]jobUnit, error) {
+		units := make([]jobUnit, 0, n)
+		for i := 0; i < n; i++ {
+			units = append(units, jobUnit{Index: i, Error: fmt.Sprintf("synthetic unit %d", i)})
+		}
+		if jobErr != nil {
+			// A failure partway: only the finished prefix is returned.
+			return units[:n-max(1, n/3)], jobErr
+		}
+		return units, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-job.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("fabricated job did not finish")
+	}
+	return job
+}
+
+// TestJobsFailedJobKeepsPagination is the regression test for the lost
+// cursor: a failed job's partial results must page with next_offset
+// exactly like a done job's, the chain bounded by the stored units.
+func TestJobsFailedJobKeepsPagination(t *testing.T) {
+	ts, srv := jobsServer(t, 4)
+	job := fabricateJob(t, srv, 8, errors.New("sweep aborted after 5 units"))
+	if s := job.Snapshot(); s.Status != jobqueue.StatusFailed {
+		t.Fatalf("status = %s, want failed", s.Status)
+	}
+
+	// 8 submitted units fail after 6: the stored prefix pages 2 at a
+	// time — offsets 0,2,4 with next_offset 2,4,nil.
+	var units []jobUnit
+	offset, pages := 0, 0
+	for {
+		resp := doMethod(t, http.MethodGet,
+			fmt.Sprintf("%s/jobs/%s/result?offset=%d&limit=2", ts.URL, job.ID(), offset))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("page at %d: status = %d", offset, resp.StatusCode)
+		}
+		var body jobResultBody
+		decode(t, resp, &body)
+		if body.Status != jobqueue.StatusFailed || body.Error == "" {
+			t.Fatalf("page at %d: %+v", offset, body)
+		}
+		units = append(units, body.Results...)
+		pages++
+		if body.NextOffset == nil {
+			break
+		}
+		if *body.NextOffset != offset+body.Count {
+			t.Fatalf("next_offset = %d after offset %d count %d", *body.NextOffset, offset, body.Count)
+		}
+		offset = *body.NextOffset
+	}
+	if pages != 3 || len(units) != 6 {
+		t.Fatalf("paged %d units over %d pages, want 6 over 3", len(units), pages)
+	}
+	for i, u := range units {
+		if u.Index != i {
+			t.Fatalf("unit %d has index %d: cursor skipped or repeated", i, u.Index)
+		}
+	}
+}
+
+// streamLines issues a streaming result request and returns the raw
+// NDJSON lines.
+func streamLines(t *testing.T, url string) []string {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", ctNDJSON)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != ctNDJSON {
+		t.Fatalf("stream Content-Type = %q", ct)
+	}
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+// TestJobResultStreamingEndToEnd exercises the NDJSON protocol: header
+// line, one line per unit, trailer line — including the resumable-cursor
+// trailer under an explicit limit, and limits past the page cap that the
+// JSON path would clamp.
+func TestJobResultStreamingEndToEnd(t *testing.T) {
+	ts, srv := jobsServer(t, 4)
+	const n = maxJobPageLimit + 500 // larger than any JSON page
+	job := fabricateJob(t, srv, n, nil)
+
+	lines := streamLines(t, ts.URL+"/jobs/"+job.ID()+"/result")
+	if len(lines) != n+2 {
+		t.Fatalf("streamed %d lines, want %d units + header + trailer", len(lines), n)
+	}
+	var head jobStreamHeader
+	if err := json.Unmarshal([]byte(lines[0]), &head); err != nil {
+		t.Fatal(err)
+	}
+	if head.ID != job.ID() || head.Status != jobqueue.StatusDone || head.Total != n || head.Offset != 0 {
+		t.Fatalf("header = %+v", head)
+	}
+	for i, line := range lines[1 : len(lines)-1] {
+		var u jobUnit
+		if err := json.Unmarshal([]byte(line), &u); err != nil {
+			t.Fatalf("unit line %d: %v", i, err)
+		}
+		if u.Index != i {
+			t.Fatalf("unit line %d has index %d", i, u.Index)
+		}
+	}
+	var tail jobStreamTrailer
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &tail); err != nil {
+		t.Fatal(err)
+	}
+	if tail.Count != n || tail.NextOffset != nil {
+		t.Fatalf("trailer = %+v", tail)
+	}
+
+	// A limited stream ends with a resume cursor…
+	lines = streamLines(t, ts.URL+"/jobs/"+job.ID()+"/result?offset=10&limit=20")
+	if len(lines) != 22 {
+		t.Fatalf("limited stream: %d lines, want 22", len(lines))
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &tail); err != nil {
+		t.Fatal(err)
+	}
+	if tail.Count != 20 || tail.NextOffset == nil || *tail.NextOffset != 30 {
+		t.Fatalf("limited trailer = %+v", tail)
+	}
+	// …and resuming from it reaches the end without a cursor.
+	lines = streamLines(t, fmt.Sprintf("%s/jobs/%s/result?offset=%d", ts.URL, job.ID(), *tail.NextOffset))
+	tail = jobStreamTrailer{}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &tail); err != nil {
+		t.Fatal(err)
+	}
+	if tail.Count != n-30 || tail.NextOffset != nil {
+		t.Fatalf("resumed trailer = %+v", tail)
+	}
+}
+
+// TestJobResultStreamClientCancel cancels a stream mid-read and verifies
+// the handler goroutine winds down instead of leaking: goroutines return
+// to (near) the pre-stream baseline.
+func TestJobResultStreamClientCancel(t *testing.T) {
+	ts, srv := jobsServer(t, 4)
+	job := fabricateJob(t, srv, 200_000, nil)
+
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/jobs/"+job.ID()+"/result", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", ctNDJSON)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read a handful of lines, then walk away mid-stream.
+	sc := bufio.NewScanner(resp.Body)
+	for i := 0; i < 5 && sc.Scan(); i++ {
+	}
+	cancel()
+	resp.Body.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.Gosched()
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines %d did not return to baseline %d after stream cancel",
+				runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// flushMeter is a ResponseWriter that records the most bytes ever
+// buffered between two flushes — the streaming writer's actual peak
+// memory demand.
+type flushMeter struct {
+	header     http.Header
+	sinceFlush int
+	peak       int
+	writes     int
+	flushes    int
+}
+
+func (m *flushMeter) Header() http.Header {
+	if m.header == nil {
+		m.header = make(http.Header)
+	}
+	return m.header
+}
+func (m *flushMeter) WriteHeader(int) {}
+func (m *flushMeter) Write(p []byte) (int, error) {
+	m.writes++
+	m.sinceFlush += len(p)
+	if m.sinceFlush > m.peak {
+		m.peak = m.sinceFlush
+	}
+	return len(p), nil
+}
+func (m *flushMeter) Flush() { m.flushes++; m.sinceFlush = 0 }
+
+// TestStreamingBuffersBounded drives streamJobResult directly at two job
+// sizes an order of magnitude apart and asserts the peak bytes buffered
+// between flushes does not grow with the job: the stream's memory
+// ceiling is the chunk, not the result set.
+func TestStreamingBuffersBounded(t *testing.T) {
+	_, srv := jobsServer(t, 4)
+	peak := func(n int) int {
+		job := fabricateJob(t, srv, n, nil)
+		m := &flushMeter{}
+		r := httptest.NewRequest(http.MethodGet, "/jobs/x/result", nil)
+		streamJobResult(m, r, job, 0, 0)
+		if m.flushes < n/streamChunk {
+			t.Fatalf("%d units: only %d flushes", n, m.flushes)
+		}
+		return m.peak
+	}
+	small, large := peak(300), peak(30_000)
+	if small == 0 || large == 0 {
+		t.Fatal("flush meter saw no writes")
+	}
+	if large > 2*small {
+		t.Fatalf("peak buffered bytes grew with job size: %d (300 units) -> %d (30000 units)", small, large)
+	}
+}

@@ -201,8 +201,10 @@ func TestRequestTimeoutReachesHandlers(t *testing.T) {
 
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/assess", nil))
-	if rec.Code != http.StatusServiceUnavailable {
-		t.Fatalf("expired request status = %d, want 503", rec.Code)
+	// The server's own -request-timeout expiring is a deadline, not a
+	// client disconnect: it must surface as 504, not 503.
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("expired request status = %d, want 504", rec.Code)
 	}
 	rec = httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))

@@ -227,16 +227,30 @@ func TestJobsCancelEndToEnd(t *testing.T) {
 		t.Fatalf("post-cancel status = %s", final.Status)
 	}
 	if final.Status == jobqueue.StatusCanceled {
-		// A canceled job keeps answering: results read as an empty,
-		// terminal set carrying the cancellation error.
-		resp := doMethod(t, http.MethodGet, ts.URL+"/jobs/"+snap.ID+"/result")
+		// A canceled job keeps answering: the partial result set is
+		// served — every submitted unit annotated, units cut short by
+		// the cancel carrying its context error — alongside the job's
+		// own cancellation error.
+		resp := doMethod(t, http.MethodGet, ts.URL+"/jobs/"+snap.ID+"/result?limit=300")
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("canceled result status = %d", resp.StatusCode)
 		}
 		var body jobResultBody
 		decode(t, resp, &body)
-		if body.Status != jobqueue.StatusCanceled || body.Count != 0 || body.Error == "" {
+		if body.Status != jobqueue.StatusCanceled || body.Error == "" {
 			t.Fatalf("canceled result = %+v", body)
+		}
+		if body.Count == 0 {
+			t.Fatal("canceled job served no partial results")
+		}
+		canceled := 0
+		for _, u := range body.Results {
+			if u.Error != "" {
+				canceled++
+			}
+		}
+		if canceled == 0 {
+			t.Fatalf("no unit carries the cancellation error (count=%d)", body.Count)
 		}
 	}
 }

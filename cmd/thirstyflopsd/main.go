@@ -1,7 +1,14 @@
 // Command thirstyflopsd serves ThirstyFLOPS water-footprint assessments
-// over HTTP JSON, directly on a shared cached Engine: repeated requests
+// over HTTP, directly on a shared cached Engine: repeated requests
 // for the same configuration are answered from the memo without
 // re-simulating the year.
+//
+// Responses are compact JSON by default (?pretty=1 indents) and
+// negotiate faster encodings via the Accept header: assessment results
+// serve as the internal/wire binary frame
+// (application/x-thirstyflops-wire) and job results stream as NDJSON
+// (application/x-ndjson) — see codec.go, the encoding layer every
+// handler writes through.
 //
 // Endpoints:
 //
@@ -40,11 +47,9 @@ import (
 	"context"
 	"crypto/subtle"
 	"encoding/gob"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"net/http"
 	"net/url"
@@ -67,9 +72,9 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		workers    = flag.Int("workers", 0, "assessment fan-out width (0 = GOMAXPROCS)")
-		cache      = flag.Int("cache", 256, "max memoized assessments (0 disables)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "assessment fan-out width (0 = GOMAXPROCS)")
+		cache       = flag.Int("cache", 256, "max memoized assessments (0 disables)")
 		liveWindow  = flag.Int("live-window", 336, "hours of live telemetry retained for source=live (0 disables /ingest)")
 		liveSystem  = flag.String("live-system", "", "system the live stream observes (empty accepts any)")
 		liveSystems = flag.String("live-systems", "", "comma-separated fleet systems, one pinned live stream each (multi-stream routing)")
@@ -423,60 +428,6 @@ func newMux(eng *thirstyflops.Engine) (http.Handler, error) {
 	return s.handler(hardenConfig{}), nil
 }
 
-// errorBody is the JSON error shape.
-type errorBody struct {
-	Error string `json:"error"`
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		log.Printf("thirstyflopsd: write: %v", err)
-	}
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
-}
-
-// decodeBody strictly parses a JSON request body; an empty body yields
-// the zero request so curl-without-payload works for defaultable calls.
-func decodeBody(r *http.Request, v any) error {
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	err := dec.Decode(v)
-	if err == nil || errors.Is(err, io.EOF) {
-		return nil
-	}
-	return fmt.Errorf("bad request body: %w", err)
-}
-
-// maxBodyBytes bounds the synchronous JSON routes (/assess, /sweep,
-// /water500): their requests are parameter documents, not payloads, so a
-// megabyte is already generous. /ingest and /jobs keep their own larger
-// bounds.
-const maxBodyBytes = 1 << 20
-
-// decodeBounded bounds the body at limit bytes before strict parsing and
-// maps the two failure shapes onto their statuses: overflow is 413
-// (split or shrink the request), everything else 400. The zero status
-// return means the decode succeeded.
-func decodeBounded(w http.ResponseWriter, r *http.Request, limit int64, v any) (int, error) {
-	r.Body = http.MaxBytesReader(w, r.Body, limit)
-	if err := decodeBody(r, v); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			return http.StatusRequestEntityTooLarge,
-				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit)
-		}
-		return http.StatusBadRequest, err
-	}
-	return 0, nil
-}
-
 func (s *server) handleAssess(w http.ResponseWriter, r *http.Request) {
 	var req thirstyflops.AssessRequest
 	switch r.Method {
@@ -510,7 +461,9 @@ func (s *server) handleAssess(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(r.Context(), err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, res)
+	// The one negotiated route: binary wire frames for clients that
+	// accept them, JSON otherwise (codec.go).
+	writeResult(w, r, res)
 }
 
 // seedYearOverrides applies the seed/year query parameters shared by the
@@ -597,6 +550,15 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
+	if len(samples) == 0 {
+		// A well-formed empty array decodes to zero samples. Guarding
+		// here keeps the zero-sample batch out of the status switch
+		// below, whose routing-miss case (Accepted == 0 && noStream ==
+		// Rejected) holds vacuously at len(samples) == 0 and would
+		// misreport the batch as a 404.
+		writeError(w, http.StatusBadRequest, errors.New("empty batch: no samples to ingest"))
+		return
+	}
 	// Route sample-by-sample so the response can attribute acceptance to
 	// each stream: clients verify multi-stream routing from Systems.
 	body := ingestBody{}
@@ -634,7 +596,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// Nothing landed: the whole batch was unusable.
 		status = http.StatusUnprocessableEntity
 	}
-	writeJSON(w, status, body)
+	writeBody(w, r, status, body)
 }
 
 // appendError folds one per-sample error into the bounded echo list.
@@ -671,7 +633,7 @@ func (s *server) handleLivez(w http.ResponseWriter, r *http.Request) {
 		st := s.udp.Stats()
 		body.UDP = &st
 	}
-	writeJSON(w, http.StatusOK, body)
+	writeBody(w, r, http.StatusOK, body)
 }
 
 func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -689,7 +651,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(r.Context(), err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, res)
+	writeBody(w, r, http.StatusOK, res)
 }
 
 func (s *server) handleWater500(w http.ResponseWriter, r *http.Request) {
@@ -715,7 +677,7 @@ func (s *server) handleWater500(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(r.Context(), err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, res)
+	writeBody(w, r, http.StatusOK, res)
 }
 
 // requireJobs resolves the job queue or answers 503.
@@ -779,7 +741,11 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			progress(int(done.Add(1)))
 		})
 		if err := ctx.Err(); err != nil {
-			return nil, context.Cause(ctx)
+			// Partial results survive cancellation and timeout: every
+			// unit slot is annotated (AssessBatch reports unstarted
+			// units with the context error), so clients page whatever
+			// completed before the cancel landed.
+			return units, context.Cause(ctx)
 		}
 		return units, nil
 	})
@@ -788,7 +754,7 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Location", "/jobs/"+job.ID())
-	writeJSON(w, http.StatusAccepted, job.Snapshot())
+	writeBody(w, r, http.StatusAccepted, job.Snapshot())
 }
 
 func (s *server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
@@ -801,7 +767,7 @@ func (s *server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, errors.New("no such job (completed jobs are evicted least-recently-polled first)"))
 		return
 	}
-	writeJSON(w, http.StatusOK, job.Snapshot())
+	writeBody(w, r, http.StatusOK, job.Snapshot())
 }
 
 // jobResultBody is the GET /jobs/{id}/result response: one page of the
@@ -828,8 +794,15 @@ func (s *server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, errors.New("no such job (completed jobs are evicted least-recently-polled first)"))
 		return
 	}
+	// NDJSON streaming sidesteps page-size limits entirely: units are
+	// written one by one from Page cursors (codec.go), so a missing
+	// limit streams the whole result set in constant memory.
+	stream := acceptsMedia(r.Header.Get("Accept"), ctNDJSON)
 	qs := r.URL.Query()
 	offset, limit := 0, defaultJobPageLimit
+	if stream {
+		limit = 0
+	}
 	if v := qs.Get("offset"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
@@ -844,7 +817,10 @@ func (s *server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
 			return
 		}
-		limit = min(n, maxJobPageLimit)
+		limit = n
+		if !stream {
+			limit = min(n, maxJobPageLimit)
+		}
 	}
 	page, ready := job.Page(offset, limit)
 	if !ready {
@@ -853,7 +829,12 @@ func (s *server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("job is %s (%d/%d); results are served once it finishes", snap.Status, snap.Completed, snap.Total))
 		return
 	}
+	if stream {
+		streamJobResult(w, r, job, offset, limit)
+		return
+	}
 	snap := job.Snapshot()
+	stored, _ := job.ResultLen()
 	body := jobResultBody{
 		ID:      snap.ID,
 		Status:  snap.Status,
@@ -863,10 +844,13 @@ func (s *server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		Count:   len(page),
 		Results: page,
 	}
-	if next := offset + len(page); len(page) > 0 && next < snap.Total && snap.Status == jobqueue.StatusDone {
+	// The cursor advances through every terminal status: failed and
+	// canceled jobs page their partial results too, so the chain is
+	// bounded by the units actually stored, not the submitted total.
+	if next := offset + len(page); len(page) > 0 && next < stored {
 		body.NextOffset = &next
 	}
-	writeJSON(w, http.StatusOK, body)
+	writeBody(w, r, http.StatusOK, body)
 }
 
 func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
@@ -881,7 +865,7 @@ func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	// Cancellation is asynchronous: the job reaches "canceled" once its
 	// workers observe the context.
-	writeJSON(w, http.StatusAccepted, job.Snapshot())
+	writeBody(w, r, http.StatusAccepted, job.Snapshot())
 }
 
 // jobsHealth summarizes the queue for /healthz. Durable is the number of
@@ -968,16 +952,5 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			body.Jobs.Durable = &n
 		}
 	}
-	writeJSON(w, http.StatusOK, body)
-}
-
-// statusFor maps an engine error onto an HTTP status: cancellation
-// surfaces as client-closed-request-ish 503, everything else is the
-// client's request shape (unknown system, invalid document, bad
-// parameters) — a 400.
-func statusFor(ctx context.Context, err error) int {
-	if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		return http.StatusServiceUnavailable
-	}
-	return http.StatusBadRequest
+	writeBody(w, r, http.StatusOK, body)
 }

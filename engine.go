@@ -739,7 +739,11 @@ func (r AssessRequest) resolveConfig() (Config, error) {
 	return cfg, nil
 }
 
-// AssessResult is the JSON-serializable outcome of one assessment.
+// AssessResult is the JSON-serializable outcome of one assessment. It
+// is also the payload of the internal/wire binary frame (schema 1),
+// which encodes these fields in declaration order: adding, removing, or
+// reordering fields here requires a matching wire codec change and a
+// schema bump (wire's TestSchemaPinsResultShape pins the field list).
 type AssessResult struct {
 	System string  `json:"system"`
 	Site   string  `json:"site"`

@@ -126,6 +126,8 @@ func (j *Job[R]) Snapshot() Snapshot {
 // Page returns one window of the result set once the job is terminal.
 // The second return is false while the job is still queued or running.
 // offset past the end yields an empty page; limit <= 0 means no limit.
+// Failed and canceled jobs page whatever partial results their RunFunc
+// returned alongside the error.
 func (j *Job[R]) Page(offset, limit int) ([]R, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -145,6 +147,19 @@ func (j *Job[R]) Page(offset, limit int) ([]R, bool) {
 	return j.results[offset:end], true
 }
 
+// ResultLen is the number of result units a terminal job holds: Total
+// for a job that ran to completion, possibly fewer for one that failed
+// or was canceled partway. The second return is false while the job is
+// still queued or running.
+func (j *Job[R]) ResultLen() (int, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.status.Terminal() {
+		return 0, false
+	}
+	return len(j.results), true
+}
+
 // setRunning transitions queued -> running.
 func (j *Job[R]) setRunning() {
 	j.mu.Lock()
@@ -153,13 +168,16 @@ func (j *Job[R]) setRunning() {
 	j.started = time.Now()
 }
 
-// finish publishes the terminal state exactly once.
+// finish publishes the terminal state exactly once. Results are kept in
+// every terminal state: a failed or canceled job retains whatever
+// partial results its RunFunc returned with the error, so clients can
+// page the work that did complete.
 func (j *Job[R]) finish(results []R, err error) {
 	j.mu.Lock()
+	j.results = results
 	switch {
 	case err == nil:
 		j.status = StatusDone
-		j.results = results
 		j.completed = j.total
 	case errors.Is(err, context.Canceled):
 		j.status = StatusCanceled
@@ -204,7 +222,7 @@ type Persister[R any] interface {
 type Option[R any] func(*Queue[R])
 
 // WithPersister attaches durable job state: terminal jobs (done or
-// failed — a canceled job has no results worth restarting for) are saved
+// failed — a canceled job's partial results stay memory-only) are saved
 // through p, New replays the saved set into the retention LRU, and
 // eviction deletes the saved copy.
 func WithPersister[R any](p Persister[R]) Option[R] {

@@ -175,6 +175,63 @@ func TestEvictionCancelsRunningJob(t *testing.T) {
 	}
 }
 
+func TestTerminalJobsRetainPartialResults(t *testing.T) {
+	// Failed and canceled jobs keep whatever results their RunFunc
+	// returned alongside the error: a 5000-unit sweep that dies at unit
+	// 4999 still serves the 4999 finished units.
+	t.Run("failed", func(t *testing.T) {
+		q := New[int](4, 1)
+		defer q.Close()
+		j, _ := q.Submit(5, func(ctx context.Context, progress func(int)) ([]int, error) {
+			return []int{1, 2, 3}, errors.New("sweep aborted after 3 units")
+		})
+		if s := wait(t, j); s.Status != StatusFailed {
+			t.Fatalf("status = %s, want failed", s.Status)
+		}
+		if n, terminal := j.ResultLen(); !terminal || n != 3 {
+			t.Fatalf("ResultLen = (%d, %v), want (3, true)", n, terminal)
+		}
+		page, ok := j.Page(1, 10)
+		if !ok || len(page) != 2 || page[0] != 2 || page[1] != 3 {
+			t.Fatalf("Page(1,10) = (%v, %v)", page, ok)
+		}
+	})
+	t.Run("canceled", func(t *testing.T) {
+		q := New[int](4, 1)
+		defer q.Close()
+		started := make(chan struct{})
+		j, _ := q.Submit(3, func(ctx context.Context, progress func(int)) ([]int, error) {
+			close(started)
+			<-ctx.Done()
+			return []int{7}, ctx.Err()
+		})
+		<-started
+		q.Cancel(j.ID())
+		if s := wait(t, j); s.Status != StatusCanceled {
+			t.Fatalf("status = %s, want canceled", s.Status)
+		}
+		if n, terminal := j.ResultLen(); !terminal || n != 1 {
+			t.Fatalf("ResultLen = (%d, %v), want (1, true)", n, terminal)
+		}
+		if page, ok := j.Page(0, 0); !ok || len(page) != 1 || page[0] != 7 {
+			t.Fatalf("Page(0,0) = (%v, %v)", page, ok)
+		}
+	})
+	// ResultLen is unavailable while the job runs.
+	q := New[int](4, 1)
+	defer q.Close()
+	release := make(chan struct{})
+	j, _ := q.Submit(1, func(ctx context.Context, progress func(int)) ([]int, error) {
+		<-release
+		return []int{1}, nil
+	})
+	if _, terminal := j.ResultLen(); terminal {
+		t.Fatal("ResultLen reported terminal for a running job")
+	}
+	close(release)
+	wait(t, j)
+}
+
 func TestFailedJobReportsError(t *testing.T) {
 	q := New[int](4, 1)
 	defer q.Close()

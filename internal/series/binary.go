@@ -1,0 +1,96 @@
+package series
+
+// Columnar binary codec for Series, the payload section behind the
+// daemon's application/x-thirstyflops-wire frames (internal/wire). The
+// four channels are laid out as contiguous columns of little-endian
+// IEEE-754 bits rather than row-interleaved structs: one uvarint hour
+// count amortizes over the whole timeline, each column encodes in a
+// tight fixed-stride loop, and every float round-trips bit-exactly
+// (math.Float64bits, no text formatting). A full 8760-hour year is
+// 9 + 4*8760*8 = ~280 KB against ~1 MB of compact JSON.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"thirstyflops/internal/units"
+)
+
+// BinarySize returns the exact encoded size of the series in bytes:
+// the PUE, the uvarint hour count, and four 8-byte columns per hour.
+func (s Series) BinarySize() int {
+	var n [binary.MaxVarintLen64]byte
+	return 8 + binary.PutUvarint(n[:], uint64(s.Len())) + 4*8*s.Len()
+}
+
+// AppendBinary appends the series' columnar form to dst and returns the
+// extended slice: float64 PUE bits (little endian), uvarint hour count,
+// then the energy, WUE, EWF, and carbon channels as whole columns of
+// little-endian float64 bits. The encoding is bit-exact and
+// allocation-free once dst has capacity.
+func (s Series) AppendBinary(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(float64(s.PUE)))
+	dst = binary.AppendUvarint(dst, uint64(s.Len()))
+	for _, v := range s.Energy {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(float64(v)))
+	}
+	for _, v := range s.WUE {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(float64(v)))
+	}
+	for _, v := range s.EWF {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(float64(v)))
+	}
+	for _, v := range s.Carbon {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(float64(v)))
+	}
+	return dst
+}
+
+// DecodeBinary parses a series encoded by AppendBinary from the front of
+// data, returning the series and the number of bytes consumed. It never
+// panics on corrupt input: truncated frames, implausible hour counts
+// (the count is validated against the bytes actually present before any
+// column allocates), and unphysical PUEs are errors.
+func DecodeBinary(data []byte) (Series, int, error) {
+	if len(data) < 8 {
+		return Series{}, 0, fmt.Errorf("series: truncated binary header")
+	}
+	pue := math.Float64frombits(binary.LittleEndian.Uint64(data))
+	off := 8
+	n, k := binary.Uvarint(data[off:])
+	if k <= 0 {
+		return Series{}, 0, fmt.Errorf("series: bad binary hour count")
+	}
+	off += k
+	if n > uint64(len(data)-off)/32 {
+		return Series{}, 0, fmt.Errorf("series: binary claims %d hours, only %d bytes follow", n, len(data)-off)
+	}
+	s := Series{
+		PUE:    units.PUE(pue),
+		Energy: make([]units.KWh, n),
+		WUE:    make([]units.LPerKWh, n),
+		EWF:    make([]units.LPerKWh, n),
+		Carbon: make([]units.GCO2PerKWh, n),
+	}
+	for i := range s.Energy {
+		s.Energy[i] = units.KWh(math.Float64frombits(binary.LittleEndian.Uint64(data[off:])))
+		off += 8
+	}
+	for i := range s.WUE {
+		s.WUE[i] = units.LPerKWh(math.Float64frombits(binary.LittleEndian.Uint64(data[off:])))
+		off += 8
+	}
+	for i := range s.EWF {
+		s.EWF[i] = units.LPerKWh(math.Float64frombits(binary.LittleEndian.Uint64(data[off:])))
+		off += 8
+	}
+	for i := range s.Carbon {
+		s.Carbon[i] = units.GCO2PerKWh(math.Float64frombits(binary.LittleEndian.Uint64(data[off:])))
+		off += 8
+	}
+	if err := s.Validate(); err != nil {
+		return Series{}, 0, err
+	}
+	return s, off, nil
+}

@@ -1,0 +1,74 @@
+package series
+
+import (
+	"math"
+	"testing"
+
+	"thirstyflops/internal/units"
+)
+
+// binFixture builds a small series with awkward float values (subnormal,
+// negative zero, max finite) so the codec's bit-exactness is exercised
+// beyond round numbers.
+func binFixture(t *testing.T) Series {
+	t.Helper()
+	s, err := From(1.3,
+		[]units.KWh{1.5, math.SmallestNonzeroFloat64, 2.1e7},
+		[]units.LPerKWh{0.25, units.LPerKWh(math.Copysign(0, -1)), 3.9},
+		[]units.LPerKWh{4.4, 1e-300, math.MaxFloat64},
+		[]units.GCO2PerKWh{350, 0.125, 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBinaryRoundTripBitExact(t *testing.T) {
+	s := binFixture(t)
+	buf := s.AppendBinary(nil)
+	if len(buf) != s.BinarySize() {
+		t.Fatalf("encoded %d bytes, BinarySize says %d", len(buf), s.BinarySize())
+	}
+	back, n, err := DecodeBinary(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if !s.Equal(back) {
+		t.Fatalf("round trip diverged:\n in: %+v\nout: %+v", s, back)
+	}
+	// Equal uses ==, which treats -0 and +0 alike; the codec promises
+	// bit identity, so compare the awkward bits directly.
+	if math.Float64bits(float64(back.WUE[1])) != math.Float64bits(math.Copysign(0, -1)) {
+		t.Fatalf("-0 did not survive: %x", math.Float64bits(float64(back.WUE[1])))
+	}
+
+	// A decoder reading from a longer buffer consumes exactly one
+	// series and reports where it stopped.
+	back2, n2, err := DecodeBinary(append(buf, 0xAA, 0xBB))
+	if err != nil || n2 != len(buf) || !s.Equal(back2) {
+		t.Fatalf("decode with trailing bytes: n=%d err=%v", n2, err)
+	}
+}
+
+func TestDecodeBinaryRejectsCorruptInput(t *testing.T) {
+	buf := binFixture(t).AppendBinary(nil)
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short header", buf[:5]},
+		{"truncated columns", buf[:len(buf)-7]},
+		{"hour count overruns data", append(append([]byte(nil), buf[:8]...), 0xff, 0xff, 0xff, 0xff, 0x7f)},
+		{"unphysical pue", append(make([]byte, 8), buf[8:]...)}, // PUE bits zeroed -> 0 < 1
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := DecodeBinary(tc.data); err == nil {
+				t.Fatal("corrupt series decoded without error")
+			}
+		})
+	}
+}

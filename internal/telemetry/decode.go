@@ -21,6 +21,8 @@ import (
 // but deliberately syntactic: samples are returned undecoded-only, and
 // Stream.Ingest applies the physical validation (finite, non-negative
 // power inside the year) so rejection counts are observable per sample.
+// A well-formed empty array (`[]`) decodes to zero samples and no
+// error — emptiness is the caller's policy call, not a parse failure.
 // maxSamples bounds the decoded batch; 0 means the DefaultMaxBatch
 // limit. Callers feeding untrusted bodies should also bound the byte
 // stream itself (the daemon wraps http.MaxBytesReader), since a single
@@ -60,9 +62,10 @@ func DecodeSamples(r io.Reader, maxSamples int) ([]Sample, error) {
 		if _, err := dec.Token(); !errors.Is(err, io.EOF) {
 			return nil, fmt.Errorf("telemetry: trailing content after ingest array")
 		}
-		if len(out) == 0 {
-			return nil, fmt.Errorf("telemetry: ingest array holds no samples")
-		}
+		// A well-formed empty array is a syntactically valid batch of
+		// zero samples, not a decode failure: the caller decides whether
+		// an empty batch is acceptable (the daemon answers 400, but a
+		// batching client flushing an empty buffer is not malformed).
 		return out, nil
 	}
 

@@ -74,7 +74,6 @@ func TestDecodeSamplesErrors(t *testing.T) {
 		{"malformed json", `{"hour":`},
 		{"trailing garbage after object", `{"hour":0,"power_w":1} nonsense`},
 		{"trailing garbage after array", `[{"hour":0,"power_w":1}] extra`},
-		{"empty array", `[]`},
 		{"array of numbers", `[1,2,3]`},
 		{"object field type mismatch", `{"hour":"zero","power_w":1}`},
 	} {
@@ -83,6 +82,21 @@ func TestDecodeSamplesErrors(t *testing.T) {
 				t.Fatalf("accepted %q as %+v", tc.body, got)
 			}
 		})
+	}
+}
+
+func TestDecodeSamplesEmptyArray(t *testing.T) {
+	// `[]` is a syntactically valid batch of zero samples — the decoder
+	// leaves the empty-batch policy to the caller (the daemon's /ingest
+	// answers 400; see cmd/thirstyflopsd).
+	for _, body := range []string{`[]`, " \n\t[ ]\n"} {
+		got, err := DecodeSamples(strings.NewReader(body), 0)
+		if err != nil {
+			t.Errorf("DecodeSamples(%q) = %v, want nil error", body, err)
+		}
+		if len(got) != 0 {
+			t.Errorf("DecodeSamples(%q) = %+v, want zero samples", body, got)
+		}
 	}
 }
 

@@ -1,0 +1,41 @@
+package wire
+
+import (
+	"testing"
+
+	"thirstyflops"
+)
+
+// FuzzWireDecode hardens the frame decoder: arbitrary bytes must never
+// panic or over-allocate, and any frame that does decode must survive a
+// re-encode/decode cycle without error (the codec cannot emit frames it
+// cannot read).
+func FuzzWireDecode(f *testing.F) {
+	eng := thirstyflops.NewEngine()
+	res, err := eng.Assess(f.Context(), thirstyflops.AssessRequest{
+		System: "Frontier", Scenarios: true, Withdrawal: true,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := EncodeResult(res)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(append(append([]byte(nil), valid...), 0xff))
+	f.Add([]byte("TFW"))
+	f.Add([]byte{'T', 'F', 'W', Schema, 0xff, 0xff, 0xff, 0x7f})
+	f.Add([]byte{'T', 'F', 'W', Schema, 0, 0, 0, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := DecodeResult(data)
+		if err != nil {
+			return
+		}
+		// A successfully decoded frame re-encodes and re-decodes
+		// cleanly. Byte identity is not required (non-canonical varints
+		// legally shorten), but the re-encoded frame must parse.
+		if _, err := DecodeResult(EncodeResult(decoded)); err != nil {
+			t.Fatalf("re-encoded frame fails to decode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,343 @@
+package wire
+
+// AssessResult payload layout (Schema 1). Field order is fixed; see the
+// schema note on thirstyflops.AssessResult.
+//
+//	flags        1 byte (section presence + booleans)
+//	system       string (uvarint length + bytes; all strings likewise)
+//	site         string
+//	region       string
+//	source       string
+//	seed         uint64 LE
+//	year         varint (zigzag)
+//	years        float64
+//	metrics      10 x float64 (energy, direct, indirect, operational,
+//	             direct share, carbon, water intensity, adjusted
+//	             intensity, embodied, lifetime total)
+//	shares       uvarint count, then (string key, float64) pairs in
+//	             ascending key order
+//	scenarios    [flagScenarios] uvarint count, then per scenario:
+//	             system string, varint scenario id, 4 x float64
+//	withdrawal   [flagWithdrawal] 5 x float64
+//	series       [flagSeries] series.AppendBinary columns
+//	live         [flagLive] system string, uint64 epoch,
+//	             3 x varint window, uint64 samples
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"slices"
+
+	"thirstyflops"
+	"thirstyflops/internal/energy"
+	"thirstyflops/internal/series"
+	"thirstyflops/internal/units"
+)
+
+// Flag bits of the payload's leading byte.
+const (
+	flagScenarios = 1 << iota
+	flagWithdrawal
+	flagSeries
+	flagLive
+	flagCached
+
+	knownFlags = flagScenarios | flagWithdrawal | flagSeries | flagLive | flagCached
+)
+
+// EncodeResult frames res and returns the encoded bytes. The returned
+// slice aliases the encoder's retained buffer: it is valid until the
+// next EncodeResult call or PutEncoder. The hot path is allocation-free
+// once the buffer has grown to the working frame size.
+func (e *Encoder) EncodeResult(res *thirstyflops.AssessResult) []byte {
+	e.start()
+	var flags byte
+	if len(res.Scenarios) > 0 {
+		flags |= flagScenarios
+	}
+	if res.Withdrawal != nil {
+		flags |= flagWithdrawal
+	}
+	if res.Series != nil {
+		flags |= flagSeries
+	}
+	if res.Live != nil {
+		flags |= flagLive
+	}
+	if res.Cached {
+		flags |= flagCached
+	}
+	b := append(e.buf, flags)
+	b = appendString(b, res.System)
+	b = appendString(b, res.Site)
+	b = appendString(b, res.Region)
+	b = appendString(b, res.Source)
+	b = binary.LittleEndian.AppendUint64(b, res.Seed)
+	b = binary.AppendVarint(b, int64(res.Year))
+	b = appendF64(b, res.Years)
+	b = appendF64(b, res.EnergyKWh)
+	b = appendF64(b, res.DirectL)
+	b = appendF64(b, res.IndirectL)
+	b = appendF64(b, res.OperationalL)
+	b = appendF64(b, res.DirectShare)
+	b = appendF64(b, res.CarbonKg)
+	b = appendF64(b, res.WaterIntensity)
+	b = appendF64(b, res.AdjustedIntensity)
+	b = appendF64(b, res.EmbodiedL)
+	b = appendF64(b, res.LifetimeTotalL)
+
+	e.keys = e.keys[:0]
+	for k := range res.EmbodiedShares {
+		e.keys = append(e.keys, k)
+	}
+	slices.Sort(e.keys)
+	b = binary.AppendUvarint(b, uint64(len(e.keys)))
+	for _, k := range e.keys {
+		b = appendString(b, k)
+		b = appendF64(b, res.EmbodiedShares[k])
+	}
+
+	if flags&flagScenarios != 0 {
+		b = binary.AppendUvarint(b, uint64(len(res.Scenarios)))
+		for i := range res.Scenarios {
+			sc := &res.Scenarios[i]
+			b = appendString(b, sc.System)
+			b = binary.AppendVarint(b, int64(sc.Scenario))
+			b = appendF64(b, float64(sc.Water))
+			b = appendF64(b, float64(sc.Carbon))
+			b = appendF64(b, sc.WaterSavingPct)
+			b = appendF64(b, sc.CarbonSavingPct)
+		}
+	}
+	if flags&flagWithdrawal != 0 {
+		wd := res.Withdrawal
+		b = appendF64(b, float64(wd.Consumption))
+		b = appendF64(b, float64(wd.AdjustedDischarge))
+		b = appendF64(b, float64(wd.Reuse))
+		b = appendF64(b, float64(wd.Gross))
+		b = appendF64(b, float64(wd.ScarcityWeighted))
+	}
+	if flags&flagSeries != 0 {
+		b = res.Series.AppendBinary(b)
+	}
+	if flags&flagLive != 0 {
+		lv := res.Live
+		b = appendString(b, lv.System)
+		b = binary.LittleEndian.AppendUint64(b, lv.Epoch)
+		b = binary.AppendVarint(b, int64(lv.WindowLo))
+		b = binary.AppendVarint(b, int64(lv.WindowHi))
+		b = binary.AppendVarint(b, int64(lv.HoursObserved))
+		b = binary.LittleEndian.AppendUint64(b, lv.Samples)
+	}
+	e.buf = b
+	return e.finish()
+}
+
+// EncodeResult frames res into a freshly allocated byte slice — the
+// convenience form for clients and tests; the daemon's hot path holds a
+// pooled Encoder instead.
+func EncodeResult(res *thirstyflops.AssessResult) []byte {
+	e := GetEncoder()
+	defer PutEncoder(e)
+	return slices.Clone(e.EncodeResult(res))
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// Minimum encoded sizes, used to validate claimed element counts
+// against the bytes actually remaining before allocating.
+const (
+	minShareBytes    = 1 + 8       // empty key + value
+	minScenarioBytes = 1 + 1 + 4*8 // empty system + id + 4 floats
+)
+
+// DecodeResult parses one frame produced by EncodeResult. Corrupt or
+// truncated frames return errors, never panic, and allocation is
+// bounded by the frame size (claimed counts are checked against the
+// remaining bytes first).
+func DecodeResult(frame []byte) (*thirstyflops.AssessResult, error) {
+	payload, err := payloadOf(frame)
+	if err != nil {
+		return nil, err
+	}
+	r := &reader{data: payload}
+	flags := r.u8()
+	if flags&^byte(knownFlags) != 0 {
+		return nil, fmt.Errorf("wire: unknown flag bits %#x", flags&^byte(knownFlags))
+	}
+	res := &thirstyflops.AssessResult{
+		System:            r.str(),
+		Site:              r.str(),
+		Region:            r.str(),
+		Source:            r.str(),
+		Seed:              r.u64(),
+		Year:              int(r.varint()),
+		Years:             r.f64(),
+		EnergyKWh:         r.f64(),
+		DirectL:           r.f64(),
+		IndirectL:         r.f64(),
+		OperationalL:      r.f64(),
+		DirectShare:       r.f64(),
+		CarbonKg:          r.f64(),
+		WaterIntensity:    r.f64(),
+		AdjustedIntensity: r.f64(),
+		EmbodiedL:         r.f64(),
+		LifetimeTotalL:    r.f64(),
+		Cached:            flags&flagCached != 0,
+	}
+	if n := r.count(minShareBytes); n > 0 {
+		res.EmbodiedShares = make(map[string]float64, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			k := r.str()
+			res.EmbodiedShares[k] = r.f64()
+		}
+	}
+	if flags&flagScenarios != 0 {
+		n := r.count(minScenarioBytes)
+		if n > 0 {
+			res.Scenarios = make([]thirstyflops.ScenarioResult, n)
+			for i := 0; i < n && r.err == nil; i++ {
+				sc := &res.Scenarios[i]
+				sc.System = r.str()
+				sc.Scenario = energy.Scenario(r.varint())
+				sc.Water = units.Liters(r.f64())
+				sc.Carbon = units.GramsCO2(r.f64())
+				sc.WaterSavingPct = r.f64()
+				sc.CarbonSavingPct = r.f64()
+			}
+		}
+	}
+	if flags&flagWithdrawal != 0 {
+		res.Withdrawal = &thirstyflops.Withdrawal{
+			Consumption:       units.Liters(r.f64()),
+			AdjustedDischarge: units.Liters(r.f64()),
+			Reuse:             units.Liters(r.f64()),
+			Gross:             units.Liters(r.f64()),
+			ScarcityWeighted:  units.Liters(r.f64()),
+		}
+	}
+	if flags&flagSeries != 0 && r.err == nil {
+		s, n, err := series.DecodeBinary(r.data)
+		if err != nil {
+			return nil, err
+		}
+		r.data = r.data[n:]
+		res.Series = &s
+	}
+	if flags&flagLive != 0 {
+		res.Live = &thirstyflops.LiveInfo{
+			System:        r.str(),
+			Epoch:         r.u64(),
+			WindowLo:      int(r.varint()),
+			WindowHi:      int(r.varint()),
+			HoursObserved: int(r.varint()),
+			Samples:       r.u64(),
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.data) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after result", len(r.data))
+	}
+	return res, nil
+}
+
+var errTruncated = fmt.Errorf("wire: truncated payload")
+
+// reader is a sticky-error cursor over the payload: after the first
+// failure every read returns a zero value, so decode paths stay linear
+// and the error is checked once at the end.
+type reader struct {
+	data []byte
+	err  error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(r.data) {
+		r.err = errTruncated
+		return nil
+	}
+	b := r.data[:n]
+	r.data = r.data[n:]
+	return b
+}
+
+func (r *reader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, k := binary.Uvarint(r.data)
+	if k <= 0 {
+		r.err = fmt.Errorf("wire: bad varint")
+		return 0
+	}
+	r.data = r.data[k:]
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, k := binary.Varint(r.data)
+	if k <= 0 {
+		r.err = fmt.Errorf("wire: bad varint")
+		return 0
+	}
+	r.data = r.data[k:]
+	return v
+}
+
+func (r *reader) str() string {
+	n := r.uvarint()
+	if r.err == nil && n > uint64(len(r.data)) {
+		r.err = errTruncated
+		return ""
+	}
+	return string(r.take(int(n)))
+}
+
+// count reads an element count and validates it against the bytes
+// remaining at minBytes each, so a corrupt count cannot drive a huge
+// allocation.
+func (r *reader) count(minBytes int) int {
+	n := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(len(r.data))/uint64(minBytes)+1 {
+		r.err = fmt.Errorf("wire: count %d exceeds remaining payload", n)
+		return 0
+	}
+	return int(n)
+}

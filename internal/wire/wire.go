@@ -1,0 +1,98 @@
+// Package wire is the daemon's compact binary result codec: it frames
+// an AssessResult as a length-prefixed, schema-versioned byte payload
+// negotiated on the HTTP surface via
+// `Accept: application/x-thirstyflops-wire` (JSON stays the default).
+//
+// Frame layout:
+//
+//	"TFW"            3-byte magic
+//	schema           1 byte (Schema)
+//	payload length   uint32 little endian
+//	payload          see result.go
+//
+// Scalars are fixed-width little endian (floats as their IEEE-754 bits,
+// so every value round-trips bit-exactly), lengths and small integers
+// are varints, strings are uvarint-length-prefixed UTF-8, and the
+// hourly Series travels as flat columns (series.AppendBinary) instead
+// of 35 thousand JSON-formatted numbers. Encoders are pooled and append
+// into a retained buffer, so the daemon's hot path encodes without
+// allocating; the decoder is bounds-checked everywhere and never
+// panics or over-allocates on corrupt frames.
+package wire
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MediaType is the content type negotiated for binary frames.
+const MediaType = "application/x-thirstyflops-wire"
+
+// Schema versions the payload layout. Bump it whenever the
+// AssessResult field set or the encoding of any section changes; a
+// decoder rejects frames from any other schema instead of misreading
+// them.
+const Schema = 1
+
+// headerLen is the fixed frame prelude: magic, schema, payload length.
+const headerLen = 3 + 1 + 4
+
+// maxPayloadBytes bounds a decodable payload (a full-series result is
+// ~280 KB; 64 MiB leaves room for absurdly long sweeps without letting
+// a corrupt length prefix drive allocation).
+const maxPayloadBytes = 64 << 20
+
+// Encoder carries the reusable state of one encoding stream: the frame
+// buffer and the key-sort scratch. Not safe for concurrent use; get one
+// per goroutine from GetEncoder.
+type Encoder struct {
+	buf  []byte
+	keys []string
+}
+
+var encoders = sync.Pool{New: func() any {
+	return &Encoder{buf: make([]byte, 0, 1024)}
+}}
+
+// GetEncoder fetches a pooled encoder. Return it with PutEncoder once
+// the frame returned by EncodeResult has been written out.
+func GetEncoder() *Encoder { return encoders.Get().(*Encoder) }
+
+// PutEncoder returns an encoder to the pool. Frames previously returned
+// by it are invalidated.
+func PutEncoder(e *Encoder) { encoders.Put(e) }
+
+// finish stamps the payload length into a frame started by start.
+func (e *Encoder) start() {
+	e.buf = append(e.buf[:0], 'T', 'F', 'W', Schema, 0, 0, 0, 0)
+}
+
+func (e *Encoder) finish() []byte {
+	n := len(e.buf) - headerLen
+	e.buf[4] = byte(n)
+	e.buf[5] = byte(n >> 8)
+	e.buf[6] = byte(n >> 16)
+	e.buf[7] = byte(n >> 24)
+	return e.buf
+}
+
+// payloadOf validates the frame prelude and returns the payload bytes.
+func payloadOf(frame []byte) ([]byte, error) {
+	if len(frame) < headerLen {
+		return nil, fmt.Errorf("wire: truncated frame header (%d bytes)", len(frame))
+	}
+	if frame[0] != 'T' || frame[1] != 'F' || frame[2] != 'W' {
+		return nil, fmt.Errorf("wire: bad magic %q", frame[:3])
+	}
+	if frame[3] != Schema {
+		return nil, fmt.Errorf("wire: schema %d, this decoder speaks %d", frame[3], Schema)
+	}
+	n := uint32(frame[4]) | uint32(frame[5])<<8 | uint32(frame[6])<<16 | uint32(frame[7])<<24
+	if n > maxPayloadBytes {
+		return nil, fmt.Errorf("wire: payload length %d exceeds %d", n, maxPayloadBytes)
+	}
+	if int(n) != len(frame)-headerLen {
+		return nil, fmt.Errorf("wire: payload length %d, frame holds %d", n, len(frame)-headerLen)
+	}
+	return frame[headerLen:], nil
+}
