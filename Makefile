@@ -15,7 +15,10 @@
 # against BENCH_PR6.json,
 # bench-wire gates the negotiated serving codecs (binary wire frame vs
 # JSON for full-year series results, NDJSON job-result streaming, and
-# the encode/decode micro-benches behind them) against BENCH_PR8.json.
+# the encode/decode micro-benches behind them) against BENCH_PR8.json,
+# bench-watch gates the live push hub (publish-to-last-delivery fanout
+# latency at 1/100/1000 subscribers, per-event allocation flatness)
+# against BENCH_PR9.json.
 # The docs target runs the documentation drift gate: route list in
 # docs/HTTP_API.md vs the daemon mux (cmd/docscheck), go vet, and an
 # examples build.
@@ -37,7 +40,9 @@ GATED_STATSD_BENCHES = ^(BenchmarkParseLine|BenchmarkParsePacket|BenchmarkAggreg
 
 GATED_WIRE_BENCHES = ^(BenchmarkDaemonAssessWire|BenchmarkDaemonAssessSeriesJSON|BenchmarkDaemonAssessSeriesWire|BenchmarkDaemonJobResultStream|BenchmarkWireEncodeResult|BenchmarkWireEncodeSeriesResult|BenchmarkJSONEncodeSeriesResult|BenchmarkWireDecodeSeriesResult)$$
 
-.PHONY: build test race bench bench-core bench-daemon bench-plan bench-store bench-statsd bench-wire docs chaos
+GATED_WATCH_BENCHES = ^(BenchmarkWatchFanout1|BenchmarkWatchFanout100|BenchmarkWatchFanout1000)$$
+
+.PHONY: build test race bench bench-core bench-daemon bench-plan bench-store bench-statsd bench-wire bench-watch docs chaos
 
 build:
 	go build ./...
@@ -48,7 +53,7 @@ test:
 race:
 	go test -race ./...
 
-bench: bench-core bench-daemon bench-plan bench-store bench-statsd bench-wire
+bench: bench-core bench-daemon bench-plan bench-store bench-statsd bench-wire bench-watch
 
 bench-core:
 	go test -run '^$$' -bench '$(GATED_BENCHES)' -benchmem -benchtime=500ms -count=1 . \
@@ -78,6 +83,10 @@ bench-statsd:
 bench-wire:
 	go test -run '^$$' -bench '$(GATED_WIRE_BENCHES)' -benchmem -benchtime=500ms -count=1 ./cmd/thirstyflopsd ./internal/wire \
 		| go run ./cmd/benchcheck -baseline BENCH_PR8.json
+
+bench-watch:
+	go test -run '^$$' -bench '$(GATED_WATCH_BENCHES)' -benchmem -benchtime=500ms -count=1 ./internal/watch \
+		| go run ./cmd/benchcheck -baseline BENCH_PR9.json
 
 docs:
 	go vet ./...

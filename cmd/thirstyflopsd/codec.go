@@ -254,14 +254,19 @@ func decodeBounded(w http.ResponseWriter, r *http.Request, limit int64, v any) (
 // the server's own -request-timeout (a client disconnect surfaces as
 // context.Canceled), so it answers 504 — dashboards distinguish slow
 // assessments from shed load — while cancellation and a disabled
-// subsystem stay 503. Everything else is the client's request shape
-// (unknown system, invalid document, bad parameters): a 400.
+// subsystem stay 503. A live query naming a system with no registered
+// stream is a 404 — the resource (that system's live feed) does not
+// exist, and the engine's error carries the known-stream list so the
+// client can correct itself. Everything else is the client's request
+// shape (unknown system, invalid document, bad parameters): a 400.
 func statusFor(ctx context.Context, err error) int {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case ctx.Err() != nil || errors.Is(err, context.Canceled):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, thirstyflops.ErrNoLiveStream):
+		return http.StatusNotFound
 	}
 	return http.StatusBadRequest
 }

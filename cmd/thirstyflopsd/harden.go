@@ -98,9 +98,13 @@ func (g *gate) admit(r *http.Request) (ok, rejected bool) {
 func (g *gate) release() { <-g.slots }
 
 // alwaysServed are the paths exempt from admission and deadlines: the
-// endpoints that report overload must not be victims of it.
+// endpoints that report overload must not be victims of it, and the
+// long-lived /watch SSE streams would otherwise pin admission slots
+// forever (or be killed mid-stream by the request deadline) — the watch
+// hub's own subscriber cap is their admission control. Panic recovery
+// still wraps all of them.
 func alwaysServed(path string) bool {
-	return path == "/healthz" || path == "/livez"
+	return path == "/healthz" || path == "/livez" || path == "/watch"
 }
 
 // withRecovery converts a handler panic into a 500 and a counter. The

@@ -17,6 +17,7 @@
 //	POST   /sweep             SweepRequest   -> SweepResult
 //	GET    /water500                         -> Water500Result (seed/year query params)
 //	POST   /ingest            Sample | [Sample] | NDJSON -> ingest summary (live telemetry)
+//	GET    /watch                            -> SSE stream of live re-assessments (system/source query params)
 //	POST   /jobs              BatchRequest   -> job snapshot (async sweep submission)
 //	GET    /jobs/{id}                        -> job status + progress
 //	GET    /jobs/{id}/result                 -> paginated results (offset/limit query params)
@@ -68,6 +69,7 @@ import (
 	"thirstyflops/internal/statsd"
 	"thirstyflops/internal/store"
 	"thirstyflops/internal/telemetry"
+	"thirstyflops/internal/watch"
 )
 
 func main() {
@@ -92,6 +94,8 @@ func main() {
 		admitQueue  = flag.Int("admission-queue", 64, "requests allowed to wait for a slot past -max-inflight before 429")
 		queueWait   = flag.Duration("queue-wait", time.Second, "longest a queued request waits for a slot before 429 + Retry-After")
 		reqTimeout  = flag.Duration("request-timeout", 0, "per-request deadline propagated through the handler context (0 = none)")
+		watchSubs   = flag.Int("watch-max-subscribers", defaultWatchSubscribers, "concurrent GET /watch SSE subscribers before 429 (negative = unlimited)")
+		watchBeat   = flag.Duration("watch-heartbeat", defaultWatchHeartbeat, "heartbeat interval on GET /watch streams")
 	)
 	flag.Parse()
 
@@ -116,10 +120,12 @@ func main() {
 		log.Printf("thirstyflopsd: persistence unavailable, serving memory-only: %v", err)
 	}
 	s, err := newServer(eng, jobsConfig{
-		Retain:      *jobRetain,
-		Concurrency: *jobConc,
-		MaxUnits:    *jobUnits,
-		StateDir:    *stateDir,
+		Retain:           *jobRetain,
+		Concurrency:      *jobConc,
+		MaxUnits:         *jobUnits,
+		StateDir:         *stateDir,
+		WatchSubscribers: *watchSubs,
+		WatchHeartbeat:   *watchBeat,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -149,6 +155,12 @@ func main() {
 		WriteTimeout:      5 * time.Minute,  // full-series responses are large
 		IdleTimeout:       2 * time.Minute,
 	}
+
+	// Shutdown must stop the watch hub while srv.Shutdown waits: open
+	// SSE streams only return once their subscribers are told to drain,
+	// and Shutdown in turn waits for those handlers — RegisterOnShutdown
+	// breaks the cycle by firing as the drain begins.
+	srv.RegisterOnShutdown(s.shutdownWatch)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -262,12 +274,17 @@ type jobUnit struct {
 	Error  string                     `json:"error,omitempty"`
 }
 
-// jobsConfig sizes the async job queue.
+// jobsConfig sizes the async job queue and the watch push plane.
 type jobsConfig struct {
 	Retain      int    // jobs retained for polling (0 disables /jobs)
 	Concurrency int    // jobs executing at once
 	MaxUnits    int    // max assessments one job may expand to
 	StateDir    string // persistence directory; completed jobs survive restarts
+
+	// Watch-plane sizing (watch.go); zero values take the defaults,
+	// negative WatchSubscribers means unlimited.
+	WatchSubscribers int
+	WatchHeartbeat   time.Duration
 }
 
 // server binds the HTTP surface to one Engine plus its job queue and
@@ -280,6 +297,11 @@ type server struct {
 	ingestToken string
 	maxJobUnits int
 	start       time.Time
+
+	// Watch push plane (watch.go): nil when the engine has no live
+	// streams, in which case GET /watch answers 503.
+	watch          *watch.Hub[watchEvent]
+	watchHeartbeat time.Duration
 
 	// Hardening state (harden.go): the admission semaphore (nil when
 	// unlimited) and the absorbed-panic counter surfaced on /healthz.
@@ -316,6 +338,9 @@ func newServer(eng *thirstyflops.Engine, cfg jobsConfig) (*server, error) {
 		}
 		s.jobs = jobqueue.New[jobUnit](cfg.Retain, cfg.Concurrency, opts...)
 	}
+	if reg := eng.LiveStreams(); reg != nil && reg.Len() > 0 {
+		s.initWatch(reg, cfg.WatchSubscribers, cfg.WatchHeartbeat)
+	}
 	return s, nil
 }
 
@@ -337,10 +362,22 @@ func openJobsStore(dir string) (*store.Store, error) {
 	return st, nil
 }
 
+// shutdownWatch drains the push plane: pumps stop and every open SSE
+// stream is signaled to write its final shutdown event and return.
+// Idempotent — registered as the http.Server's OnShutdown hook and run
+// again from close() for non-HTTP teardown paths.
+func (s *server) shutdownWatch() {
+	if s.watch != nil {
+		s.watch.Shutdown()
+	}
+}
+
 // close stops the UDP plane (draining queued datagrams through a final
-// flush), cancels background jobs, waits for their workers, and flushes
-// the jobs log. Queue before store: its workers are the last writers.
+// flush), drains the watch hub, cancels background jobs, waits for
+// their workers, and flushes the jobs log. Queue before store: its
+// workers are the last writers.
 func (s *server) close() {
+	s.shutdownWatch()
 	if s.udp != nil {
 		if err := s.udp.Close(); err != nil {
 			log.Printf("thirstyflopsd: udp close: %v", err)
@@ -405,6 +442,7 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/sweep", s.handleSweep)
 	mux.HandleFunc("/water500", s.handleWater500)
 	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("GET /watch", s.handleWatch)
 	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
@@ -562,7 +600,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// Route sample-by-sample so the response can attribute acceptance to
 	// each stream: clients verify multi-stream routing from Systems.
 	body := ingestBody{}
-	noStream := 0
+	noStream, wildcardHit := 0, false
 	for i, smp := range samples {
 		stream := reg.Resolve(smp.System)
 		if stream == nil {
@@ -578,6 +616,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		sys := stream.System()
 		if sys == "" {
 			sys = smp.System // wildcard stream: report the routed name
+			wildcardHit = true
 		}
 		if body.Systems == nil {
 			body.Systems = make(map[string]int)
@@ -585,6 +624,19 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		body.Systems[sys]++
 	}
 	body.Rejected = len(samples) - body.Accepted
+	// One poke per advanced system per batch — this handler routes
+	// straight to the streams (bypassing the registry's OnAdvance hook)
+	// so it notifies the push plane itself. A wildcard-routed accept
+	// shifts every watched system's assessment.
+	if s.watch != nil && body.Accepted > 0 {
+		if wildcardHit {
+			s.watch.PokeAll()
+		} else {
+			for sys := range body.Systems {
+				s.watch.Poke(sys)
+			}
+		}
+	}
 	body.Epoch = telemetry.Summarize(reg.Statuses()).Epoch
 	status := http.StatusOK
 	switch {
@@ -619,6 +671,7 @@ type livezBody struct {
 	telemetry.Status
 	Streams []telemetry.Status `json:"streams"`
 	UDP     *statsd.Stats      `json:"udp,omitempty"`
+	Watch   *watch.Stats       `json:"watch,omitempty"`
 }
 
 func (s *server) handleLivez(w http.ResponseWriter, r *http.Request) {
@@ -632,6 +685,10 @@ func (s *server) handleLivez(w http.ResponseWriter, r *http.Request) {
 	if s.udp != nil {
 		st := s.udp.Stats()
 		body.UDP = &st
+	}
+	if s.watch != nil {
+		st := s.watch.Stats()
+		body.Watch = &st
 	}
 	writeBody(w, r, http.StatusOK, body)
 }
@@ -907,6 +964,7 @@ type healthBody struct {
 	Breaker       *breaker.Snapshot       `json:"breaker,omitempty"`
 	HTTP          httpHealth              `json:"http"`
 	Live          *liveHealth             `json:"live,omitempty"`
+	Watch         *watch.Stats            `json:"watch,omitempty"`
 	Jobs          *jobsHealth             `json:"jobs,omitempty"`
 }
 
@@ -936,6 +994,10 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			st := s.udp.Stats()
 			body.Live.UDP = &st
 		}
+	}
+	if s.watch != nil {
+		st := s.watch.Stats()
+		body.Watch = &st
 	}
 	if s.jobs != nil {
 		st := s.jobs.Stats()

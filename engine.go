@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -644,7 +645,8 @@ func (e *Engine) liveAnnualFor(cfg Config, planned bool) (core.Annual, *LiveInfo
 	}
 	stream := e.streams.Resolve(cfg.System.Name)
 	if stream == nil {
-		return core.Annual{}, nil, false, fmt.Errorf("%w: %q (live source requested)", telemetry.ErrNoStream, cfg.System.Name)
+		return core.Annual{}, nil, false, fmt.Errorf("%w: %q (live source requested; streams exist for: %s)",
+			telemetry.ErrNoStream, cfg.System.Name, strings.Join(e.streams.Systems(), ", "))
 	}
 	if yr := stream.Year(); yr != 0 && yr != cfg.Year {
 		return core.Annual{}, nil, false, fmt.Errorf("thirstyflops: live stream observes year %d, request assesses %d", yr, cfg.Year)

@@ -65,6 +65,14 @@ type Config struct {
 	Sink  Sink
 	Known func(system string) bool
 	Hour  func() int
+
+	// OnFlush, when set, runs after every aggregation flush — ticker,
+	// manual Flush, and the final drain flush in Close — with the
+	// summaries that flush emitted (possibly none). It runs on the flush
+	// goroutine, after the sink has consumed the interval's samples, so
+	// a push plane hooked here observes fully-ingested epochs; it must
+	// not block, or it stalls the next interval.
+	OnFlush func([]Summary)
 }
 
 // Server owns the listener goroutine, the aggregation goroutine, and
@@ -271,16 +279,25 @@ func (s *Server) flushLoop() {
 	for {
 		select {
 		case <-t.C:
-			s.agg.Flush()
+			s.flush()
 		case <-s.done:
 			return
 		}
 	}
 }
 
+// flush runs one aggregation flush and the OnFlush hook.
+func (s *Server) flush() []Summary {
+	sums := s.agg.Flush()
+	if s.cfg.OnFlush != nil {
+		s.cfg.OnFlush(sums)
+	}
+	return sums
+}
+
 // Flush forces an immediate aggregation flush — deterministic tests and
 // the final drain use it; the interval ticker keeps running.
-func (s *Server) Flush() []Summary { return s.agg.Flush() }
+func (s *Server) Flush() []Summary { return s.flush() }
 
 // Close stops the plane: the socket closes, queued datagrams drain
 // through the aggregator, and one final flush emits whatever the last
@@ -294,7 +311,7 @@ func (s *Server) Close() error {
 			s.readerWG.Wait() // reader exits, closing the queue...
 		}
 		s.workerWG.Wait() // ...the aggregator drains it, the ticker stops,
-		s.agg.Flush()     // and the partial interval flushes.
+		s.flush()         // and the partial interval flushes.
 	})
 	return err
 }

@@ -378,3 +378,85 @@ func TestServerCloseDrainsPartialInterval(t *testing.T) {
 		t.Fatalf("final drain lost the partial interval: %+v", got)
 	}
 }
+
+func TestServerOnFlushHook(t *testing.T) {
+	var mu sync.Mutex
+	var sunk []telemetry.Sample
+	type flush struct {
+		systems  []string
+		afterAll bool // sink had consumed this flush's samples first
+	}
+	var flushes []flush
+	s, client := startServer(t, Config{
+		FlushInterval: 10 * time.Millisecond,
+		Known:         func(sys string) bool { return sys == "Frontier" },
+		Hour:          func() int { return 7 },
+		Sink: func(smp telemetry.Sample) error {
+			mu.Lock()
+			sunk = append(sunk, smp)
+			mu.Unlock()
+			return nil
+		},
+		OnFlush: func(sums []Summary) {
+			mu.Lock()
+			defer mu.Unlock()
+			f := flush{afterAll: true}
+			for _, sm := range sums {
+				f.systems = append(f.systems, sm.System)
+				// The hook runs after the sink: every summarized system's
+				// sample is already visible downstream.
+				found := false
+				for _, smp := range sunk {
+					if smp.System == sm.System {
+						found = true
+					}
+				}
+				f.afterAll = f.afterAll && found
+			}
+			flushes = append(flushes, f)
+		},
+	})
+
+	send(t, s, client, "fleet.Frontier.power:500000|g")
+	// The interval ticker fires the hook with the accumulated system...
+	waitFor(t, "ticker flush with data", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, f := range flushes {
+			if len(f.systems) == 1 && f.systems[0] == "Frontier" && f.afterAll {
+				return true
+			}
+		}
+		return false
+	})
+
+	// ...and a manual Flush fires it too (with no new data: no systems).
+	mu.Lock()
+	n := len(flushes)
+	mu.Unlock()
+	s.Flush()
+	mu.Lock()
+	if len(flushes) <= n {
+		// The ticker may also have fired meanwhile; only "no new hook
+		// call at all" is a failure.
+		mu.Unlock()
+		t.Fatalf("manual Flush did not fire the hook")
+	}
+	mu.Unlock()
+
+	// The final drain flush in Close fires it as well.
+	send(t, s, client, "fleet.Frontier.power:750000|g")
+	waitFor(t, "queue drain", func() bool {
+		st := s.Stats()
+		return st.Processed == st.Datagrams && st.QueueLen == 0
+	})
+	mu.Lock()
+	n = len(flushes)
+	mu.Unlock()
+	s.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(flushes) <= n {
+		t.Fatal("Close did not fire the hook")
+	}
+}

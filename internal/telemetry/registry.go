@@ -25,6 +25,7 @@ var ErrNoStream = errors.New("telemetry: no stream registered for system")
 type Registry struct {
 	mu      sync.RWMutex
 	streams map[string]*Stream
+	advance func(system string, epoch uint64)
 }
 
 // NewRegistry builds an empty stream registry.
@@ -57,13 +58,35 @@ func (r *Registry) Resolve(system string) *Stream {
 // Ingest routes one sample to its system's stream. A sample naming a
 // system with no registered stream (and no wildcard) fails with an
 // error wrapping ErrNoStream; everything else is the stream's own
-// acceptance decision.
+// acceptance decision. An accepted sample fires the OnAdvance hook.
 func (r *Registry) Ingest(smp Sample) error {
 	s := r.Resolve(smp.System)
 	if s == nil {
 		return fmt.Errorf("%w: %q", ErrNoStream, smp.System)
 	}
-	return s.Ingest(smp)
+	if err := s.Ingest(smp); err != nil {
+		return err
+	}
+	r.mu.RLock()
+	fn := r.advance
+	r.mu.RUnlock()
+	if fn != nil {
+		fn(s.System(), s.Epoch())
+	}
+	return nil
+}
+
+// OnAdvance registers a hook fired after every sample Ingest accepts,
+// with the owning stream's system label ("" when the sample routed to
+// the wildcard stream — an advance that shifts every system's live
+// assessment) and the stream's epoch after the accept. The hook runs
+// on the ingesting goroutine — the statsd flush path — so it must not
+// block; the daemon's watch hub satisfies that with a non-blocking
+// Poke. One hook; registering replaces the previous.
+func (r *Registry) OnAdvance(fn func(system string, epoch uint64)) {
+	r.mu.Lock()
+	r.advance = fn
+	r.mu.Unlock()
 }
 
 // Len reports how many streams are registered.

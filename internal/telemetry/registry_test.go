@@ -190,3 +190,56 @@ func TestRegistryConcurrentRouting(t *testing.T) {
 		t.Errorf("accepted = %d, want 800", sum.Accepted)
 	}
 }
+
+func TestRegistryOnAdvance(t *testing.T) {
+	r := NewRegistry()
+	r.Register(mustStream(t, "Frontier", 0, 24))
+	r.Register(mustStream(t, "", 0, 24))
+
+	type adv struct {
+		system string
+		epoch  uint64
+	}
+	var got []adv
+	r.OnAdvance(func(system string, epoch uint64) { got = append(got, adv{system, epoch}) })
+
+	// An exact-routed accept reports the stream's label and its epoch
+	// after the accept; a wildcard-routed accept reports the wildcard's
+	// empty label (the advance shifts every system).
+	if err := r.Ingest(Sample{System: "Frontier", Hour: 0, Power: 1e6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Ingest(Sample{System: "Frontier", Hour: 1, Power: 1e6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Ingest(Sample{System: "Marconi", Hour: 0, Power: 2e6}); err != nil {
+		t.Fatal(err)
+	}
+	want := []adv{{"Frontier", 1}, {"Frontier", 2}, {"", 1}}
+	if len(got) != len(want) {
+		t.Fatalf("hook fired %d times: %v", len(got), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("advance %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// Rejections and routing failures do not fire the hook.
+	got = got[:0]
+	if err := r.Ingest(Sample{System: "Frontier", Hour: -1, Power: 1}); err == nil {
+		t.Fatal("invalid sample accepted")
+	}
+	if len(got) != 0 {
+		t.Fatalf("hook fired on rejection: %v", got)
+	}
+
+	// Deregistering the hook (nil) stops notifications.
+	r.OnAdvance(nil)
+	if err := r.Ingest(Sample{System: "Frontier", Hour: 2, Power: 1e6}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("hook fired after deregistration: %v", got)
+	}
+}

@@ -1,0 +1,501 @@
+package watch
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeFeed simulates per-system stream epochs for hub tests: Advance
+// moves a system's epoch, Assess returns a payload labeled with the
+// system and the epoch it reflects.
+type fakeFeed struct {
+	mu      sync.Mutex
+	epochs  map[string]uint64
+	asserts atomic.Uint64 // Assess invocations
+}
+
+func newFakeFeed() *fakeFeed { return &fakeFeed{epochs: make(map[string]uint64)} }
+
+func (f *fakeFeed) Advance(system string) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.epochs[system]++
+	return f.epochs[system]
+}
+
+func (f *fakeFeed) Epoch(system string) (uint64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e, ok := f.epochs[system]
+	return e, ok
+}
+
+func (f *fakeFeed) Assess(_ context.Context, system string) (string, uint64, error) {
+	f.asserts.Add(1)
+	f.mu.Lock()
+	e := f.epochs[system]
+	f.mu.Unlock()
+	return fmt.Sprintf("%s@%d", system, e), e, nil
+}
+
+func (f *fakeFeed) hub(maxSubs, buffer int) *Hub[string] {
+	return New(Options[string]{
+		Assess:         f.Assess,
+		Epoch:          f.Epoch,
+		MaxSubscribers: maxSubs,
+		Buffer:         buffer,
+	})
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// drain pops everything currently queued.
+func drain(sub *Subscriber[string]) []Event[string] {
+	var out []Event[string]
+	for {
+		ev, ok := sub.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, ev)
+	}
+}
+
+func TestHubPublishesOnAdvanceAndDedupesEpochs(t *testing.T) {
+	feed := newFakeFeed()
+	h := feed.hub(0, 0)
+	defer h.Shutdown()
+
+	sub, err := h.Subscribe("Frontier", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	// Pokes without an epoch advance assess nothing: the system's epoch
+	// is still 0 (never ingested).
+	h.Poke("Frontier")
+	h.Poke("Frontier")
+	time.Sleep(20 * time.Millisecond)
+	if n := feed.asserts.Load(); n != 0 {
+		t.Fatalf("assessed %d times before any advance", n)
+	}
+
+	feed.Advance("Frontier")
+	h.Poke("Frontier")
+	waitFor(t, "first event", func() bool { return h.Stats().Published == 1 })
+	evs := drain(sub)
+	if len(evs) != 1 || evs[0].Data != "Frontier@1" || evs[0].Epoch != 1 || evs[0].ID != 1 {
+		t.Fatalf("first event = %+v", evs)
+	}
+
+	// Redundant pokes at the same epoch publish nothing new.
+	h.Poke("Frontier")
+	h.Poke("Frontier")
+	time.Sleep(20 * time.Millisecond)
+	if got := h.Stats().Published; got != 1 {
+		t.Fatalf("published = %d after redundant pokes", got)
+	}
+
+	feed.Advance("Frontier")
+	h.Poke("Frontier")
+	waitFor(t, "second event", func() bool { return h.Stats().Published == 2 })
+	evs = drain(sub)
+	if len(evs) != 1 || evs[0].Epoch != 2 || evs[0].ID != 2 {
+		t.Fatalf("second event = %+v", evs)
+	}
+}
+
+func TestHubCoalescesPokesWithoutSubscribers(t *testing.T) {
+	feed := newFakeFeed()
+	h := feed.hub(0, 0)
+	defer h.Shutdown()
+
+	// A poke for a never-subscribed system is a no-op (no topic).
+	feed.Advance("Marconi")
+	h.Poke("Marconi")
+	time.Sleep(20 * time.Millisecond)
+	if n := feed.asserts.Load(); n != 0 {
+		t.Fatalf("assessed %d times with no topic", n)
+	}
+
+	// With a topic but zero subscribers, advances are absorbed without
+	// assessment; the next subscriber's catch-up poke observes them.
+	sub, _ := h.Subscribe("Marconi", false)
+	sub.Close()
+	feed.Advance("Marconi")
+	h.Poke("Marconi")
+	time.Sleep(20 * time.Millisecond)
+	if n := feed.asserts.Load(); n != 0 {
+		t.Fatalf("assessed %d times with zero subscribers", n)
+	}
+
+	sub2, _ := h.Subscribe("Marconi", false)
+	defer sub2.Close()
+	h.Poke("Marconi")
+	waitFor(t, "catch-up event", func() bool { return h.Stats().Published == 1 })
+	if evs := drain(sub2); len(evs) != 1 || evs[0].Epoch != 2 {
+		t.Fatalf("catch-up events = %+v", evs)
+	}
+}
+
+func TestHubDropToLatestKeepsMonotonicIDs(t *testing.T) {
+	feed := newFakeFeed()
+	h := feed.hub(0, 2)
+	defer h.Shutdown()
+
+	sub, err := h.Subscribe("Frontier", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	const rounds = 10
+	for i := 0; i < rounds; i++ {
+		feed.Advance("Frontier")
+		h.Poke("Frontier")
+		waitFor(t, "publish", func() bool { return h.Stats().Published == uint64(i+1) })
+	}
+
+	evs := drain(sub)
+	if len(evs) != 2 {
+		t.Fatalf("queued = %d events, want buffer size 2", len(evs))
+	}
+	// Drop-to-latest: the newest event always survives, and what remains
+	// is strictly increasing.
+	if evs[len(evs)-1].ID != rounds || evs[len(evs)-1].Epoch != rounds {
+		t.Fatalf("latest surviving event = %+v", evs[len(evs)-1])
+	}
+	if evs[0].ID >= evs[1].ID || evs[0].Epoch >= evs[1].Epoch {
+		t.Fatalf("events not strictly monotonic: %+v", evs)
+	}
+	if got := sub.Dropped(); got != rounds-2 {
+		t.Fatalf("Dropped = %d, want %d", got, rounds-2)
+	}
+	st := h.Stats()
+	if st.DroppedSlow != rounds-2 || st.Enqueued != rounds || st.Delivered != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHubReplayLatest(t *testing.T) {
+	feed := newFakeFeed()
+	h := feed.hub(0, 0)
+	defer h.Shutdown()
+
+	first, _ := h.Subscribe("Frontier", false)
+	feed.Advance("Frontier")
+	h.Poke("Frontier")
+	waitFor(t, "publish", func() bool { return h.Stats().Published == 1 })
+	first.Close()
+
+	// replay=false starts empty; replay=true re-emits the current
+	// epoch's result even though the publish predates the subscription.
+	plain, _ := h.Subscribe("Frontier", false)
+	defer plain.Close()
+	if evs := drain(plain); len(evs) != 0 {
+		t.Fatalf("plain subscriber got %+v", evs)
+	}
+	resumed, _ := h.Subscribe("Frontier", true)
+	defer resumed.Close()
+	evs := drain(resumed)
+	if len(evs) != 1 || evs[0].ID != 1 || evs[0].Data != "Frontier@1" {
+		t.Fatalf("resumed subscriber got %+v", evs)
+	}
+}
+
+func TestHubSubscriberLimit(t *testing.T) {
+	feed := newFakeFeed()
+	h := feed.hub(2, 0)
+	defer h.Shutdown()
+
+	a, err := h.Subscribe("Frontier", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Subscribe("Marconi", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Subscribe("Frontier", false); err != ErrSubscriberLimit {
+		t.Fatalf("third subscribe err = %v", err)
+	}
+	if st := h.Stats(); st.Rejected != 1 || st.Subscribers != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Closing frees the slot.
+	a.Close()
+	c, err := h.Subscribe("Frontier", false)
+	if err != nil {
+		t.Fatalf("subscribe after close: %v", err)
+	}
+	c.Close()
+	b.Close()
+	if got := h.Subscribers(); got != 0 {
+		t.Fatalf("subscribers = %d after closes", got)
+	}
+}
+
+func TestHubShutdownStopsSubscribersAndRefusesNew(t *testing.T) {
+	feed := newFakeFeed()
+	h := feed.hub(0, 0)
+
+	a, _ := h.Subscribe("Frontier", false)
+	b, _ := h.Subscribe("Marconi", false)
+	if a.Stopping() || b.Stopping() {
+		t.Fatal("stopping before shutdown")
+	}
+	h.Shutdown()
+	h.Shutdown() // idempotent
+	if !a.Stopping() || !b.Stopping() {
+		t.Fatal("subscribers not stopping after shutdown")
+	}
+	// Both were signaled: their handlers wake via Ready.
+	select {
+	case <-a.Ready():
+	default:
+		t.Fatal("no ready signal after shutdown")
+	}
+	if _, err := h.Subscribe("Frontier", false); err != ErrClosed {
+		t.Fatalf("subscribe after shutdown err = %v", err)
+	}
+	if st := h.Stats(); st.Shutdowns != 2 {
+		t.Fatalf("shutdowns = %d", st.Shutdowns)
+	}
+	a.Close()
+	b.Close()
+}
+
+func TestHubNoCrossSystemBleed(t *testing.T) {
+	feed := newFakeFeed()
+	h := feed.hub(0, 64)
+	defer h.Shutdown()
+
+	fr, _ := h.Subscribe("Frontier", false)
+	defer fr.Close()
+	ma, _ := h.Subscribe("Marconi", false)
+	defer ma.Close()
+
+	feed.Advance("Frontier")
+	feed.Advance("Frontier")
+	feed.Advance("Marconi")
+	h.Poke("Frontier")
+	h.Poke("Marconi")
+	waitFor(t, "both systems published", func() bool { return h.Stats().Published == 2 })
+
+	for _, ev := range drain(fr) {
+		if ev.System != "Frontier" {
+			t.Fatalf("Frontier subscriber saw %+v", ev)
+		}
+	}
+	for _, ev := range drain(ma) {
+		if ev.System != "Marconi" {
+			t.Fatalf("Marconi subscriber saw %+v", ev)
+		}
+	}
+}
+
+func TestHubAssessErrorRetriesNextPoke(t *testing.T) {
+	var fail atomic.Bool
+	fail.Store(true)
+	feed := newFakeFeed()
+	h := New(Options[string]{
+		Assess: func(ctx context.Context, system string) (string, uint64, error) {
+			if fail.Load() {
+				return "", 0, fmt.Errorf("transient")
+			}
+			return feed.Assess(ctx, system)
+		},
+		Epoch: feed.Epoch,
+	})
+	defer h.Shutdown()
+
+	sub, _ := h.Subscribe("Frontier", false)
+	defer sub.Close()
+	feed.Advance("Frontier")
+	h.Poke("Frontier")
+	waitFor(t, "assess error counted", func() bool { return h.Stats().AssessErrors == 1 })
+	if h.Stats().Published != 0 {
+		t.Fatal("published despite assess error")
+	}
+	// The epoch was not consumed by the failure: the next poke retries.
+	fail.Store(false)
+	h.Poke("Frontier")
+	waitFor(t, "retry publishes", func() bool { return h.Stats().Published == 1 })
+}
+
+func TestHubClosedAccounting(t *testing.T) {
+	feed := newFakeFeed()
+	h := feed.hub(0, 2)
+
+	systems := []string{"Frontier", "Marconi", "Fugaku"}
+	var subs []*Subscriber[string]
+	for _, sys := range systems {
+		for i := 0; i < 3; i++ {
+			sub, err := h.Subscribe(sys, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			subs = append(subs, sub)
+		}
+	}
+	for round := 0; round < 8; round++ {
+		for _, sys := range systems {
+			feed.Advance(sys)
+			h.Poke(sys)
+		}
+		waitFor(t, "round published", func() bool {
+			return h.Stats().Published == uint64((round+1)*len(systems))
+		})
+		// Drain one subscriber per round; the rest overflow and drop.
+		drain(subs[round%len(subs)])
+	}
+	// Close a third of the subscribers with events still queued
+	// (discarded), shut down with the rest open (shutdowns), then close
+	// everyone.
+	closed := 0
+	for i, sub := range subs {
+		if i%3 == 0 {
+			sub.Close()
+			closed++
+		}
+	}
+	h.Shutdown()
+	for _, sub := range subs {
+		drain(sub) // post-shutdown drain still delivers
+		sub.Close()
+	}
+	st := h.Stats()
+	if st.Enqueued == 0 || st.DroppedSlow == 0 || st.Discarded == 0 {
+		t.Fatalf("test exercised nothing: %+v", st)
+	}
+	if st.Enqueued != st.Delivered+st.DroppedSlow+st.Discarded {
+		t.Fatalf("accounting not closed: enqueued %d != delivered %d + dropped %d + discarded %d",
+			st.Enqueued, st.Delivered, st.DroppedSlow, st.Discarded)
+	}
+	if want := uint64(len(subs) - closed); st.Shutdowns != want {
+		t.Fatalf("shutdowns = %d, want %d (the subscribers still open at shutdown)", st.Shutdowns, want)
+	}
+}
+
+func TestHubPokeAllWakesEveryTopic(t *testing.T) {
+	feed := newFakeFeed()
+	h := feed.hub(0, 8)
+	defer h.Shutdown()
+
+	fr, _ := h.Subscribe("Frontier", false)
+	defer fr.Close()
+	ma, _ := h.Subscribe("Marconi", false)
+	defer ma.Close()
+	feed.Advance("Frontier")
+	feed.Advance("Marconi")
+	h.PokeAll()
+	waitFor(t, "both published", func() bool { return h.Stats().Published == 2 })
+}
+
+// TestHubConcurrencySoak is the hub-level half of the PR's soak
+// coverage (the daemon-level UDP soak lives in cmd/thirstyflopsd):
+// concurrent advances, pokes, subscribes, drains, and random
+// disconnects across systems, with every invariant checked at the end.
+// Run with -race.
+func TestHubConcurrencySoak(t *testing.T) {
+	feed := newFakeFeed()
+	h := feed.hub(0, 4)
+
+	systems := []string{"Frontier", "Marconi", "Fugaku", "Polaris"}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Ingest side: bursty advances + pokes per system.
+	for _, sys := range systems {
+		wg.Add(1)
+		go func(sys string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				feed.Advance(sys)
+				h.Poke(sys)
+				time.Sleep(time.Duration(len(sys)%3) * time.Millisecond)
+			}
+		}(sys)
+	}
+
+	// Client side: subscribers that drain, verify monotonicity and no
+	// bleed, and disconnect at random points.
+	var clientErrs atomic.Int32
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sys := systems[i%len(systems)]
+			for round := 0; round < 5; round++ {
+				sub, err := h.Subscribe(sys, round%2 == 1)
+				if err != nil {
+					return // hub already shut down
+				}
+				var lastID, lastEpoch uint64
+				deadline := time.After(time.Duration(5+i) * time.Millisecond)
+			recv:
+				for {
+					select {
+					case <-sub.Ready():
+						for {
+							ev, ok := sub.Next()
+							if !ok {
+								break
+							}
+							if ev.System != sys {
+								clientErrs.Add(1)
+							}
+							if ev.ID <= lastID || ev.Epoch <= lastEpoch {
+								clientErrs.Add(1)
+							}
+							lastID, lastEpoch = ev.ID, ev.Epoch
+						}
+						if sub.Stopping() {
+							break recv
+						}
+					case <-deadline:
+						break recv
+					}
+				}
+				sub.Close()
+			}
+		}(i)
+	}
+
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	h.Shutdown()
+
+	if n := clientErrs.Load(); n != 0 {
+		t.Fatalf("%d monotonicity/bleed violations", n)
+	}
+	st := h.Stats()
+	if st.Enqueued != st.Delivered+st.DroppedSlow+st.Discarded {
+		t.Fatalf("accounting not closed: %+v", st)
+	}
+	if st.Subscribers != 0 {
+		t.Fatalf("%d subscribers leaked", st.Subscribers)
+	}
+}
