@@ -18,7 +18,11 @@
 # the encode/decode micro-benches behind them) against BENCH_PR8.json,
 # bench-watch gates the live push hub (publish-to-last-delivery fanout
 # latency at 1/100/1000 subscribers, per-event allocation flatness)
-# against BENCH_PR9.json.
+# against BENCH_PR9.json,
+# bench-gang gates the fleet-wide gang scheduler (four concurrent
+# overlapping sweeps merged into one substrate-affine schedule vs
+# per-batch planning, with a substrate generations/op column) against
+# BENCH_PR10.json.
 # The docs target runs the documentation drift gate: route list in
 # docs/HTTP_API.md vs the daemon mux (cmd/docscheck), go vet, and an
 # examples build.
@@ -42,7 +46,9 @@ GATED_WIRE_BENCHES = ^(BenchmarkDaemonAssessWire|BenchmarkDaemonAssessSeriesJSON
 
 GATED_WATCH_BENCHES = ^(BenchmarkWatchFanout1|BenchmarkWatchFanout100|BenchmarkWatchFanout1000)$$
 
-.PHONY: build test race bench bench-core bench-daemon bench-plan bench-store bench-statsd bench-wire bench-watch docs chaos
+GATED_GANG_BENCHES = ^(BenchmarkConcurrentBatchesGang|BenchmarkConcurrentBatchesPerBatch)$$
+
+.PHONY: build test race bench bench-core bench-daemon bench-plan bench-store bench-statsd bench-wire bench-watch bench-gang docs chaos
 
 build:
 	go build ./...
@@ -53,7 +59,7 @@ test:
 race:
 	go test -race ./...
 
-bench: bench-core bench-daemon bench-plan bench-store bench-statsd bench-wire bench-watch
+bench: bench-core bench-daemon bench-plan bench-store bench-statsd bench-wire bench-watch bench-gang
 
 bench-core:
 	go test -run '^$$' -bench '$(GATED_BENCHES)' -benchmem -benchtime=500ms -count=1 . \
@@ -87,6 +93,10 @@ bench-wire:
 bench-watch:
 	go test -run '^$$' -bench '$(GATED_WATCH_BENCHES)' -benchmem -benchtime=500ms -count=1 ./internal/watch \
 		| go run ./cmd/benchcheck -baseline BENCH_PR9.json
+
+bench-gang:
+	go test -run '^$$' -bench '$(GATED_GANG_BENCHES)' -benchmem -benchtime=500ms -count=1 . \
+		| go run ./cmd/benchcheck -baseline BENCH_PR10.json
 
 docs:
 	go vet ./...

@@ -65,6 +65,7 @@ import (
 
 	"thirstyflops"
 	"thirstyflops/internal/breaker"
+	"thirstyflops/internal/gang"
 	"thirstyflops/internal/jobqueue"
 	"thirstyflops/internal/statsd"
 	"thirstyflops/internal/store"
@@ -86,6 +87,7 @@ func main() {
 		flushEvery  = flag.Duration("flush-interval", statsd.DefaultFlushInterval, "UDP aggregation window: one sample per system per interval")
 		udpMaxQueue = flag.Int("udp-max-queue", statsd.DefaultMaxQueue, "unprocessed UDP datagrams buffered before backpressure drops")
 		udpAllow    = flag.String("udp-allow", "", "comma-separated source CIDRs allowed to feed -udp-addr (empty allows all)")
+		gangWindow  = flag.Duration("gang-window", defaultGangWindow, "merge window for fleet-wide gang scheduling: concurrent batches arriving within it share one substrate-affine schedule (0 restores per-batch planning)")
 		jobRetain   = flag.Int("jobs", defaultJobRetain, "async jobs retained for polling, LRU-evicted (0 disables /jobs)")
 		jobConc     = flag.Int("job-concurrency", defaultJobConcurrency, "async jobs executing at once; further jobs queue")
 		jobUnits    = flag.Int("job-max-units", defaultJobMaxUnits, "max assessments one job may expand to")
@@ -102,6 +104,7 @@ func main() {
 	opts := []thirstyflops.Option{
 		thirstyflops.WithWorkers(*workers),
 		thirstyflops.WithCache(*cache),
+		thirstyflops.WithGangWindow(*gangWindow),
 	}
 	if *liveWindow > 0 {
 		reg, err := buildStreams(*liveSystem, *liveSystems, *liveYear, *liveWindow)
@@ -253,6 +256,11 @@ func newUDPPlane(eng *thirstyflops.Engine, addr string, flush time.Duration, max
 
 // Job-queue serving defaults (overridable by flags).
 const (
+	// defaultGangWindow is how long the first batch of a gang round
+	// waits for company: long enough that genuinely concurrent /jobs
+	// submissions merge, short enough to be invisible next to the
+	// simulation cost of even one substrate year.
+	defaultGangWindow     = 2 * time.Millisecond
 	defaultJobRetain      = 64
 	defaultJobConcurrency = 2
 	defaultJobMaxUnits    = 100000
@@ -755,6 +763,12 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
+	// Deduplicate the cross-product template before sizing: repeated
+	// system names (or seeds, or years) silently multiply simulated
+	// units and burn the -job-max-units budget on work whose results
+	// are copies of each other. The collapsed count is attributed in
+	// every status response for the job.
+	batch, collapsed := batch.Normalize()
 	// Size the submission before Expand allocates: a kilobyte template
 	// can describe a billion-unit cross-product.
 	if units := batch.Units(); units > s.maxJobUnits {
@@ -805,7 +819,7 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			return units, context.Cause(ctx)
 		}
 		return units, nil
-	})
+	}, jobqueue.WithCollapsed[jobUnit](collapsed))
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
@@ -966,6 +980,16 @@ type healthBody struct {
 	Live          *liveHealth             `json:"live,omitempty"`
 	Watch         *watch.Stats            `json:"watch,omitempty"`
 	Jobs          *jobsHealth             `json:"jobs,omitempty"`
+	Gang          *gangHealth             `json:"gang,omitempty"`
+}
+
+// gangHealth is the /healthz gang block (present only when -gang-window
+// is positive): the fleet-wide batch scheduler's counters plus the
+// substrate layer's cross-job hit count — generator years one job
+// computed and another consumed.
+type gangHealth struct {
+	gang.Stats
+	CrossJobSubstrateHits uint64 `json:"cross_job_substrate_hits"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -981,6 +1005,12 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if d := body.Cache.Disk; d != nil {
 		body.Breaker = d.Breaker
+	}
+	if g := body.Cache.Gang; g != nil {
+		body.Gang = &gangHealth{
+			Stats:                 *g,
+			CrossJobSubstrateHits: body.Cache.Substrate.CrossJobHits,
+		}
 	}
 	if reg := s.engine.LiveStreams(); reg != nil && reg.Len() > 0 {
 		sum := telemetry.Summarize(reg.Statuses())

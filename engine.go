@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"thirstyflops/internal/breaker"
 	"thirstyflops/internal/cache"
@@ -21,6 +22,7 @@ import (
 	"thirstyflops/internal/embodied"
 	"thirstyflops/internal/faultinject"
 	"thirstyflops/internal/fingerprint"
+	"thirstyflops/internal/gang"
 	"thirstyflops/internal/plan"
 	"thirstyflops/internal/store"
 	"thirstyflops/internal/substrate"
@@ -81,12 +83,39 @@ type Engine struct {
 	// Substrate-layer lookups made on this Engine's behalf, split by
 	// whether the triggering assessment was scheduled by the sweep
 	// planner. The split is how planner effectiveness is observed in
-	// production (CacheStats.Substrate).
+	// production (CacheStats.Substrate). The cross-job pair is a subset
+	// of the planned pair: lookups whose unit was co-scheduled by the
+	// gang scheduler into a substrate group spanning more than one batch.
 	subPlannedHits     atomic.Uint64
 	subPlannedMisses   atomic.Uint64
 	subUnplannedHits   atomic.Uint64
 	subUnplannedMisses atomic.Uint64
+	subCrossJobHits    atomic.Uint64
+	subCrossJobMisses  atomic.Uint64
+
+	// gangWindow/gangSched are the fleet-wide admission layer
+	// (WithGangWindow): when the window is positive and the planner is
+	// on, AssessBatch calls enqueue into one shared scheduler that merges
+	// batches arriving within a window into a single substrate-affine
+	// schedule. gangSched is nil when gang scheduling is off.
+	gangWindow time.Duration
+	gangSched  *gang.Scheduler
 }
+
+// subTag tags a substrate lookup with how its assessment was scheduled,
+// for the planner-effectiveness split in CacheStats.Substrate.
+type subTag uint8
+
+const (
+	// subUnplanned: single Assess calls, or planning disabled.
+	subUnplanned subTag = iota
+	// subPlanned: scheduled by the sweep planner within one batch.
+	subPlanned
+	// subCrossJob: planned, and the unit's substrate group in the gang
+	// scheduler's merged round held units from more than one batch —
+	// the lookup also counts toward the planned pair.
+	subCrossJob
+)
 
 // Option configures an Engine.
 type Option func(*Engine)
@@ -147,6 +176,19 @@ func WithLiveStreams(r *telemetry.Registry) Option {
 // baseline the planner benchmarks compare against.
 func WithPlanner(enabled bool) Option {
 	return func(e *Engine) { e.planner = enabled }
+}
+
+// WithGangWindow enables fleet-wide gang scheduling: AssessBatch calls
+// arriving within d of each other merge into one substrate-affine
+// schedule (internal/gang), so concurrent batches sweeping the same
+// sites generate each shared substrate year once fleet-wide instead of
+// once per batch. Per-batch context cancellation is still honored —
+// canceling one batch never cancels co-scheduled units of another.
+// d <= 0 (the default) keeps today's per-batch planning; the option
+// requires the planner (WithPlanner(false) disables it too, since the
+// merged schedule is built by the same planner).
+func WithGangWindow(d time.Duration) Option {
+	return func(e *Engine) { e.gangWindow = d }
 }
 
 // WithPersistence attaches the disk tier: memoized assessments are
@@ -264,6 +306,9 @@ func NewEngine(opts ...Option) *Engine {
 			e.disk = nil
 		}
 	}
+	if e.gangWindow > 0 && e.planner {
+		e.gangSched = gang.New(e.gangWindow, e.workers)
+	}
 	return e
 }
 
@@ -304,6 +349,11 @@ type CacheStats struct {
 	// plus this Engine's lookups split by planned vs. unplanned
 	// execution.
 	Substrate SubstrateStats `json:"substrate"`
+
+	// Gang reports the fleet-wide batch scheduler (nil when
+	// WithGangWindow is not in effect): how many batches merged into
+	// shared rounds and how many units were co-scheduled across jobs.
+	Gang *gang.Stats `json:"gang,omitempty"`
 
 	// Disk reports the persistence tier (nil when WithPersistence is not
 	// in effect). A warm restart shows up here as Hits with zero
@@ -360,6 +410,13 @@ type SubstrateStats struct {
 	PlannedMisses   uint64 `json:"planned_misses"`
 	UnplannedHits   uint64 `json:"unplanned_hits"`
 	UnplannedMisses uint64 `json:"unplanned_misses"`
+
+	// CrossJobHits/CrossJobMisses are the subset of the planned pair made
+	// by units the gang scheduler co-scheduled into a substrate group
+	// spanning more than one batch. CrossJobHits > 0 is fleet-wide
+	// sharing working: a year generated by one job answered another.
+	CrossJobHits   uint64 `json:"cross_job_hits"`
+	CrossJobMisses uint64 `json:"cross_job_misses"`
 }
 
 // CacheStats returns a snapshot of the cache counters, aggregated across
@@ -381,6 +438,12 @@ func (e *Engine) CacheStats() CacheStats {
 		PlannedMisses:   e.subPlannedMisses.Load(),
 		UnplannedHits:   e.subUnplannedHits.Load(),
 		UnplannedMisses: e.subUnplannedMisses.Load(),
+		CrossJobHits:    e.subCrossJobHits.Load(),
+		CrossJobMisses:  e.subCrossJobMisses.Load(),
+	}
+	if e.gangSched != nil {
+		g := e.gangSched.Stats()
+		out.Gang = &g
 	}
 	if e.store != nil {
 		st := e.store.Stats()
@@ -505,24 +568,30 @@ func (e *Engine) diskAppend(key fingerprint.Key, a core.Annual) {
 // simulate runs the (hooked) hourly simulation for cfg — the single
 // funnel every memo/disk miss falls through, so the assess-path fault
 // hook sees exactly the computations that really happen.
-func (e *Engine) simulate(cfg Config, planned bool) (core.Annual, error) {
+func (e *Engine) simulate(cfg Config, tag subTag) (core.Annual, error) {
 	if e.assessHook != nil {
 		if err := e.assessHook(cfg.System.Name); err != nil {
 			return core.Annual{}, err
 		}
 	}
 	a, tr, err := cfg.AssessTraced()
-	e.noteSubstrate(planned, tr)
+	e.noteSubstrate(tag, tr)
 	return a, err
 }
 
 // noteSubstrate folds one assessment's substrate trace into the
-// planned/unplanned counters.
-func (e *Engine) noteSubstrate(planned bool, tr core.SubstrateTrace) {
-	if planned {
+// planned/unplanned counters. Cross-job lookups count into both the
+// planned pair (they are planned) and the cross-job subset.
+func (e *Engine) noteSubstrate(tag subTag, tr core.SubstrateTrace) {
+	switch tag {
+	case subCrossJob:
+		e.subCrossJobHits.Add(tr.Hits)
+		e.subCrossJobMisses.Add(tr.Misses)
+		fallthrough
+	case subPlanned:
 		e.subPlannedHits.Add(tr.Hits)
 		e.subPlannedMisses.Add(tr.Misses)
-	} else {
+	default:
 		e.subUnplannedHits.Add(tr.Hits)
 		e.subUnplannedMisses.Add(tr.Misses)
 	}
@@ -532,15 +601,15 @@ func (e *Engine) noteSubstrate(planned bool, tr core.SubstrateTrace) {
 // once per fingerprint. The second return reports whether the result was
 // served from cache. The fingerprint (core.Config.Fingerprint) streams a
 // canonical binary encoding through a pooled hasher, so the cached path
-// allocates nothing for key derivation. planned tags the substrate
+// allocates nothing for key derivation. tag classifies the substrate
 // lookups a cache miss performs for the planner-effectiveness split in
 // CacheStats; a hit touches no substrate at all.
 // A memo miss consults the persistence log (when attached) before
 // simulating, and writes a fresh simulation through to it; an in-memory
 // hit touches neither disk nor substrate.
-func (e *Engine) annualFor(cfg Config, planned bool) (core.Annual, bool, error) {
+func (e *Engine) annualFor(cfg Config, tag subTag) (core.Annual, bool, error) {
 	if e.maxEntries <= 0 && e.store == nil {
-		a, err := e.simulate(cfg, planned)
+		a, err := e.simulate(cfg, tag)
 		return a, false, err
 	}
 	key := cfg.Fingerprint()
@@ -550,7 +619,7 @@ func (e *Engine) annualFor(cfg Config, planned bool) (core.Annual, bool, error) 
 				return a, nil
 			}
 		}
-		a, err := e.simulate(cfg, planned)
+		a, err := e.simulate(cfg, tag)
 		if err == nil && e.store != nil {
 			e.diskAppend(key, a)
 		}
@@ -639,7 +708,7 @@ func liveKey(base fingerprint.Key, s *telemetry.Stream, epoch uint64) fingerprin
 // simulated year with the live window's averaged energy spliced over it.
 // The splice is computed from one atomic stream snapshot and memoized
 // under the epoch-chained key.
-func (e *Engine) liveAnnualFor(cfg Config, planned bool) (core.Annual, *LiveInfo, bool, error) {
+func (e *Engine) liveAnnualFor(cfg Config, tag subTag) (core.Annual, *LiveInfo, bool, error) {
 	if e.streams == nil || e.streams.Len() == 0 {
 		return core.Annual{}, nil, false, fmt.Errorf("thirstyflops: live source requested but the engine has no stream (construct with WithLiveStream)")
 	}
@@ -661,7 +730,7 @@ func (e *Engine) liveAnnualFor(cfg Config, planned bool) (core.Annual, *LiveInfo
 		Samples:       w.Samples,
 	}
 	compute := func() (core.Annual, error) {
-		base, _, err := e.annualFor(cfg, planned)
+		base, _, err := e.annualFor(cfg, tag)
 		if err != nil {
 			return core.Annual{}, err
 		}
@@ -800,14 +869,14 @@ func (e *Engine) Assess(ctx context.Context, req AssessRequest) (*AssessResult, 
 	if err != nil {
 		return nil, err
 	}
-	return e.assessResolved(ctx, req, cfg, false)
+	return e.assessResolved(ctx, req, cfg, subUnplanned)
 }
 
 // assessResolved evaluates a request whose configuration is already
 // materialized — the shared tail of Assess and the planner's batch
 // execution, which resolves configs up front to fingerprint their
-// substrate identities. planned tags the substrate accounting.
-func (e *Engine) assessResolved(ctx context.Context, req AssessRequest, cfg Config, planned bool) (*AssessResult, error) {
+// substrate identities. tag classifies the substrate accounting.
+func (e *Engine) assessResolved(ctx context.Context, req AssessRequest, cfg Config, tag subTag) (*AssessResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -827,9 +896,9 @@ func (e *Engine) assessResolved(ctx context.Context, req AssessRequest, cfg Conf
 	)
 	switch req.Source {
 	case "", SourceSimulated:
-		a, cached, err = e.annualFor(cfg, planned)
+		a, cached, err = e.annualFor(cfg, tag)
 	case SourceLive:
-		a, live, cached, err = e.liveAnnualFor(cfg, planned)
+		a, live, cached, err = e.liveAnnualFor(cfg, tag)
 	default:
 		return nil, fmt.Errorf("thirstyflops: unknown source %q (want %q or %q)",
 			req.Source, SourceSimulated, SourceLive)
@@ -926,13 +995,13 @@ func (e *Engine) AssessMany(ctx context.Context, reqs []AssessRequest) ([]*Asses
 // panicking configuration fails that one unit with an error instead of
 // killing the worker goroutine (and with it the process) — a batch of
 // ten thousand units survives one poisoned config.
-func (e *Engine) assessSafe(ctx context.Context, req AssessRequest, cfg Config, planned bool) (res *AssessResult, err error) {
+func (e *Engine) assessSafe(ctx context.Context, req AssessRequest, cfg Config, tag subTag) (res *AssessResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("thirstyflops: assessment panic: %v", r)
 		}
 	}()
-	return e.assessResolved(ctx, req, cfg, planned)
+	return e.assessResolved(ctx, req, cfg, tag)
 }
 
 func (e *Engine) AssessBatch(ctx context.Context, reqs []AssessRequest, onResult func(i int, res *AssessResult, err error)) ([]*AssessResult, error) {
@@ -982,6 +1051,28 @@ func (e *Engine) AssessBatch(ctx context.Context, reqs []AssessRequest, onResult
 		workers = 1
 	}
 
+	// Gang path: hand the fingerprinted items to the shared fleet-wide
+	// scheduler, which merges them with any other batch arriving within
+	// the merge window and plans the union. The run callback demuxes
+	// completions back into this batch's slots; on cancellation the
+	// scheduler invokes it for every unit no worker claimed, so nil
+	// result slots still pair with a reported error.
+	if e.planner && e.gangSched != nil {
+		e.gangSched.Submit(ctx, items, func(i int, crossJob bool) {
+			if err := ctx.Err(); err != nil {
+				note(i, nil, err)
+				return
+			}
+			tag := subPlanned
+			if crossJob {
+				tag = subCrossJob
+			}
+			res, err := e.assessSafe(ctx, reqs[i], cfgs[i], tag)
+			note(i, res, err)
+		})
+		return results, joinUnitErrors(errs)
+	}
+
 	var wg sync.WaitGroup
 	if e.planner {
 		p := plan.Build(items, workers)
@@ -998,13 +1089,13 @@ func (e *Engine) AssessBatch(ctx context.Context, reqs []AssessRequest, onResult
 						}
 						return
 					}
-					res, err := e.assessSafe(ctx, reqs[i], cfgs[i], true)
+					res, err := e.assessSafe(ctx, reqs[i], cfgs[i], subPlanned)
 					note(i, res, err)
 				}
 			}(span)
 		}
 		wg.Wait()
-		return results, errors.Join(errs...)
+		return results, joinUnitErrors(errs)
 	}
 
 	// Unplanned arrival-order fan-out: the pre-planner baseline, kept
@@ -1015,7 +1106,7 @@ func (e *Engine) AssessBatch(ctx context.Context, reqs []AssessRequest, onResult
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				res, err := e.assessSafe(ctx, reqs[i], cfgs[i], false)
+				res, err := e.assessSafe(ctx, reqs[i], cfgs[i], subUnplanned)
 				note(i, res, err)
 			}
 		}()
@@ -1034,7 +1125,42 @@ feed:
 	}
 	close(idx)
 	wg.Wait()
-	return results, errors.Join(errs...)
+	return results, joinUnitErrors(errs)
+}
+
+// joinUnitErrors joins a batch's per-unit errors, collapsing the
+// cancellation flood: a batch canceled mid-flight fails every
+// unscheduled unit with the same context error, and joining ten
+// thousand copies of "request N: context canceled" produces an O(batch)
+// error string nobody can read. Context cancellation/deadline errors
+// collapse into one counted summary (still matching errors.Is
+// context.Canceled via the wrapped first instance); real per-unit
+// failures are kept individually.
+func joinUnitErrors(errs []error) error {
+	kept := errs[:0:0]
+	var (
+		canceled int
+		first    error
+	)
+	for _, err := range errs {
+		switch {
+		case err == nil:
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			canceled++
+			if first == nil {
+				first = err
+			}
+		default:
+			kept = append(kept, err)
+		}
+	}
+	switch {
+	case canceled == 1:
+		kept = append(kept, first)
+	case canceled > 1:
+		kept = append(kept, fmt.Errorf("%d units canceled before completion (first: %w)", canceled, first))
+	}
+	return errors.Join(kept...)
 }
 
 // SweepRequest asks for the Fig. 14 energy-sourcing comparison across
@@ -1097,6 +1223,49 @@ type BatchRequest struct {
 
 	Scenarios  bool `json:"scenarios,omitempty"`
 	Withdrawal bool `json:"withdrawal,omitempty"`
+}
+
+// Normalize returns the batch with duplicate cross-product template
+// entries removed — repeated names in Systems, repeated Seeds, repeated
+// Years — plus how many units the dedup collapsed. A duplicated entry
+// silently multiplies every combination it participates in: the
+// duplicates simulate (or at best memo-hit) for nothing and still count
+// against the daemon's -job-max-units cap, so the daemon normalizes
+// every submission at expansion and reports the collapsed count in the
+// job status. First-occurrence order is preserved; a batch with an
+// explicit Requests list is returned untouched (request indices are the
+// caller's contract, and distinct requests may legitimately repeat a
+// configuration with different flags).
+func (b BatchRequest) Normalize() (BatchRequest, int) {
+	if len(b.Requests) > 0 {
+		return b, 0
+	}
+	before := b.Units()
+	b.Systems = dedupKeepOrder(b.Systems)
+	b.Seeds = dedupKeepOrder(b.Seeds)
+	b.Years = dedupKeepOrder(b.Years)
+	return b, before - b.Units()
+}
+
+// dedupKeepOrder drops repeated values, keeping first-occurrence order.
+// The input slice is returned as-is when it has no duplicates.
+func dedupKeepOrder[T comparable](s []T) []T {
+	if len(s) < 2 {
+		return s
+	}
+	seen := make(map[T]struct{}, len(s))
+	out := s[:0:0]
+	for _, v := range s {
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	if len(out) == len(s) {
+		return s
+	}
+	return out
 }
 
 // Units returns how many assessments the batch will expand to, without
@@ -1234,7 +1403,7 @@ func (e *Engine) Water500(ctx context.Context, req Water500Request) (*Water500Re
 					errs[i] = err
 					continue
 				}
-				annuals[i], _, errs[i] = e.annualFor(cfgs[i], false)
+				annuals[i], _, errs[i] = e.annualFor(cfgs[i], subUnplanned)
 			}
 		}()
 	}

@@ -59,6 +59,7 @@ type RunFunc[R any] func(ctx context.Context, progress func(completed int)) ([]R
 type Job[R any] struct {
 	id        string
 	total     int
+	collapsed int
 	submitted time.Time
 	cancel    context.CancelFunc
 	done      chan struct{}
@@ -92,6 +93,10 @@ type Snapshot struct {
 	Completed int       `json:"completed"`
 	Error     string    `json:"error,omitempty"`
 	Submitted time.Time `json:"submitted"`
+	// DuplicatesCollapsed attributes units the submitter's dedup removed
+	// from the batch before it ran (WithCollapsed) — Total is the deduped
+	// count, so Total + DuplicatesCollapsed is what was asked for.
+	DuplicatesCollapsed int `json:"duplicates_collapsed,omitempty"`
 	// RunSeconds is the execution time so far (or in total, once the
 	// job is terminal); zero while queued.
 	RunSeconds float64 `json:"run_seconds"`
@@ -102,11 +107,12 @@ func (j *Job[R]) Snapshot() Snapshot {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	s := Snapshot{
-		ID:        j.id,
-		Status:    j.status,
-		Total:     j.total,
-		Completed: j.completed,
-		Submitted: j.submitted,
+		ID:                  j.id,
+		Status:              j.status,
+		Total:               j.total,
+		Completed:           j.completed,
+		Submitted:           j.submitted,
+		DuplicatesCollapsed: j.collapsed,
 	}
 	if j.err != nil {
 		s.Error = j.err.Error()
@@ -343,6 +349,7 @@ func restoredJob[R any](pj PersistedJob[R]) *Job[R] {
 	j := &Job[R]{
 		id:          pj.Snapshot.ID,
 		total:       pj.Snapshot.Total,
+		collapsed:   pj.Snapshot.DuplicatesCollapsed,
 		submitted:   pj.Snapshot.Submitted,
 		cancel:      func() {},
 		done:        done,
@@ -448,10 +455,25 @@ func newID() (string, error) {
 	return hex.EncodeToString(b[:]), nil
 }
 
+// JobOption configures one submission (as opposed to Option, which
+// configures the whole queue).
+type JobOption[R any] func(*Job[R])
+
+// WithCollapsed records how many duplicate units the submitter's dedup
+// removed from the batch before submission; the count is surfaced in
+// every Snapshot (and survives restarts with the persisted job).
+func WithCollapsed[R any](n int) JobOption[R] {
+	return func(j *Job[R]) {
+		if n > 0 {
+			j.collapsed = n
+		}
+	}
+}
+
 // Submit registers a batch of total units and starts it as soon as a
 // concurrency slot frees up. Retention pressure from the submission may
 // evict (and cancel) the least recently polled jobs.
-func (q *Queue[R]) Submit(total int, run RunFunc[R]) (*Job[R], error) {
+func (q *Queue[R]) Submit(total int, run RunFunc[R], opts ...JobOption[R]) (*Job[R], error) {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
@@ -473,6 +495,9 @@ func (q *Queue[R]) Submit(total int, run RunFunc[R]) (*Job[R], error) {
 		cancel:    cancel,
 		done:      make(chan struct{}),
 		status:    StatusQueued,
+	}
+	for _, o := range opts {
+		o(j)
 	}
 	// Evicted jobs are canceled: retention is the only reference the
 	// queue keeps, so an evicted running job must not keep executing.

@@ -161,9 +161,15 @@ func Build(items []Item, workers int) Plan {
 	}
 
 	// Contiguous balanced partition: walk the sorted groups filling each
-	// span toward ceil(remaining/spansLeft) items. A span always takes
-	// at least one group, and the final span takes everything left, so
-	// all groups are scheduled in at most `workers` spans.
+	// span while it holds fewer than ceil(remaining/spansLeft) items, so
+	// every span reaches its target (overshooting by less than one group
+	// chunk) before the next span starts. Spans never undershoot, so
+	// targets are non-increasing from ceil(n/workers) and every span is
+	// bounded by ceil(n/workers) + maxChunk - 1 — the balance property
+	// plan_test pins. (The previous first-fit rule — skip a group that
+	// would overflow the target — let spans undershoot, and cascading
+	// undershoot piled the skipped groups onto the final worker, up to
+	// ~1.5x past that bound on adversarial group-size mixes.)
 	remaining := len(items)
 	gi := 0
 	for b := 0; b < workers && gi < len(groups); b++ {
@@ -171,11 +177,8 @@ func Build(items []Item, workers int) Plan {
 		target := (remaining + spansLeft - 1) / spansLeft
 		var span []int
 		count := 0
-		for gi < len(groups) {
+		for gi < len(groups) && count < target {
 			g := groups[gi]
-			if count > 0 && count+len(g.Indexes) > target {
-				break
-			}
 			span = append(span, g.Indexes...)
 			count += len(g.Indexes)
 			gi++

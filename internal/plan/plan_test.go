@@ -192,6 +192,63 @@ func TestBuildSplitsOversizedGroups(t *testing.T) {
 	}
 }
 
+// TestBuildSpanBalanceBound is the partition's balance property: for any
+// batch and worker count, no span exceeds ceil(n/workers) plus one group
+// chunk. The previous fill rule (skip a group that would overflow the
+// running target) violated this — spans could undershoot, and cascading
+// undershoot piled the skipped groups onto the final worker ~1.5x past
+// the bound — so the batch sizes here draw group sizes adversarially
+// (many mid-sized groups just above half the balanced share) as well as
+// uniformly.
+func TestBuildSpanBalanceBound(t *testing.T) {
+	for seed := int64(0); seed < 400; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		workers := 1 + rng.Intn(8)
+
+		// Half the trials use the uniform pool; half synthesize skewed
+		// group sizes directly (size-g runs of one substrate), which is
+		// where the first-fit rule degenerated.
+		var items []Item
+		if seed%2 == 0 {
+			items = randomBatch(rng, 1+rng.Intn(120))
+		} else {
+			label := 0
+			for g := 1 + rng.Intn(12); g > 0; g-- {
+				label++
+				for size := 1 + rng.Intn(20); size > 0; size-- {
+					items = append(items, itemOf(len(items), label, label, label))
+				}
+			}
+		}
+		n := len(items)
+		balanced := (n + workers - 1) / workers
+		maxGroup := 0
+		sizeOf := map[fingerprint.Key]int{}
+		for _, it := range items {
+			sizeOf[it.Substrate]++
+		}
+		for _, size := range sizeOf {
+			maxGroup = max(maxGroup, size)
+		}
+		// Chunking caps every scheduled group at the balanced share.
+		maxChunk := min(maxGroup, balanced)
+		bound := balanced + maxChunk
+
+		p := Build(items, workers)
+		scheduled := 0
+		for si, span := range p.Spans {
+			scheduled += len(span)
+			if len(span) > bound {
+				t.Fatalf("seed %d: span %d holds %d items; bound is ceil(%d/%d)+%d = %d",
+					seed, si, len(span), n, workers, maxChunk, bound)
+			}
+		}
+		if scheduled != n {
+			t.Fatalf("seed %d: scheduled %d of %d items", seed, scheduled, n)
+		}
+	}
+}
+
 // TestBuildDegenerate covers empty batches and worker counts below 1.
 func TestBuildDegenerate(t *testing.T) {
 	if p := Build(nil, 4); len(p.Spans) != 0 || len(p.Groups) != 0 {
